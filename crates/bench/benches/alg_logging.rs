@@ -1,0 +1,67 @@
+//! Analytics-logging costs: writing a snapshot (the per-interval overhead
+//! ALG imposes on a running ReduceTask, §III) and recovering state from the
+//! latest valid record (what SFM pays at migration time, §IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alm_core::{recover_state, LogPaths, LogRecord, MpqLogEntry, StageLog};
+use alm_dfs::{DfsCluster, Topology};
+use alm_shuffle::{LocalFs, MemFs, SegmentSource};
+use alm_types::{JobId, TaskId};
+
+fn record_with_mpq(entries: usize, seq: u64) -> LogRecord {
+    let mpq: Vec<MpqLogEntry> = (0..entries)
+        .map(|i| MpqLogEntry {
+            source: SegmentSource::LocalFile { path: format!("reduce/attempt/final-{i}.out") },
+            offset: (i as u64) * 4096,
+        })
+        .collect();
+    LogRecord::new(
+        TaskId::reduce(JobId(1), 0).attempt(0),
+        seq,
+        seq * 1000,
+        StageLog::Reduce { records_processed: seq * 10_000, mpq, output_path: "/alg/partial".into(), output_records: seq * 9000 },
+    )
+}
+
+fn bench_log_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alg_log_write");
+    for entries in [1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::new("mpq_entries", entries), &entries, |b, &entries| {
+            let fs = MemFs::new();
+            let mut seq = 0u64;
+            b.iter(|| {
+                let rec = record_with_mpq(entries, seq);
+                let encoded = rec.encode();
+                fs.write(&format!("alg/log-{seq:08}"), encoded).unwrap();
+                seq += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alg_recover");
+    for n_records in [1usize, 16, 128] {
+        g.bench_with_input(BenchmarkId::new("log_records", n_records), &n_records, |b, &n| {
+            // A task directory with n historical records; recovery must
+            // scan, validate and pick the newest.
+            let paths = LogPaths::for_task(TaskId::reduce(JobId(1), 0));
+            let fs = MemFs::new();
+            let dfs = DfsCluster::new(Topology::even(4, 2), 128 << 20, 2);
+            for seq in 0..n as u64 {
+                fs.write(&paths.local_record(seq), record_with_mpq(50, seq).encode()).unwrap();
+            }
+            b.iter(|| {
+                let st = recover_state(Some(&fs), &dfs, &paths);
+                assert!(!st.is_fresh());
+                st.seq()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_log_write, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Fast Collective Merging vs single-node merging of the same data —
+//! the core of the paper's Fig. 14 claim: distributing the pre-merge to
+//! participant nodes and pipelining it against the global merge beats one
+//! reducer merging everything itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::SmallRng, RngCore, SeedableRng};
+
+use alm_core::{collective_merge, Participant};
+use alm_shuffle::segment::{build_segment, SegmentReader, SegmentSource};
+use alm_shuffle::{bytewise_cmp, MergeQueue};
+use alm_types::NodeId;
+
+fn make_node_segments(nodes: usize, segs_per_node: usize, records: usize) -> Vec<Vec<bytes::Bytes>> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    (0..nodes)
+        .map(|_| {
+            (0..segs_per_node)
+                .map(|_| {
+                    let mut recs: Vec<(Vec<u8>, Vec<u8>)> = (0..records)
+                        .map(|_| {
+                            let mut key = vec![0u8; 10];
+                            rng.fill_bytes(&mut key);
+                            (key, vec![0u8; 54])
+                        })
+                        .collect();
+                    recs.sort();
+                    build_segment(&recs)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_fcm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fcm_vs_single");
+    for nodes in [2usize, 4, 8] {
+        let data = make_node_segments(nodes, 4, 12_000 / nodes);
+        let bytes: u64 = data.iter().flatten().map(|s| s.len() as u64).sum();
+        g.throughput(Throughput::Bytes(bytes));
+
+        g.bench_with_input(BenchmarkId::new("single-node-merge", nodes), &data, |b, data| {
+            b.iter(|| {
+                let readers: Vec<SegmentReader> = data
+                    .iter()
+                    .flatten()
+                    .enumerate()
+                    .map(|(i, s)| SegmentReader::new(SegmentSource::Memory { id: i as u64 }, s.clone()).unwrap())
+                    .collect();
+                let mut q = MergeQueue::new(bytewise_cmp(), readers);
+                let mut n = 0u64;
+                while let Some((k, _)) = q.pop().unwrap() {
+                    n += k.len() as u64;
+                }
+                n
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("collective-merge", nodes), &data, |b, data| {
+            b.iter(|| {
+                let participants: Vec<Participant> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(n, segs)| Participant {
+                        node: NodeId(n as u32),
+                        segments: segs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| {
+                                SegmentReader::new(SegmentSource::Memory { id: (n * 100 + i) as u64 }, s.clone())
+                                    .unwrap()
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                let mut n = 0u64;
+                collective_merge(&bytewise_cmp(), participants, 64 * 1024, |k, _| n += k.len() as u64).unwrap();
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fcm);
+criterion_main!(benches);

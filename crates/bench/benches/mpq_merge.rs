@@ -1,0 +1,55 @@
+//! K-way MPQ merge throughput: how merge cost scales with the number of
+//! input segments — the quantity `io.sort.factor` bounds and the reason
+//! the paper treats merging as the ReduceTask bottleneck (§IV-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::SmallRng, RngCore, SeedableRng};
+
+use alm_shuffle::segment::{build_segment, SegmentReader, SegmentSource};
+use alm_shuffle::{bytewise_cmp, MergeQueue};
+
+fn make_segments(k: usize, records_per_segment: usize) -> Vec<bytes::Bytes> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..k)
+        .map(|_| {
+            let mut recs: Vec<(Vec<u8>, Vec<u8>)> = (0..records_per_segment)
+                .map(|_| {
+                    let mut key = vec![0u8; 10];
+                    rng.fill_bytes(&mut key);
+                    (key, vec![0u8; 90])
+                })
+                .collect();
+            recs.sort();
+            build_segment(&recs)
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpq_merge");
+    let total_records = 40_000usize;
+    for k in [2usize, 8, 32, 100] {
+        let segs = make_segments(k, total_records / k);
+        let bytes: u64 = segs.iter().map(|s| s.len() as u64).sum();
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("segments", k), &segs, |b, segs| {
+            b.iter(|| {
+                let readers: Vec<SegmentReader> = segs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| SegmentReader::new(SegmentSource::Memory { id: i as u64 }, s.clone()).unwrap())
+                    .collect();
+                let mut q = MergeQueue::new(bytewise_cmp(), readers);
+                let mut n = 0u64;
+                while let Some((k, _)) = q.pop().unwrap() {
+                    n += k.len() as u64;
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Map-side sort-buffer throughput: collect → sort → spill → merged MOF,
+//! across spill-pressure regimes (one big sort vs many spills + merge).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::SmallRng, RngCore, SeedableRng};
+
+use alm_shuffle::{bytewise_cmp, MapOutputBuffer, MemFs};
+
+fn records(n: usize) -> Vec<(u32, Vec<u8>, Vec<u8>)> {
+    let mut rng = SmallRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| {
+            let mut key = vec![0u8; 10];
+            rng.fill_bytes(&mut key);
+            let part = (key[0] as u32) % 8;
+            (part, key, vec![0u8; 90])
+        })
+        .collect()
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spill_sort");
+    let recs = records(20_000);
+    let bytes: u64 = recs.iter().map(|(_, k, v)| (k.len() + v.len() + 8) as u64).sum();
+    g.throughput(Throughput::Bytes(bytes));
+    // Threshold >> data: a single in-memory sort; threshold << data: many
+    // spills plus the final factor merge.
+    for (label, threshold) in [("one-spill", u64::MAX), ("many-spills", 128 * 1024)] {
+        g.bench_with_input(BenchmarkId::new("threshold", label), &recs, |b, recs| {
+            b.iter(|| {
+                let fs = MemFs::new();
+                let mut buf = MapOutputBuffer::new(bytewise_cmp(), None, 8, threshold, "m/");
+                for (p, k, v) in recs {
+                    buf.collect(&fs, *p, k.clone(), v.clone()).unwrap();
+                }
+                let mof = buf.finish(&fs).unwrap();
+                mof.total_bytes()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spill);
+criterion_main!(benches);

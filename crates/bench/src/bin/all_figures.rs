@@ -1,0 +1,26 @@
+//! Run every figure/table reproduction in sequence (the full evaluation
+//! of §V plus the motivation figures of §II).
+use alm_sim::experiment as ex;
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    let seed = cli.seed;
+    let sizes = cli.sizes_gb();
+    for rep in [
+        ex::fig1(seed),
+        ex::fig2(seed),
+        ex::fig3(seed),
+        ex::fig4(seed),
+        ex::fig8(seed),
+        ex::fig9(seed),
+        ex::fig10(seed, true),
+        ex::fig10(seed + 1000, false),
+        ex::table2(seed),
+        ex::fig11(seed, &sizes),
+        ex::fig12(seed),
+        ex::fig13(seed, &sizes),
+        ex::fig14(seed, None),
+        ex::fig15(seed),
+    ] {
+        alm_bench::emit(&rep);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fig. 1 — recovery time for one ReduceTask failure vs many MapTask
+//! failures (baseline YARN, 100 GB Terasort).
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig1(cli.seed));
+}

@@ -1,0 +1,7 @@
+//! Fig. 10 — SFM eliminates temporal amplification (timeline).
+//! Pass `--no-proactive` for the ablation that disables proactive MapTask
+//! regeneration and brings the amplification back.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig10(cli.seed, !cli.has("--no-proactive")));
+}

@@ -1,0 +1,5 @@
+//! Fig. 11 — ALG overhead in failure-free runs, Terasort 10–320 GB.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig11(cli.seed, &cli.sizes_gb()));
+}

@@ -1,0 +1,5 @@
+//! Fig. 12 — ALG performance at different logging frequencies.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig12(cli.seed));
+}

@@ -1,0 +1,6 @@
+//! Fig. 13 — impact of the log/output replication level (node / rack /
+//! cluster) on the reduce stage.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig13(cli.seed, &cli.sizes_gb()));
+}

@@ -1,0 +1,12 @@
+//! Fig. 14 — SFM vs YARN recovery under 1/5/10 concurrent failures with
+//! 1–32 GB of data per reducer. Pass `--fcm-cap N` to ablate the FCM cap.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    let cap = cli
+        .flags
+        .iter()
+        .position(|f| f == "--fcm-cap")
+        .and_then(|i| cli.flags.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    alm_bench::emit(&alm_sim::experiment::fig14(cli.seed, cap));
+}

@@ -1,0 +1,6 @@
+//! Fig. 15 — benefits of enabling both ALG and SFM: recovery with vs
+//! without logged analytics, per workload.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig15(cli.seed));
+}

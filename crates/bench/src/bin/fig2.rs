@@ -1,0 +1,6 @@
+//! Fig. 2 — delayed job execution under single task failures at varying
+//! injection progress (baseline; Terasort and Wordcount).
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig2(cli.seed));
+}

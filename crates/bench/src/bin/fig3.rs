@@ -1,0 +1,6 @@
+//! Fig. 3 — temporal failure amplification timeline (baseline Wordcount,
+//! single reducer, crash of its host node).
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig3(cli.seed));
+}

@@ -1,0 +1,6 @@
+//! Fig. 4 — spatial failure amplification: one node crash infects healthy
+//! ReduceTasks (baseline Terasort, 20 reducers).
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig4(cli.seed));
+}

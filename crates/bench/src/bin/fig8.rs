@@ -1,0 +1,6 @@
+//! Fig. 8 — ALG vs YARN under single ReduceTask failures injected at
+//! 10–90% progress, all three workloads.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig8(cli.seed));
+}

@@ -1,0 +1,5 @@
+//! Fig. 9 — SFM vs YARN under node failures at varying reduce progress.
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::fig9(cli.seed));
+}

@@ -1,0 +1,6 @@
+//! Table II — speculative recovery scheduling curbs the infectious impact
+//! of node failures (YARN vs SFM; additional failures + execution time).
+fn main() {
+    let cli = alm_bench::Cli::parse();
+    alm_bench::emit(&alm_sim::experiment::table2(cli.seed));
+}

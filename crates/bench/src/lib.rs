@@ -1,0 +1,61 @@
+//! Shared plumbing for the per-figure benchmark binaries.
+//!
+//! Every binary reproduces one figure/table of the paper: it runs the
+//! corresponding `alm_sim::experiment` function, renders the report to
+//! stdout, and writes the JSON twin to `target/experiments/<id>.json` so
+//! EXPERIMENTS.md bookkeeping has a machine-readable source.
+
+use alm_metrics::ExperimentReport;
+use std::path::PathBuf;
+
+/// Parsed common CLI options: `--seed N`, `--quick`, plus free flags.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    pub seed: u64,
+    pub quick: bool,
+    pub flags: Vec<String>,
+}
+
+impl Cli {
+    pub fn parse() -> Cli {
+        let mut seed = 42;
+        let mut quick = false;
+        let mut flags = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--seed" => {
+                    seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed);
+                }
+                "--quick" => quick = true,
+                other => flags.push(other.to_string()),
+            }
+        }
+        Cli { seed, quick, flags }
+    }
+
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Input-size sweep for the scaling figures (11 and 13).
+    pub fn sizes_gb(&self) -> Vec<u64> {
+        if self.quick {
+            vec![10, 40, 160]
+        } else {
+            vec![10, 20, 40, 80, 160, 320]
+        }
+    }
+}
+
+/// Print the report and persist its JSON twin.
+pub fn emit(report: &ExperimentReport) {
+    println!("{}", report.render_text());
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{}.json", report.id));
+        if std::fs::write(&path, report.to_json()).is_ok() {
+            eprintln!("(json written to {})", path.display());
+        }
+    }
+}

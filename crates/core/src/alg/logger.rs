@@ -1,0 +1,387 @@
+//! The logging engine: when to log, what to snapshot, where to store it.
+//!
+//! Per §III the logger is *task-local* (no job-level coordination) and
+//! *asynchronous* (the caller hands it the current time; it decides whether
+//! a snapshot is due). Stage strategies differ:
+//!
+//! * **shuffle/merge** — records go to the node-local store. Before a
+//!   shuffle-stage snapshot the logger flushes all in-memory segments to
+//!   disk via a temporary merge (so the file list in the record covers all
+//!   shuffled data) — the paper's "temporary in-memory merging thread".
+//! * **reduce** — records go to the DFS at the configured replication
+//!   level, together with the asynchronously-flushed partial reduce output,
+//!   so recovery works even when the whole node is gone.
+
+use alm_dfs::DfsCluster;
+use alm_shuffle::{LocalFs, MpqEntry, ReduceBuffers, ShuffleError};
+use alm_types::{AlmConfig, AttemptId, NodeId, ReplicationLevel, TaskId};
+use bytes::Bytes;
+
+use super::record::{LogRecord, MpqLogEntry, StageLog};
+
+/// Where a task's analytics logs live. Keyed by *task*, not attempt, so a
+/// recovery attempt finds its predecessor's records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogPaths {
+    /// Prefix on the node-local store for shuffle/merge-stage records.
+    pub local_prefix: String,
+    /// Prefix on the DFS for reduce-stage records and flushed output.
+    pub dfs_prefix: String,
+}
+
+impl LogPaths {
+    pub fn for_task(task: TaskId) -> LogPaths {
+        LogPaths {
+            local_prefix: format!("alg/{task}/"),
+            dfs_prefix: format!("/alg/{task}/"),
+        }
+    }
+
+    pub fn local_record(&self, seq: u64) -> String {
+        format!("{}log-{seq:08}", self.local_prefix)
+    }
+
+    pub fn dfs_record(&self, seq: u64) -> String {
+        format!("{}log-{seq:08}", self.dfs_prefix)
+    }
+
+    pub fn dfs_partial_output(&self) -> String {
+        format!("{}partial-output", self.dfs_prefix)
+    }
+}
+
+/// Periodic progress logger for one ReduceTask attempt.
+pub struct AnalyticsLogger {
+    paths: LogPaths,
+    attempt: AttemptId,
+    interval_ms: u64,
+    replication: ReplicationLevel,
+    seq: u64,
+    last_log_ms: Option<u64>,
+    records_written: u64,
+    bytes_written: u64,
+}
+
+impl AnalyticsLogger {
+    pub fn new(config: &AlmConfig, attempt: AttemptId) -> AnalyticsLogger {
+        AnalyticsLogger {
+            paths: LogPaths::for_task(attempt.task),
+            attempt,
+            interval_ms: config.logging_interval_ms.max(1),
+            replication: config.log_replication,
+            seq: 0,
+            last_log_ms: None,
+            records_written: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Continue sequence numbering after a resumed attempt so newer records
+    /// always outrank restored ones.
+    pub fn resume_after(&mut self, prior_seq: u64) {
+        self.seq = self.seq.max(prior_seq + 1);
+    }
+
+    pub fn paths(&self) -> &LogPaths {
+        &self.paths
+    }
+
+    /// Whether the logging interval has elapsed.
+    pub fn due(&self, now_ms: u64) -> bool {
+        match self.last_log_ms {
+            None => true,
+            Some(t) => now_ms.saturating_sub(t) >= self.interval_ms,
+        }
+    }
+
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    fn write_local(&mut self, fs: &dyn LocalFs, now_ms: u64, stage: StageLog) -> Result<LogRecord, ShuffleError> {
+        let rec = LogRecord::new(self.attempt, self.seq, now_ms, stage);
+        let encoded = rec.encode();
+        self.bytes_written += encoded.len() as u64;
+        fs.write(&self.paths.local_record(self.seq), encoded)?;
+        self.seq += 1;
+        self.records_written += 1;
+        self.last_log_ms = Some(now_ms);
+        Ok(rec)
+    }
+
+    /// Shuffle-stage snapshot (if due): flush in-memory segments, then log
+    /// fetched MOF ids + intermediate file paths to the local store.
+    pub fn maybe_log_shuffle(
+        &mut self,
+        now_ms: u64,
+        fs: &dyn LocalFs,
+        buffers: &mut ReduceBuffers,
+    ) -> Result<Option<LogRecord>, ShuffleError> {
+        if !self.due(now_ms) {
+            return Ok(None);
+        }
+        // Temporary in-memory merge: evacuate volatile segments so the
+        // logged file list is complete.
+        buffers.flush_in_memory(fs)?;
+        let stage = StageLog::Shuffle {
+            shuffled_bytes: buffers.shuffled_bytes(),
+            fetched_mof_ids: buffers.fetched().iter().copied().collect(),
+            intermediate_files: buffers.on_disk_paths().to_vec(),
+        };
+        self.write_local(fs, now_ms, stage).map(Some)
+    }
+
+    /// Merge-stage snapshot (if due): only the surviving file paths matter.
+    pub fn maybe_log_merge(
+        &mut self,
+        now_ms: u64,
+        fs: &dyn LocalFs,
+        merge_progress: f64,
+        intermediate_files: &[String],
+    ) -> Result<Option<LogRecord>, ShuffleError> {
+        if !self.due(now_ms) {
+            return Ok(None);
+        }
+        let stage = StageLog::Merge {
+            merge_progress: merge_progress.clamp(0.0, 1.0),
+            intermediate_files: intermediate_files.to_vec(),
+        };
+        self.write_local(fs, now_ms, stage).map(Some)
+    }
+
+    /// Reduce-stage snapshot (if due): the MPQ structure and the flushed
+    /// partial output, stored on the DFS so it survives node loss.
+    #[allow(clippy::too_many_arguments)]
+    pub fn maybe_log_reduce(
+        &mut self,
+        now_ms: u64,
+        dfs: &DfsCluster,
+        node: NodeId,
+        mpq_snapshot: &[MpqEntry],
+        records_processed: u64,
+        output: &mut PartialOutput,
+    ) -> Result<Option<LogRecord>, ShuffleError> {
+        if !self.due(now_ms) {
+            return Ok(None);
+        }
+        // Flush the accumulated reduce output first: the record must never
+        // reference output that is not yet durable.
+        let (output_path, output_records) = output.flush(dfs, node, self.replication)?;
+        let stage = StageLog::Reduce {
+            records_processed,
+            mpq: mpq_snapshot.iter().map(MpqLogEntry::from).collect(),
+            output_path,
+            output_records,
+        };
+        let rec = LogRecord::new(self.attempt, self.seq, now_ms, stage);
+        let encoded = rec.encode();
+        self.bytes_written += encoded.len() as u64;
+        dfs.write(&self.paths.dfs_record(self.seq), encoded, node, self.replication)
+            .map_err(|e| ShuffleError::FetchFailed { source: "dfs".into(), reason: e.to_string() })?;
+        self.seq += 1;
+        self.records_written += 1;
+        self.last_log_ms = Some(now_ms);
+        Ok(Some(rec))
+    }
+}
+
+/// The asynchronously-flushed partial reduce output (§III-B): completed
+/// `reduce()` results accumulate here and are written to the DFS at each
+/// reduce-stage log point, "without stalling the execution of the
+/// ReduceTask". A recovered attempt reloads the flushed bytes and appends.
+pub struct PartialOutput {
+    dfs_path: String,
+    buf: Vec<u8>,
+    records: u64,
+    flushed_records: u64,
+}
+
+impl PartialOutput {
+    pub fn new(paths: &LogPaths) -> PartialOutput {
+        PartialOutput { dfs_path: paths.dfs_partial_output(), buf: Vec::new(), records: 0, flushed_records: 0 }
+    }
+
+    /// Reload previously flushed output during recovery.
+    pub fn restore(paths: &LogPaths, dfs: &DfsCluster) -> Result<PartialOutput, ShuffleError> {
+        let path = paths.dfs_partial_output();
+        let (buf, records) = match dfs.read(&path) {
+            Ok(data) => {
+                let n = alm_shuffle::codec::validate_stream(&data)? as u64;
+                (data.to_vec(), n)
+            }
+            Err(_) => (Vec::new(), 0),
+        };
+        Ok(PartialOutput { dfs_path: path, records, flushed_records: records, buf })
+    }
+
+    /// Append one reduce-output record.
+    pub fn append(&mut self, key: &[u8], value: &[u8]) {
+        alm_shuffle::codec::encode_into(&mut self.buf, key, value);
+        self.records += 1;
+    }
+
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Flush the cumulative output to the DFS (overwrite-in-place, which on
+    /// real HDFS is an append + rename; the visible result is the same).
+    /// Returns `(path, records_flushed)`.
+    pub fn flush(
+        &mut self,
+        dfs: &DfsCluster,
+        node: NodeId,
+        replication: ReplicationLevel,
+    ) -> Result<(String, u64), ShuffleError> {
+        if self.records > self.flushed_records {
+            dfs.write(&self.dfs_path, Bytes::from(self.buf.clone()), node, replication)
+                .map_err(|e| ShuffleError::FetchFailed { source: "dfs".into(), reason: e.to_string() })?;
+            self.flushed_records = self.records;
+        }
+        Ok((self.dfs_path.clone(), self.flushed_records))
+    }
+
+    /// Commit the final output to its job-visible path and drop the
+    /// partial file.
+    pub fn commit(
+        mut self,
+        dfs: &DfsCluster,
+        node: NodeId,
+        replication: ReplicationLevel,
+        final_path: &str,
+    ) -> Result<u64, ShuffleError> {
+        dfs.write(final_path, Bytes::from(std::mem::take(&mut self.buf)), node, replication)
+            .map_err(|e| ShuffleError::FetchFailed { source: "dfs".into(), reason: e.to_string() })?;
+        dfs.delete(&self.dfs_path);
+        Ok(self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alm_dfs::Topology;
+    use alm_shuffle::segment::build_segment;
+    use alm_shuffle::{bytewise_cmp, MemFs};
+    use alm_types::{JobId, RecoveryMode};
+
+    fn cfg() -> AlmConfig {
+        AlmConfig { logging_interval_ms: 100, ..AlmConfig::with_mode(RecoveryMode::SfmAlg) }
+    }
+
+    fn attempt() -> AttemptId {
+        TaskId::reduce(JobId(2), 0).attempt(0)
+    }
+
+    fn dfs() -> DfsCluster {
+        DfsCluster::new(Topology::even(4, 2), 1024, 2)
+    }
+
+    #[test]
+    fn interval_gating() {
+        let mut lg = AnalyticsLogger::new(&cfg(), attempt());
+        let fs = MemFs::new();
+        let mut bufs = ReduceBuffers::new(bytewise_cmp(), "r/", 1 << 20, 0.9);
+        assert!(lg.due(0), "first log is always due");
+        assert!(lg.maybe_log_shuffle(0, &fs, &mut bufs).unwrap().is_some());
+        assert!(!lg.due(50));
+        assert!(lg.maybe_log_shuffle(50, &fs, &mut bufs).unwrap().is_none());
+        assert!(lg.maybe_log_shuffle(100, &fs, &mut bufs).unwrap().is_some());
+        assert_eq!(lg.records_written(), 2);
+    }
+
+    #[test]
+    fn shuffle_log_flushes_memory_and_lists_files() {
+        let mut lg = AnalyticsLogger::new(&cfg(), attempt());
+        let fs = MemFs::new();
+        let mut bufs = ReduceBuffers::new(bytewise_cmp(), "r/", 1 << 20, 0.99);
+        bufs.ingest(&fs, 0, build_segment(&[(b"a".to_vec(), b"1".to_vec())])).unwrap();
+        bufs.ingest(&fs, 3, build_segment(&[(b"b".to_vec(), b"2".to_vec())])).unwrap();
+        assert_eq!(bufs.in_mem_segments(), 2);
+        let rec = lg.maybe_log_shuffle(0, &fs, &mut bufs).unwrap().unwrap();
+        assert_eq!(bufs.in_mem_segments(), 0, "pre-log flush evacuated memory");
+        match &rec.stage {
+            StageLog::Shuffle { fetched_mof_ids, intermediate_files, shuffled_bytes } => {
+                assert_eq!(fetched_mof_ids, &vec![0, 3]);
+                assert_eq!(intermediate_files.len(), 1);
+                assert!(*shuffled_bytes > 0);
+            }
+            other => panic!("expected shuffle log, got {other:?}"),
+        }
+        // The record is durable on the local store and decodes back.
+        let stored = fs.read(&lg.paths().local_record(0)).unwrap();
+        assert_eq!(LogRecord::decode(&stored).unwrap(), rec);
+    }
+
+    #[test]
+    fn reduce_log_goes_to_dfs_with_output() {
+        let mut lg = AnalyticsLogger::new(&cfg(), attempt());
+        let d = dfs();
+        let mut out = PartialOutput::new(lg.paths());
+        out.append(b"k1", b"v1");
+        out.append(b"k2", b"v2");
+        let rec = lg
+            .maybe_log_reduce(0, &d, NodeId(1), &[], 2, &mut out)
+            .unwrap()
+            .unwrap();
+        match &rec.stage {
+            StageLog::Reduce { records_processed, output_records, output_path, .. } => {
+                assert_eq!(*records_processed, 2);
+                assert_eq!(*output_records, 2);
+                assert!(d.is_available(output_path), "flushed output must be durable");
+            }
+            other => panic!("expected reduce log, got {other:?}"),
+        }
+        assert!(d.is_available(&lg.paths().dfs_record(0)));
+    }
+
+    #[test]
+    fn partial_output_restore_round_trip() {
+        let d = dfs();
+        let paths = LogPaths::for_task(attempt().task);
+        let mut out = PartialOutput::new(&paths);
+        out.append(b"a", b"1");
+        out.flush(&d, NodeId(0), ReplicationLevel::Rack).unwrap();
+        out.append(b"b", b"2"); // not yet flushed
+
+        let restored = PartialOutput::restore(&paths, &d).unwrap();
+        assert_eq!(restored.records(), 1, "only flushed records survive");
+
+        // Committing writes the final path and removes the partial file.
+        let mut restored = restored;
+        restored.append(b"b", b"2");
+        let n = restored.commit(&d, NodeId(0), ReplicationLevel::Rack, "/out/part-0").unwrap();
+        assert_eq!(n, 2);
+        assert!(d.is_available("/out/part-0"));
+        assert!(!d.exists(&paths.dfs_partial_output()));
+    }
+
+    #[test]
+    fn flush_is_idempotent_without_new_records() {
+        let d = dfs();
+        let paths = LogPaths::for_task(attempt().task);
+        let mut out = PartialOutput::new(&paths);
+        out.append(b"a", b"1");
+        let (_, n1) = out.flush(&d, NodeId(0), ReplicationLevel::Node).unwrap();
+        let (_, n2) = out.flush(&d, NodeId(0), ReplicationLevel::Node).unwrap();
+        assert_eq!((n1, n2), (1, 1));
+    }
+
+    #[test]
+    fn resume_after_continues_sequence() {
+        let mut lg = AnalyticsLogger::new(&cfg(), attempt());
+        lg.resume_after(41);
+        let fs = MemFs::new();
+        let mut bufs = ReduceBuffers::new(bytewise_cmp(), "r/", 1 << 20, 0.9);
+        let rec = lg.maybe_log_shuffle(0, &fs, &mut bufs).unwrap().unwrap();
+        assert_eq!(rec.seq, 42);
+    }
+}

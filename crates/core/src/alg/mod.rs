@@ -1,0 +1,16 @@
+//! Analytics LogGing (ALG, §III).
+//!
+//! ALG logs "only the key information that can help a recovering ReduceTask
+//! avoid conducting unnecessary reduce computation and data
+//! deserialization" — no global coordination, no memory-image checkpoints.
+//! The log format is stage-specific (Fig. 6):
+//!
+//! | stage   | statistics                     | files                           |
+//! |---------|--------------------------------|---------------------------------|
+//! | shuffle | shuffled bytes, fetched MOF ids| local intermediate file paths   |
+//! | merge   | merge progress                 | local intermediate file paths   |
+//! | reduce  | records processed              | MPQ entries (path + offset), HDFS output path |
+
+pub mod logger;
+pub mod record;
+pub mod recovery;

@@ -1,0 +1,199 @@
+//! Analytics log records — the concrete realisation of Fig. 6.
+//!
+//! Records are serialised as JSON inside a small checksummed envelope.
+//! A torn or corrupt record (e.g. the node died mid-write) fails
+//! validation and is skipped by recovery, which then falls back to the
+//! previous record — logging is always safe to interrupt.
+
+use alm_types::{AttemptId, ReducePhase};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use alm_shuffle::{MpqEntry, SegmentSource, ShuffleError};
+
+/// One MPQ member in a reduce-stage log: the segment's location and the
+/// byte offset of its next unconsumed record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MpqLogEntry {
+    pub source: SegmentSource,
+    pub offset: u64,
+}
+
+impl From<&MpqEntry> for MpqLogEntry {
+    fn from(e: &MpqEntry) -> MpqLogEntry {
+        MpqLogEntry { source: e.source.clone(), offset: e.offset as u64 }
+    }
+}
+
+/// Stage-specific progress payload (the three columns of Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageLog {
+    /// Shuffle stage: which MOFs have been fetched and where the local
+    /// intermediate files are. On resume, only the missing MOFs are
+    /// re-fetched.
+    Shuffle {
+        shuffled_bytes: u64,
+        fetched_mof_ids: Vec<u32>,
+        intermediate_files: Vec<String>,
+    },
+    /// Merge stage: all segments are local; only the file paths (and how
+    /// far the factor-merge has come) matter.
+    Merge {
+        merge_progress: f64,
+        intermediate_files: Vec<String>,
+    },
+    /// Reduce stage: the MPQ structure plus the amount of reduce work
+    /// already done and where its flushed output lives on the DFS.
+    Reduce {
+        records_processed: u64,
+        mpq: Vec<MpqLogEntry>,
+        /// DFS path of the (asynchronously flushed) partial reduce output.
+        output_path: String,
+        output_records: u64,
+    },
+}
+
+impl StageLog {
+    pub fn phase(&self) -> ReducePhase {
+        match self {
+            StageLog::Shuffle { .. } => ReducePhase::Shuffle,
+            StageLog::Merge { .. } => ReducePhase::Merge,
+            StageLog::Reduce { .. } => ReducePhase::Reduce,
+        }
+    }
+}
+
+/// A complete, self-describing log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The attempt that wrote the record.
+    pub attempt: AttemptId,
+    /// Monotonic sequence number within the attempt; recovery picks the
+    /// highest valid one.
+    pub seq: u64,
+    /// Virtual/real timestamp (ms) at write time — diagnostics only.
+    pub at_ms: u64,
+    pub stage: StageLog,
+}
+
+pub const LOG_FORMAT_VERSION: u32 = 1;
+
+/// Envelope: `[len: u32 BE][fnv64 checksum: u64 BE][json payload]`.
+impl LogRecord {
+    pub fn new(attempt: AttemptId, seq: u64, at_ms: u64, stage: StageLog) -> LogRecord {
+        LogRecord { version: LOG_FORMAT_VERSION, attempt, seq, at_ms, stage }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let payload = serde_json::to_vec(self).expect("log records always serialise");
+        let mut out = Vec::with_capacity(payload.len() + 12);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&fnv64(&payload).to_be_bytes());
+        out.extend_from_slice(&payload);
+        Bytes::from(out)
+    }
+
+    pub fn decode(data: &[u8]) -> Result<LogRecord, ShuffleError> {
+        if data.len() < 12 {
+            return Err(ShuffleError::Corrupt("log record shorter than envelope".into()));
+        }
+        let len = u32::from_be_bytes(data[0..4].try_into().unwrap()) as usize;
+        let checksum = u64::from_be_bytes(data[4..12].try_into().unwrap());
+        if data.len() < 12 + len {
+            return Err(ShuffleError::Corrupt("torn log record (truncated payload)".into()));
+        }
+        let payload = &data[12..12 + len];
+        if fnv64(payload) != checksum {
+            return Err(ShuffleError::Corrupt("log record checksum mismatch".into()));
+        }
+        serde_json::from_slice(payload)
+            .map_err(|e| ShuffleError::Corrupt(format!("log record json: {e}")))
+    }
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alm_types::{JobId, TaskId};
+    use proptest::prelude::*;
+
+    fn attempt() -> AttemptId {
+        TaskId::reduce(JobId(1), 3).attempt(0)
+    }
+
+    #[test]
+    fn round_trip_each_stage() {
+        let stages = [
+            StageLog::Shuffle {
+                shuffled_bytes: 1 << 30,
+                fetched_mof_ids: vec![0, 1, 5],
+                intermediate_files: vec!["r/seg-0.out".into()],
+            },
+            StageLog::Merge { merge_progress: 0.4, intermediate_files: vec!["r/merged-1.out".into()] },
+            StageLog::Reduce {
+                records_processed: 12345,
+                mpq: vec![MpqLogEntry { source: SegmentSource::LocalFile { path: "r/final-0.out".into() }, offset: 4096 }],
+                output_path: "/out/part-3".into(),
+                output_records: 999,
+            },
+        ];
+        for (i, stage) in stages.into_iter().enumerate() {
+            let rec = LogRecord::new(attempt(), i as u64, 42_000, stage.clone());
+            let back = LogRecord::decode(&rec.encode()).unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(back.stage.phase(), stage.phase());
+        }
+    }
+
+    #[test]
+    fn stage_phases() {
+        assert_eq!(
+            StageLog::Shuffle { shuffled_bytes: 0, fetched_mof_ids: vec![], intermediate_files: vec![] }.phase(),
+            ReducePhase::Shuffle
+        );
+        assert_eq!(StageLog::Merge { merge_progress: 0.0, intermediate_files: vec![] }.phase(), ReducePhase::Merge);
+    }
+
+    #[test]
+    fn torn_record_detected() {
+        let rec = LogRecord::new(attempt(), 0, 0, StageLog::Merge { merge_progress: 0.5, intermediate_files: vec![] });
+        let bytes = rec.encode();
+        // Truncate the payload: torn write.
+        assert!(LogRecord::decode(&bytes[..bytes.len() - 3]).is_err());
+        // Flip a payload byte: checksum mismatch.
+        let mut corrupted = bytes.to_vec();
+        let last = corrupted.len() - 5;
+        corrupted[last] ^= 0xff;
+        assert!(LogRecord::decode(&corrupted).is_err());
+        // Too short for even the envelope.
+        assert!(LogRecord::decode(&[1, 2, 3]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_shuffle_logs_round_trip(
+            bytes_shuffled in proptest::num::u64::ANY,
+            mofs in proptest::collection::vec(0u32..5000, 0..50),
+            files in proptest::collection::vec("[a-z0-9/._-]{1,30}", 0..10),
+            seq in proptest::num::u64::ANY,
+        ) {
+            let rec = LogRecord::new(attempt(), seq, 1, StageLog::Shuffle {
+                shuffled_bytes: bytes_shuffled,
+                fetched_mof_ids: mofs,
+                intermediate_files: files,
+            });
+            prop_assert_eq!(LogRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+}

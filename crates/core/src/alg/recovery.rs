@@ -1,0 +1,251 @@
+//! Turning logged records back into runnable ReduceTask state.
+//!
+//! "A recovering ReduceTask looks up the previously generated log files for
+//! one that records the progress in the reduce stage" (§IV). Lookup order:
+//!
+//! 1. the newest valid **reduce-stage** record on the DFS — available even
+//!    after a node crash;
+//! 2. the newest valid **shuffle/merge-stage** record on the original
+//!    node's local store — available only when that node still lives
+//!    (Algorithm 1's local-resume path);
+//! 3. nothing — recover from scratch (stock YARN behaviour).
+//!
+//! Corrupt/torn records are skipped silently: logging is crash-safe by
+//! falling back to the previous snapshot.
+
+use alm_dfs::DfsCluster;
+use alm_shuffle::LocalFs;
+
+use super::logger::LogPaths;
+use super::record::{LogRecord, MpqLogEntry, StageLog};
+
+/// What recovery managed to restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveredState {
+    /// Resume mid-reduce: rebuild the MPQ from `(source, offset)` entries,
+    /// skip `records_processed` records' worth of work, reuse the flushed
+    /// output.
+    ReduceStage {
+        records_processed: u64,
+        mpq: Vec<MpqLogEntry>,
+        output_path: String,
+        output_records: u64,
+        seq: u64,
+    },
+    /// Resume at the merge stage with these local intermediate files.
+    MergeStage { intermediate_files: Vec<String>, merge_progress: f64, seq: u64 },
+    /// Resume mid-shuffle: re-fetch only the missing MOFs.
+    ShuffleStage {
+        shuffled_bytes: u64,
+        fetched_mof_ids: Vec<u32>,
+        intermediate_files: Vec<String>,
+        seq: u64,
+    },
+    /// No usable log: start from scratch.
+    Fresh,
+}
+
+impl RecoveredState {
+    pub fn from_record(rec: LogRecord) -> RecoveredState {
+        match rec.stage {
+            StageLog::Reduce { records_processed, mpq, output_path, output_records } => {
+                RecoveredState::ReduceStage { records_processed, mpq, output_path, output_records, seq: rec.seq }
+            }
+            StageLog::Merge { merge_progress, intermediate_files } => {
+                RecoveredState::MergeStage { intermediate_files, merge_progress, seq: rec.seq }
+            }
+            StageLog::Shuffle { shuffled_bytes, fetched_mof_ids, intermediate_files } => {
+                RecoveredState::ShuffleStage { shuffled_bytes, fetched_mof_ids, intermediate_files, seq: rec.seq }
+            }
+        }
+    }
+
+    /// Sequence number of the restored record (for `resume_after`).
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            RecoveredState::ReduceStage { seq, .. }
+            | RecoveredState::MergeStage { seq, .. }
+            | RecoveredState::ShuffleStage { seq, .. } => Some(*seq),
+            RecoveredState::Fresh => None,
+        }
+    }
+
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, RecoveredState::Fresh)
+    }
+}
+
+/// Find the newest valid log record for a task.
+///
+/// `local_fs` should be `Some` only when the original node is believed
+/// alive (its store reachable); reduce-stage records on the DFS win over
+/// anything local because they represent strictly later progress.
+pub fn find_latest_log(
+    local_fs: Option<&dyn LocalFs>,
+    dfs: &DfsCluster,
+    paths: &LogPaths,
+) -> Option<LogRecord> {
+    // Reduce-stage records (DFS): newest seq first.
+    let mut best_dfs: Option<LogRecord> = None;
+    for path in dfs.list(&paths.dfs_prefix) {
+        // The partial-output file shares the prefix; only log-* files are records.
+        if !path.starts_with(&format!("{}log-", paths.dfs_prefix)) {
+            continue;
+        }
+        if let Ok(data) = dfs.read(&path) {
+            if let Ok(rec) = LogRecord::decode(&data) {
+                if best_dfs.as_ref().is_none_or(|b| rec.seq > b.seq) {
+                    best_dfs = Some(rec);
+                }
+            }
+        }
+    }
+    if best_dfs.is_some() {
+        return best_dfs;
+    }
+
+    // Shuffle/merge records on the (live) local store.
+    let fs = local_fs?;
+    let mut best_local: Option<LogRecord> = None;
+    for path in fs.list(&format!("{}log-", paths.local_prefix)) {
+        if let Ok(data) = fs.read(&path) {
+            if let Ok(rec) = LogRecord::decode(&data) {
+                if best_local.as_ref().is_none_or(|b| rec.seq > b.seq) {
+                    best_local = Some(rec);
+                }
+            }
+        }
+    }
+    best_local
+}
+
+/// `find_latest_log` + `RecoveredState::from_record`.
+pub fn recover_state(
+    local_fs: Option<&dyn LocalFs>,
+    dfs: &DfsCluster,
+    paths: &LogPaths,
+) -> RecoveredState {
+    find_latest_log(local_fs, dfs, paths).map_or(RecoveredState::Fresh, RecoveredState::from_record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alm_dfs::Topology;
+    use alm_shuffle::MemFs;
+    use alm_types::{AttemptId, JobId, NodeId, ReplicationLevel, TaskId};
+    use bytes::Bytes;
+
+    fn attempt() -> AttemptId {
+        TaskId::reduce(JobId(1), 0).attempt(0)
+    }
+
+    fn paths() -> LogPaths {
+        LogPaths::for_task(attempt().task)
+    }
+
+    fn dfs() -> DfsCluster {
+        DfsCluster::new(Topology::even(4, 2), 1024, 2)
+    }
+
+    fn shuffle_rec(seq: u64) -> LogRecord {
+        LogRecord::new(
+            attempt(),
+            seq,
+            0,
+            StageLog::Shuffle { shuffled_bytes: seq * 10, fetched_mof_ids: vec![], intermediate_files: vec![] },
+        )
+    }
+
+    fn reduce_rec(seq: u64) -> LogRecord {
+        LogRecord::new(
+            attempt(),
+            seq,
+            0,
+            StageLog::Reduce { records_processed: seq, mpq: vec![], output_path: "/p".into(), output_records: 0 },
+        )
+    }
+
+    #[test]
+    fn fresh_when_no_logs() {
+        assert!(recover_state(None, &dfs(), &paths()).is_fresh());
+        let fs = MemFs::new();
+        assert!(recover_state(Some(&fs), &dfs(), &paths()).is_fresh());
+    }
+
+    #[test]
+    fn newest_local_record_wins() {
+        let fs = MemFs::new();
+        let p = paths();
+        for seq in [0u64, 2, 1] {
+            fs.write(&p.local_record(seq), shuffle_rec(seq).encode()).unwrap();
+        }
+        let st = recover_state(Some(&fs), &dfs(), &p);
+        assert_eq!(st.seq(), Some(2));
+        assert!(matches!(st, RecoveredState::ShuffleStage { shuffled_bytes: 20, .. }));
+    }
+
+    #[test]
+    fn dfs_reduce_record_preferred_over_local() {
+        let fs = MemFs::new();
+        let d = dfs();
+        let p = paths();
+        fs.write(&p.local_record(9), shuffle_rec(9).encode()).unwrap();
+        d.write(&p.dfs_record(3), reduce_rec(3).encode(), NodeId(0), ReplicationLevel::Rack).unwrap();
+        let st = recover_state(Some(&fs), &d, &p);
+        assert!(matches!(st, RecoveredState::ReduceStage { records_processed: 3, .. }),
+            "reduce-stage progress strictly supersedes shuffle-stage logs");
+    }
+
+    #[test]
+    fn dead_node_loses_local_logs_but_not_dfs() {
+        let d = dfs();
+        let p = paths();
+        d.write(&p.dfs_record(0), reduce_rec(0).encode(), NodeId(0), ReplicationLevel::Rack).unwrap();
+        // Node dead: caller passes None for local_fs.
+        let st = recover_state(None, &d, &p);
+        assert!(matches!(st, RecoveredState::ReduceStage { .. }));
+    }
+
+    #[test]
+    fn corrupt_records_skipped() {
+        let fs = MemFs::new();
+        let p = paths();
+        fs.write(&p.local_record(0), shuffle_rec(0).encode()).unwrap();
+        // Newer but torn record.
+        let good = shuffle_rec(1).encode();
+        fs.write(&p.local_record(1), good.slice(0..good.len() - 2)).unwrap();
+        let st = recover_state(Some(&fs), &dfs(), &p);
+        assert_eq!(st.seq(), Some(0), "torn newest record falls back to previous");
+    }
+
+    #[test]
+    fn partial_output_file_is_not_mistaken_for_a_record() {
+        let d = dfs();
+        let p = paths();
+        d.write(&p.dfs_partial_output(), Bytes::from_static(b"raw output bytes"), NodeId(0), ReplicationLevel::Rack)
+            .unwrap();
+        assert!(recover_state(None, &d, &p).is_fresh());
+    }
+
+    #[test]
+    fn merge_stage_record_maps_to_merge_state() {
+        let fs = MemFs::new();
+        let p = paths();
+        let rec = LogRecord::new(
+            attempt(),
+            5,
+            0,
+            StageLog::Merge { merge_progress: 0.7, intermediate_files: vec!["a".into()] },
+        );
+        fs.write(&p.local_record(5), rec.encode()).unwrap();
+        match recover_state(Some(&fs), &dfs(), &p) {
+            RecoveredState::MergeStage { intermediate_files, merge_progress, seq } => {
+                assert_eq!(intermediate_files, vec!["a".to_string()]);
+                assert!((merge_progress - 0.7).abs() < 1e-12);
+                assert_eq!(seq, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

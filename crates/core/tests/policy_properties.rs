@@ -1,0 +1,130 @@
+//! Property-based tests of Algorithm 1: for arbitrary failure reports and
+//! scheduler contexts, the policy's invariants hold.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use alm_core::{schedule_recovery, ExecMode, PolicyCtx, SchedAction};
+use alm_types::{FailureKind, FailureReport, JobId, NodeId, TaskId};
+
+fn arb_report() -> impl Strategy<Value = FailureReport> {
+    (
+        0u32..30,
+        proptest::bool::ANY,
+        proptest::collection::btree_set(0u32..40, 0..12),
+        proptest::collection::btree_set(0u32..200, 0..30),
+    )
+        .prop_map(|(node, alive, reduces, maps)| FailureReport {
+            source_node: NodeId(node),
+            node_alive: alive,
+            kind: if alive { FailureKind::TaskOom } else { FailureKind::NodeCrash },
+            failed_reduces: reduces.into_iter().map(|i| TaskId::reduce(JobId(0), i)).collect(),
+            failed_maps: maps.into_iter().map(|i| TaskId::map(JobId(0), i)).collect(),
+        })
+}
+
+fn arb_ctx(report: &FailureReport) -> impl Strategy<Value = PolicyCtx> {
+    let reduces = report.failed_reduces.clone();
+    (
+        0u32..3,
+        1usize..20,
+        0usize..25,
+        proptest::collection::vec(0u32..4, reduces.len()),
+        proptest::collection::vec(0u32..4, reduces.len()),
+    )
+        .prop_map(move |(limit_local, fcm_cap, fcm_running, on_node, running)| {
+            let mut attempts_on_source_node = HashMap::new();
+            let mut running_attempts = HashMap::new();
+            for (i, r) in reduces.iter().enumerate() {
+                attempts_on_source_node.insert(*r, on_node[i]);
+                running_attempts.insert(*r, running[i]);
+            }
+            PolicyCtx {
+                limit_local,
+                fcm_cap,
+                max_running_for_speculation: 2,
+                fcm_tasks_running: fcm_running,
+                attempts_on_source_node,
+                running_attempts,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn policy_invariants(report in arb_report().prop_flat_map(|r| {
+        let ctx = arb_ctx(&r);
+        (Just(r), ctx)
+    })) {
+        let (report, ctx) = report;
+        report.validate().unwrap();
+        let actions = schedule_recovery(&report, &ctx);
+
+        // 1. Every failed map / lost MOF gets exactly one high-priority
+        //    re-execution; nothing else launches maps.
+        let map_launches: Vec<TaskId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                SchedAction::LaunchMap { task, high_priority } => Some((*task, *high_priority)),
+                _ => None,
+            })
+            .map(|(task, high_priority)| {
+                assert!(task.is_map());
+                assert!(high_priority, "map regeneration must be high priority");
+                task
+            })
+            .collect();
+        prop_assert_eq!(map_launches, report.failed_maps.clone());
+
+        // 2. Local relaunches only when the node lives and the budget allows.
+        for a in &actions {
+            if let SchedAction::RelaunchReduceOnOrigin { task, node } = a {
+                prop_assert!(report.node_alive, "local relaunch on a dead node");
+                prop_assert_eq!(*node, report.source_node);
+                prop_assert!(ctx.attempts_on_source_node[task] < ctx.limit_local);
+            }
+        }
+
+        // 3. New FCM admissions never exceed the remaining budget (the
+        //    paper's `<=` admits one past the cap; tasks already running
+        //    above the cap admit nothing new).
+        let fcm_new = actions.iter().filter(|a| matches!(a, SchedAction::LaunchSpeculativeReduce { mode: ExecMode::Fcm, .. })).count();
+        let budget = (ctx.fcm_cap + 1).saturating_sub(ctx.fcm_tasks_running);
+        prop_assert!(fcm_new <= budget,
+            "FCM budget blown: {} new admissions with running {} and cap {}", fcm_new, ctx.fcm_tasks_running, ctx.fcm_cap);
+
+        // 4. At most one speculative attempt per failed reduce, always
+        //    avoiding the failure's source node; none for maps.
+        let mut spec_seen = std::collections::HashSet::new();
+        for a in &actions {
+            if let SchedAction::LaunchSpeculativeReduce { task, avoid, .. } = a {
+                prop_assert!(task.is_reduce());
+                prop_assert!(report.failed_reduces.contains(task));
+                prop_assert_eq!(*avoid, Some(report.source_node));
+                prop_assert!(spec_seen.insert(*task), "duplicate speculative attempt for {task}");
+            }
+        }
+
+        // 5. Reduces with too many running attempts get no speculative copy.
+        for r in &report.failed_reduces {
+            let running = ctx.running_attempts[r]
+                + actions.iter().filter(|a| matches!(a, SchedAction::RelaunchReduceOnOrigin { task, .. } if task == r)).count() as u32;
+            let has_spec = actions.iter().any(|a| matches!(a, SchedAction::LaunchSpeculativeReduce { task, .. } if task == r));
+            if running > ctx.max_running_for_speculation {
+                prop_assert!(!has_spec, "speculation despite {running} running attempts of {r}");
+            } else {
+                prop_assert!(has_spec, "missing speculation for {r} with {running} running attempts");
+            }
+        }
+    }
+
+    /// The policy is a pure function: same inputs, same actions.
+    #[test]
+    fn policy_is_deterministic(pair in arb_report().prop_flat_map(|r| {
+        let ctx = arb_ctx(&r);
+        (Just(r), ctx)
+    })) {
+        let (report, ctx) = pair;
+        prop_assert_eq!(schedule_recovery(&report, &ctx), schedule_recovery(&report, &ctx));
+    }
+}

@@ -1,0 +1,343 @@
+//! The DFS itself: files → blocks → replicas, with liveness semantics.
+
+use alm_types::{NodeId, ReplicationLevel};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::placement::choose_replicas;
+use crate::topology::Topology;
+
+/// DFS operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    NotFound(String),
+    /// A block of the file has no replica on any live node. For MOF-less
+    /// recovery this is the "lost data" condition; for ALG it means the
+    /// log's replication level was insufficient for the failure.
+    BlockUnavailable { path: String, block: usize },
+    /// No live node satisfied the placement request at all.
+    NoLiveReplicaTarget,
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "dfs: not found: {p}"),
+            DfsError::BlockUnavailable { path, block } => {
+                write!(f, "dfs: block {block} of {path} has no live replica")
+            }
+            DfsError::NoLiveReplicaTarget => write!(f, "dfs: no live node to place replicas on"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Metadata returned by a successful write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsFileMeta {
+    pub path: String,
+    pub len: u64,
+    pub num_blocks: usize,
+    /// Replica nodes per block.
+    pub replicas: Vec<Vec<NodeId>>,
+}
+
+impl DfsFileMeta {
+    /// Total bytes written across all replicas — the I/O amplification a
+    /// replication level costs (what Fig. 13 measures).
+    pub fn replicated_bytes(&self, block_size: u64) -> u64 {
+        let mut total = 0;
+        let mut remaining = self.len;
+        for reps in &self.replicas {
+            let this_block = remaining.min(block_size);
+            remaining -= this_block;
+            total += this_block * reps.len() as u64;
+        }
+        total
+    }
+}
+
+#[derive(Debug)]
+struct Block {
+    data: Bytes,
+    replicas: Vec<NodeId>,
+}
+
+#[derive(Debug)]
+struct DfsFile {
+    blocks: Vec<u64>,
+    len: u64,
+}
+
+struct Inner {
+    files: BTreeMap<String, DfsFile>,
+    blocks: BTreeMap<u64, Block>,
+    alive: BTreeSet<NodeId>,
+}
+
+/// A shared, thread-safe simulated HDFS instance.
+pub struct DfsCluster {
+    topo: Topology,
+    block_size: u64,
+    replication: u16,
+    inner: Mutex<Inner>,
+    next_block: AtomicU64,
+}
+
+impl DfsCluster {
+    pub fn new(topo: Topology, block_size: u64, replication: u16) -> DfsCluster {
+        let alive = topo.nodes().collect();
+        DfsCluster {
+            topo,
+            block_size: block_size.max(1),
+            replication,
+            inner: Mutex::new(Inner { files: BTreeMap::new(), blocks: BTreeMap::new(), alive }),
+            next_block: AtomicU64::new(0),
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Mark a node dead (crash) or alive (replacement).
+    pub fn set_node_alive(&self, node: NodeId, alive: bool) {
+        let mut inner = self.inner.lock();
+        if alive {
+            inner.alive.insert(node);
+        } else {
+            inner.alive.remove(&node);
+        }
+    }
+
+    pub fn is_node_alive(&self, node: NodeId) -> bool {
+        self.inner.lock().alive.contains(&node)
+    }
+
+    /// Write (or overwrite) a file from `writer` at the given replication
+    /// level. Data is split into blocks; each block gets its own replica
+    /// set per the placement policy.
+    pub fn write(
+        &self,
+        path: &str,
+        data: Bytes,
+        writer: NodeId,
+        level: ReplicationLevel,
+    ) -> Result<DfsFileMeta, DfsError> {
+        let mut inner = self.inner.lock();
+        if inner.alive.is_empty() {
+            return Err(DfsError::NoLiveReplicaTarget);
+        }
+        // Drop any previous version's blocks.
+        if let Some(old) = inner.files.remove(path) {
+            for b in old.blocks {
+                inner.blocks.remove(&b);
+            }
+        }
+        let len = data.len() as u64;
+        let nblocks = (len.div_ceil(self.block_size)).max(1) as usize;
+        let mut blocks = Vec::with_capacity(nblocks);
+        let mut replicas_meta = Vec::with_capacity(nblocks);
+        for i in 0..nblocks {
+            let start = (i as u64 * self.block_size) as usize;
+            let end = (((i + 1) as u64 * self.block_size) as usize).min(data.len());
+            let chunk = data.slice(start..end);
+            let id = self.next_block.fetch_add(1, Ordering::Relaxed);
+            let replicas = choose_replicas(&self.topo, writer, level, self.replication, &inner.alive, id);
+            if replicas.is_empty() {
+                return Err(DfsError::NoLiveReplicaTarget);
+            }
+            replicas_meta.push(replicas.clone());
+            inner.blocks.insert(id, Block { data: chunk, replicas });
+            blocks.push(id);
+        }
+        inner.files.insert(path.to_string(), DfsFile { blocks, len });
+        Ok(DfsFileMeta { path: path.to_string(), len, num_blocks: nblocks, replicas: replicas_meta })
+    }
+
+    /// Read a whole file; fails if any block lost all live replicas.
+    pub fn read(&self, path: &str) -> Result<Bytes, DfsError> {
+        let inner = self.inner.lock();
+        let file = inner.files.get(path).ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let mut out = Vec::with_capacity(file.len as usize);
+        for (i, bid) in file.blocks.iter().enumerate() {
+            let block = inner.blocks.get(bid).expect("file block must exist");
+            if !block.replicas.iter().any(|n| inner.alive.contains(n)) {
+                return Err(DfsError::BlockUnavailable { path: path.to_string(), block: i });
+            }
+            out.extend_from_slice(&block.data);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Whether every block of `path` is currently readable.
+    pub fn is_available(&self, path: &str) -> bool {
+        self.read(path).is_ok()
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.lock().files.contains_key(path)
+    }
+
+    pub fn delete(&self, path: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.files.remove(path) {
+            None => false,
+            Some(f) => {
+                for b in f.blocks {
+                    inner.blocks.remove(&b);
+                }
+                true
+            }
+        }
+    }
+
+    /// Paths starting with `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .lock()
+            .files
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of blocks that currently have no live replica.
+    pub fn lost_block_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .blocks
+            .values()
+            .filter(|b| !b.replicas.iter().any(|n| inner.alive.contains(n)))
+            .count()
+    }
+
+    /// Total bytes stored across all replicas (capacity accounting).
+    pub fn stored_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.blocks.values().map(|b| b.data.len() as u64 * b.replicas.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs(nodes: u32, racks: u32, block: u64) -> DfsCluster {
+        DfsCluster::new(Topology::even(nodes, racks), block, 2)
+    }
+
+    #[test]
+    fn write_read_round_trip_multi_block() {
+        let d = dfs(6, 2, 10);
+        let data = Bytes::from((0..35u8).collect::<Vec<u8>>());
+        let meta = d.write("/out/part-0", data.clone(), NodeId(0), ReplicationLevel::Rack).unwrap();
+        assert_eq!(meta.num_blocks, 4);
+        assert_eq!(d.read("/out/part-0").unwrap(), data);
+        assert!(d.exists("/out/part-0"));
+        assert!(!d.exists("/nope"));
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let d = dfs(3, 1, 10);
+        d.write("/e", Bytes::new(), NodeId(1), ReplicationLevel::Node).unwrap();
+        assert_eq!(d.read("/e").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn node_level_file_dies_with_writer() {
+        let d = dfs(4, 2, 1024);
+        d.write("/log", Bytes::from_static(b"progress"), NodeId(1), ReplicationLevel::Node).unwrap();
+        assert!(d.is_available("/log"));
+        d.set_node_alive(NodeId(1), false);
+        assert!(!d.is_available("/log"));
+        assert_eq!(d.lost_block_count(), 1);
+        assert!(matches!(d.read("/log"), Err(DfsError::BlockUnavailable { .. })));
+    }
+
+    #[test]
+    fn rack_level_survives_writer_crash() {
+        let d = dfs(6, 2, 1024);
+        d.write("/log", Bytes::from_static(b"progress"), NodeId(0), ReplicationLevel::Rack).unwrap();
+        d.set_node_alive(NodeId(0), false);
+        assert!(d.is_available("/log"), "rack replica keeps the log readable");
+    }
+
+    #[test]
+    fn cluster_level_survives_whole_rack() {
+        let d = dfs(6, 2, 1024);
+        d.write("/log", Bytes::from_static(b"progress"), NodeId(0), ReplicationLevel::Cluster).unwrap();
+        // Kill all of rack 0 (nodes 0, 2, 4).
+        for n in [0u32, 2, 4] {
+            d.set_node_alive(NodeId(n), false);
+        }
+        assert!(d.is_available("/log"));
+        // Rack-level placement would NOT survive this.
+        let d2 = dfs(6, 2, 1024);
+        d2.write("/log", Bytes::from_static(b"progress"), NodeId(0), ReplicationLevel::Rack).unwrap();
+        for n in [0u32, 2, 4] {
+            d2.set_node_alive(NodeId(n), false);
+        }
+        assert!(!d2.is_available("/log"));
+    }
+
+    #[test]
+    fn overwrite_replaces_content_and_frees_blocks() {
+        let d = dfs(3, 1, 4);
+        d.write("/f", Bytes::from_static(b"aaaaaaaa"), NodeId(0), ReplicationLevel::Node).unwrap();
+        let before = d.stored_bytes();
+        d.write("/f", Bytes::from_static(b"bb"), NodeId(0), ReplicationLevel::Node).unwrap();
+        assert_eq!(&d.read("/f").unwrap()[..], b"bb");
+        assert!(d.stored_bytes() < before);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let d = dfs(3, 1, 4);
+        d.write("/f", Bytes::from_static(b"xxxx"), NodeId(0), ReplicationLevel::Node).unwrap();
+        assert!(d.delete("/f"));
+        assert!(!d.delete("/f"));
+        assert_eq!(d.stored_bytes(), 0);
+        assert!(matches!(d.read("/f"), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn list_prefix() {
+        let d = dfs(3, 1, 1024);
+        for p in ["/logs/r1/0", "/logs/r1/1", "/logs/r2/0", "/out/x"] {
+            d.write(p, Bytes::new(), NodeId(0), ReplicationLevel::Node).unwrap();
+        }
+        assert_eq!(d.list("/logs/r1/"), vec!["/logs/r1/0", "/logs/r1/1"]);
+        assert_eq!(d.list("/logs/").len(), 3);
+    }
+
+    #[test]
+    fn replicated_bytes_accounting() {
+        let d = dfs(6, 2, 10);
+        let meta = d.write("/f", Bytes::from(vec![0u8; 25]), NodeId(0), ReplicationLevel::Rack).unwrap();
+        // 3 blocks (10+10+5), 2 replicas each.
+        assert_eq!(meta.replicated_bytes(10), 2 * 25);
+        assert_eq!(d.stored_bytes(), 50);
+    }
+
+    #[test]
+    fn all_nodes_dead_rejects_writes() {
+        let d = dfs(2, 1, 1024);
+        d.set_node_alive(NodeId(0), false);
+        d.set_node_alive(NodeId(1), false);
+        assert_eq!(
+            d.write("/f", Bytes::from_static(b"x"), NodeId(0), ReplicationLevel::Node),
+            Err(DfsError::NoLiveReplicaTarget)
+        );
+    }
+}

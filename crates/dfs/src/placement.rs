@@ -1,0 +1,171 @@
+//! Replica placement.
+//!
+//! ALG "constrains the replication level within a single rack rather than
+//! replicating across an HDFS cluster" (§III-B). The three levels:
+//!
+//! * **Node** — one replica, on the writer.
+//! * **Rack** — writer-local replica plus replicas on rack peers (ALG's
+//!   default for reduce-stage logs: "local and rack replicas").
+//! * **Cluster** — writer-local replica plus off-rack replicas (standard
+//!   HDFS: durability against a whole-rack failure, at cross-rack network
+//!   cost — the overhead Fig. 13 quantifies).
+
+use alm_types::{NodeId, ReplicationLevel};
+use std::collections::BTreeSet;
+
+use crate::topology::Topology;
+
+/// Choose replica nodes for one block.
+///
+/// `salt` decorrelates the non-local replica choice across blocks so load
+/// spreads (deterministically). Only `alive` nodes are eligible. The writer
+/// is always first if alive; if the topology cannot satisfy the level's
+/// placement constraint (e.g. Cluster level on a single rack), placement
+/// degrades gracefully to the nearest satisfiable option, as HDFS does.
+pub fn choose_replicas(
+    topo: &Topology,
+    writer: NodeId,
+    level: ReplicationLevel,
+    replication: u16,
+    alive: &BTreeSet<NodeId>,
+    salt: u64,
+) -> Vec<NodeId> {
+    let want = level.replica_count(replication) as usize;
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(want);
+    if alive.contains(&writer) {
+        chosen.push(writer);
+    }
+
+    let pick_from = |pool: Vec<NodeId>, chosen: &mut Vec<NodeId>, want: usize, salt: u64| {
+        let mut pool: Vec<NodeId> = pool
+            .into_iter()
+            .filter(|n| alive.contains(n) && !chosen.contains(n))
+            .collect();
+        pool.sort_unstable();
+        if pool.is_empty() {
+            return;
+        }
+        // Deterministic rotation by salt so consecutive blocks spread.
+        let start = (salt as usize) % pool.len();
+        pool.rotate_left(start);
+        for n in pool {
+            if chosen.len() >= want {
+                break;
+            }
+            chosen.push(n);
+        }
+    };
+
+    match level {
+        ReplicationLevel::Node => {}
+        ReplicationLevel::Rack => {
+            pick_from(topo.rack_peers(writer), &mut chosen, want, salt);
+            // Rack too small: degrade to any node rather than under-replicate.
+            if chosen.len() < want {
+                pick_from(topo.off_rack_nodes(writer), &mut chosen, want, salt);
+            }
+        }
+        ReplicationLevel::Cluster => {
+            pick_from(topo.off_rack_nodes(writer), &mut chosen, want, salt);
+            // Single-rack cluster: degrade to rack peers.
+            if chosen.len() < want {
+                pick_from(topo.rack_peers(writer), &mut chosen, want, salt);
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_alive(n: u32) -> BTreeSet<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn node_level_is_writer_only() {
+        let topo = Topology::even(6, 2);
+        let r = choose_replicas(&topo, NodeId(2), ReplicationLevel::Node, 3, &all_alive(6), 0);
+        assert_eq!(r, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn rack_level_stays_in_rack() {
+        let topo = Topology::even(6, 2); // rack0: 0,2,4; rack1: 1,3,5
+        let r = choose_replicas(&topo, NodeId(0), ReplicationLevel::Rack, 2, &all_alive(6), 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], NodeId(0));
+        assert!(topo.same_rack(r[0], r[1]));
+    }
+
+    #[test]
+    fn cluster_level_crosses_racks() {
+        let topo = Topology::even(6, 2);
+        let r = choose_replicas(&topo, NodeId(0), ReplicationLevel::Cluster, 2, &all_alive(6), 0);
+        assert_eq!(r.len(), 2);
+        assert!(!topo.same_rack(r[0], r[1]));
+    }
+
+    #[test]
+    fn dead_writer_excluded() {
+        let topo = Topology::even(4, 2);
+        let mut alive = all_alive(4);
+        alive.remove(&NodeId(0));
+        let r = choose_replicas(&topo, NodeId(0), ReplicationLevel::Rack, 2, &alive, 0);
+        assert!(!r.contains(&NodeId(0)));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn degrades_when_rack_too_small() {
+        // Rack 1 holds only node 1; rack-level rep=2 from node 1 must
+        // degrade off-rack rather than under-replicate.
+        let topo =
+            Topology::from_pairs([(NodeId(0), alm_types::RackId(0)), (NodeId(1), alm_types::RackId(1)), (NodeId(2), alm_types::RackId(0))]);
+        let alive: BTreeSet<NodeId> = [NodeId(0), NodeId(1), NodeId(2)].into();
+        let r = choose_replicas(&topo, NodeId(1), ReplicationLevel::Rack, 2, &alive, 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], NodeId(1));
+    }
+
+    #[test]
+    fn salt_spreads_choices() {
+        let topo = Topology::even(8, 2);
+        let a = choose_replicas(&topo, NodeId(0), ReplicationLevel::Rack, 2, &all_alive(8), 0);
+        let b = choose_replicas(&topo, NodeId(0), ReplicationLevel::Rack, 2, &all_alive(8), 1);
+        assert_ne!(a[1], b[1], "different salts pick different peers");
+    }
+
+    proptest! {
+        /// Replicas are distinct, alive, at most the requested count, and
+        /// writer-first when the writer lives.
+        #[test]
+        fn placement_invariants(
+            nodes in 1u32..30,
+            racks in 1u32..5,
+            writer in 0u32..30,
+            level_i in 0usize..3,
+            rep in 1u16..4,
+            salt in proptest::num::u64::ANY,
+            dead_mask in proptest::num::u32::ANY,
+        ) {
+            let writer = NodeId(writer % nodes);
+            let level = [ReplicationLevel::Node, ReplicationLevel::Rack, ReplicationLevel::Cluster][level_i];
+            let topo = Topology::even(nodes, racks);
+            let alive: BTreeSet<NodeId> = (0..nodes).filter(|n| dead_mask & (1 << (n % 32)) == 0).map(NodeId).collect();
+            let r = choose_replicas(&topo, writer, level, rep, &alive, salt);
+            prop_assert!(r.len() <= level.replica_count(rep) as usize);
+            let set: BTreeSet<NodeId> = r.iter().copied().collect();
+            prop_assert_eq!(set.len(), r.len(), "replicas must be distinct");
+            for n in &r {
+                prop_assert!(alive.contains(n), "replicas must be alive");
+            }
+            if alive.contains(&writer) {
+                prop_assert_eq!(r[0], writer, "writer-local replica first");
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment measurement and reporting.
+//!
+//! The benchmark harness reproduces every figure and table of the paper; to
+//! do that uniformly each experiment produces an [`report::ExperimentReport`]
+//! made of named [`series::Series`] (figures) and [`table::TextTable`]s
+//! (tables), which render both as aligned text for the console and as JSON
+//! for EXPERIMENTS.md bookkeeping.
+
+pub mod report;
+pub mod series;
+pub mod stats;
+pub mod table;
+pub mod timeline;
+
+pub use report::ExperimentReport;
+pub use series::Series;
+pub use stats::Summary;
+pub use table::TextTable;
+pub use timeline::Timeline;

@@ -1,0 +1,93 @@
+//! Summary statistics over repeated runs.
+//!
+//! The paper reports "the average of three test runs" (§V-B); [`Summary`]
+//! is that aggregation, with enough extra (std-dev, min/max) to judge run
+//! stability.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate of a set of samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise samples; empty input yields an all-zero summary with n=0.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, std_dev: var.sqrt(), min, max }
+    }
+}
+
+/// Percentage improvement of `candidate` over `baseline` where *smaller is
+/// better* (execution / recovery time): `(baseline - candidate) / baseline`.
+///
+/// Returns 0 for a non-positive baseline.
+pub fn improvement_pct(baseline: f64, candidate: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (baseline - candidate) / baseline * 100.0
+    }
+}
+
+/// Percentage slowdown of `candidate` relative to `baseline` (positive when
+/// candidate is slower).
+pub fn slowdown_pct(baseline: f64, candidate: f64) -> f64 {
+    -improvement_pct(baseline, candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn improvement_direction() {
+        // Candidate twice as fast: 50% improvement.
+        assert!((improvement_pct(100.0, 50.0) - 50.0).abs() < 1e-12);
+        // Candidate slower: negative improvement, positive slowdown.
+        assert!(improvement_pct(100.0, 150.0) < 0.0);
+        assert!((slowdown_pct(100.0, 150.0) - 50.0).abs() < 1e-12);
+        assert_eq!(improvement_pct(0.0, 5.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(samples in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let s = Summary::of(&samples);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.std_dev >= 0.0);
+        }
+    }
+}

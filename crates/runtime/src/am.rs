@@ -1,0 +1,506 @@
+//! The ApplicationMaster: scheduling, failure detection, and recovery.
+//!
+//! One `JobRunner` drives one job: it launches map/reduce attempts as
+//! threads, consumes their events, injects planned faults, detects node
+//! failures after the liveness timeout, and recovers according to the
+//! configured [`alm_types::RecoveryMode`]:
+//!
+//! * **Baseline** (stock YARN): failed tasks are re-launched from scratch;
+//!   lost MOFs are only re-executed after enough reducers *report* fetch
+//!   failures — which is exactly how a single node crash snowballs into
+//!   temporal and spatial failure amplification.
+//! * **ALG/SFM/SFM+ALG**: Algorithm 1 — proactive high-priority map
+//!   regeneration (reducers wait instead of failing), local log-resume
+//!   relaunches, and speculative FCM-mode migration.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use alm_core::{schedule_recovery, ExecMode, PolicyCtx, SchedAction};
+use alm_types::{AttemptId, FailureKind, FailureReport, NodeId, TaskId};
+
+use crate::cluster::MiniCluster;
+use crate::events::TaskEvent;
+use crate::faults::{Fault, FaultPlan};
+use crate::job::JobDef;
+use crate::maptask::{run_map, MapCtx};
+use crate::reducetask::{run_reduce, ReduceCtx};
+use crate::registry::MofRegistry;
+use crate::report::{FailureEvent, JobReport};
+
+/// How many distinct fetch-failure reports against one map make baseline
+/// YARN declare the MOF lost and re-execute the map.
+const BASELINE_FETCH_REPORTS_TO_REEXECUTE: u32 = 3;
+
+/// Hard wall-clock cap per job run (the runtime is test-scaled; a healthy
+/// run finishes in well under a second).
+const JOB_WALL_CAP: Duration = Duration::from_secs(60);
+
+struct TaskState {
+    completed: bool,
+    attempts: u32,
+    /// Running attempts: attempt -> (node, mode, cancel flag).
+    running: HashMap<AttemptId, (NodeId, ExecMode, Arc<AtomicBool>)>,
+    /// Reduce only: attempts made per node (Algorithm 1's limit_local).
+    attempts_on_node: HashMap<NodeId, u32>,
+}
+
+impl TaskState {
+    fn new() -> TaskState {
+        TaskState { completed: false, attempts: 0, running: HashMap::new(), attempts_on_node: HashMap::new() }
+    }
+}
+
+/// Drives one job to completion (or failure) on a mini-cluster.
+pub struct JobRunner {
+    cluster: Arc<MiniCluster>,
+    job: Arc<JobDef>,
+    faults: FaultPlan,
+    registry: Arc<MofRegistry>,
+    events_tx: Sender<TaskEvent>,
+    events_rx: Receiver<TaskEvent>,
+    epoch: Instant,
+    maps: Vec<TaskState>,
+    reduces: Vec<TaskState>,
+    fetch_reports: HashMap<u32, u32>,
+    /// Distinct reporters per map (baseline needs reports from distinct
+    /// reducers, approximated by counting reports).
+    handled_node_failures: Vec<NodeId>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    report: JobReport,
+    rr_next: u32,
+    pending_crashes_ms: Vec<(NodeId, u64)>,
+    pending_crashes_progress: Vec<(NodeId, u32, f64)>,
+}
+
+impl JobRunner {
+    pub fn new(cluster: Arc<MiniCluster>, job: JobDef, faults: FaultPlan) -> JobRunner {
+        let (events_tx, events_rx) = unbounded();
+        let maps = (0..job.num_maps).map(|_| TaskState::new()).collect();
+        let reduces = (0..job.num_reduces).map(|_| TaskState::new()).collect();
+        let mut pending_crashes_ms = Vec::new();
+        let mut pending_crashes_progress = Vec::new();
+        for f in &faults.faults {
+            match f {
+                Fault::CrashNodeAtMs { node, at_ms } => pending_crashes_ms.push((*node, *at_ms)),
+                Fault::CrashNodeAtReduceProgress { node, reduce_index, at_progress } => {
+                    pending_crashes_progress.push((*node, *reduce_index, *at_progress))
+                }
+                Fault::KillTask { .. } => {}
+            }
+        }
+        JobRunner {
+            cluster,
+            job: Arc::new(job),
+            faults,
+            registry: Arc::new(MofRegistry::new()),
+            events_tx,
+            events_rx,
+            epoch: Instant::now(),
+            maps,
+            reduces,
+            fetch_reports: HashMap::new(),
+            handled_node_failures: Vec::new(),
+            threads: Vec::new(),
+            report: JobReport::default(),
+            rr_next: 0,
+            pending_crashes_ms,
+            pending_crashes_progress,
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn alm_enabled(&self) -> bool {
+        self.job.alm.mode.sfm_enabled()
+    }
+
+    /// Round-robin over alive nodes, optionally avoiding one.
+    fn pick_node(&mut self, avoid: Option<NodeId>) -> Option<NodeId> {
+        let n = self.cluster.nodes.len() as u32;
+        for _ in 0..n {
+            let id = NodeId(self.rr_next % n);
+            self.rr_next += 1;
+            if !self.cluster.node(id).is_alive() {
+                continue;
+            }
+            if avoid == Some(id) && self.cluster.alive_nodes().len() > 1 {
+                continue;
+            }
+            return Some(id);
+        }
+        None
+    }
+
+    fn launch_map(&mut self, task: TaskId, on: Option<NodeId>) {
+        debug_assert!(task.is_map());
+        let idx = task.index as usize;
+        if self.maps[idx].completed && on.is_none() {
+            return;
+        }
+        let Some(node_id) = on.or_else(|| self.pick_node(None)) else {
+            return;
+        };
+        let state = &mut self.maps[idx];
+        let attempt = task.attempt(state.attempts);
+        state.attempts += 1;
+        self.report.map_attempts += 1;
+        let cancelled = Arc::new(AtomicBool::new(false));
+        state.running.insert(attempt, (node_id, ExecMode::Regular, cancelled.clone()));
+        let ctx = MapCtx {
+            job: self.job.clone(),
+            attempt,
+            node: self.cluster.node(node_id).clone(),
+            events: self.events_tx.clone(),
+            config: self.cluster.config.clone(),
+            kill_at: self.faults.kill_point(task, attempt.number),
+            cancelled,
+        };
+        self.threads.push(std::thread::spawn(move || run_map(ctx)));
+    }
+
+    fn launch_reduce(&mut self, task: TaskId, on: Option<NodeId>, avoid: Option<NodeId>, mode: ExecMode) {
+        debug_assert!(task.is_reduce());
+        let idx = task.index as usize;
+        if self.reduces[idx].completed {
+            return;
+        }
+        let Some(node_id) = on.or_else(|| self.pick_node(avoid)) else {
+            return;
+        };
+        let state = &mut self.reduces[idx];
+        let attempt = task.attempt(state.attempts);
+        state.attempts += 1;
+        *state.attempts_on_node.entry(node_id).or_insert(0) += 1;
+        self.report.reduce_attempts += 1;
+        if mode == ExecMode::Fcm {
+            self.report.fcm_attempts += 1;
+        }
+        let cancelled = Arc::new(AtomicBool::new(false));
+        state.running.insert(attempt, (node_id, mode, cancelled.clone()));
+        let nodes = Arc::new(self.cluster.nodes.clone());
+        let ctx = ReduceCtx {
+            job: self.job.clone(),
+            attempt,
+            node: self.cluster.node(node_id).clone(),
+            nodes,
+            dfs: self.cluster.dfs.clone(),
+            registry: self.registry.clone(),
+            events: self.events_tx.clone(),
+            config: self.cluster.config.clone(),
+            kill_at: self.faults.kill_point(task, attempt.number),
+            mode,
+            cancelled,
+            epoch: self.epoch,
+        };
+        self.threads.push(std::thread::spawn(move || run_reduce(ctx)));
+    }
+
+    fn record_failure(&mut self, attempt: AttemptId, kind: FailureKind) {
+        self.report.failures.push(FailureEvent {
+            at_ms: self.now_ms(),
+            task: attempt.task,
+            attempt_number: attempt.number,
+            kind,
+        });
+    }
+
+    /// Count of running FCM attempts across the job (Algorithm 1 line 16).
+    fn fcm_running(&self) -> usize {
+        self.reduces
+            .iter()
+            .flat_map(|t| t.running.values())
+            .filter(|(_, m, _)| *m == ExecMode::Fcm)
+            .count()
+    }
+
+    fn execute_actions(&mut self, actions: Vec<SchedAction>) {
+        for a in actions {
+            match a {
+                SchedAction::LaunchMap { task, high_priority: _ } => {
+                    // High priority in this engine = launched immediately
+                    // (threads start at once) and marked regenerating so
+                    // reducers wait instead of failing.
+                    self.registry.mark_regenerating(task.index);
+                    self.maps[task.index as usize].completed = false;
+                    self.launch_map(task, None);
+                }
+                SchedAction::RelaunchReduceOnOrigin { task, node } => {
+                    self.launch_reduce(task, Some(node), None, ExecMode::Regular);
+                }
+                SchedAction::LaunchSpeculativeReduce { task, mode, avoid } => {
+                    self.launch_reduce(task, None, avoid, mode);
+                }
+            }
+        }
+    }
+
+    fn handle_task_failure(&mut self, attempt: AttemptId, node: NodeId, kind: FailureKind) {
+        let task = attempt.task;
+        self.record_failure(attempt, kind);
+        // Drop the dead attempt from the running set.
+        let state =
+            if task.is_map() { &mut self.maps[task.index as usize] } else { &mut self.reduces[task.index as usize] };
+        state.running.remove(&attempt);
+        if state.completed {
+            return;
+        }
+
+        if self.alm_enabled() {
+            let mut report = FailureReport::task_failure(node, kind, task);
+            report.node_alive = self.cluster.node(node).is_alive();
+            let mut ctx = PolicyCtx::new(&self.job.alm, self.fcm_running());
+            if task.is_reduce() {
+                let st = &self.reduces[task.index as usize];
+                ctx.attempts_on_source_node.insert(task, st.attempts_on_node.get(&node).copied().unwrap_or(0));
+                ctx.running_attempts.insert(task, st.running.len() as u32);
+            }
+            let actions = schedule_recovery(&report, &ctx);
+            self.execute_actions(actions);
+        } else {
+            // Baseline: plain re-execution on some healthy node.
+            if task.is_map() {
+                self.launch_map(task, None);
+            } else {
+                self.launch_reduce(task, None, None, ExecMode::Regular);
+            }
+        }
+    }
+
+    fn handle_node_failure(&mut self, node: NodeId) {
+        self.handled_node_failures.push(node);
+        // Attempts running on the dead node died silently; fail them now.
+        let mut dead_attempts: Vec<(AttemptId, ExecMode)> = Vec::new();
+        for table in [&mut self.maps, &mut self.reduces] {
+            for st in table.iter_mut() {
+                let doomed: Vec<AttemptId> = st
+                    .running
+                    .iter()
+                    .filter(|(_, (n, _, _))| *n == node)
+                    .map(|(a, _)| *a)
+                    .collect();
+                for a in doomed {
+                    let (_, mode, _) = st.running.remove(&a).unwrap();
+                    if !st.completed {
+                        dead_attempts.push((a, mode));
+                    }
+                }
+            }
+        }
+        for (a, _) in &dead_attempts {
+            self.record_failure(*a, FailureKind::NodeCrash);
+        }
+
+        let lost_mofs: Vec<u32> = self.registry.mofs_on_node(node);
+
+        if self.alm_enabled() {
+            let running_tasks: Vec<TaskId> = dead_attempts.iter().map(|(a, _)| a.task).collect();
+            let lost_map_tasks: Vec<TaskId> = if self.job.alm.proactive_map_regen {
+                lost_mofs.iter().map(|&m| self.job.map_task(m)).collect()
+            } else {
+                // Ablation: only maps that were actually *running* there.
+                Vec::new()
+            };
+            let report = FailureReport::node_crash(node, running_tasks, lost_map_tasks);
+            let mut ctx = PolicyCtx::new(&self.job.alm, self.fcm_running());
+            for r in &report.failed_reduces {
+                let st = &self.reduces[r.index as usize];
+                ctx.attempts_on_source_node.insert(*r, st.attempts_on_node.get(&node).copied().unwrap_or(0));
+                ctx.running_attempts.insert(*r, st.running.len() as u32);
+            }
+            let actions = schedule_recovery(&report, &ctx);
+            self.execute_actions(actions);
+        } else {
+            // Baseline YARN: relaunch only the tasks that were *running* on
+            // the node. Lost MOFs are rediscovered the painful way, through
+            // reducers' fetch-failure reports.
+            for (a, _) in dead_attempts {
+                if a.task.is_map() {
+                    self.maps[a.task.index as usize].completed = false;
+                    self.launch_map(a.task, None);
+                } else {
+                    self.launch_reduce(a.task, None, None, ExecMode::Regular);
+                }
+            }
+        }
+    }
+
+    fn handle_fetch_failure(&mut self, _reducer: AttemptId, map_index: u32, source: NodeId) {
+        let count = self.fetch_reports.entry(map_index).or_insert(0);
+        *count += 1;
+        let count = *count;
+        if self.alm_enabled() {
+            // With proactive regeneration this rarely triggers (reducers
+            // wait on regenerating MOFs); if it does (regen disabled or
+            // raced), regenerate immediately.
+            if !self.registry.is_regenerating(map_index) && !self.cluster.node(source).is_alive() {
+                self.registry.mark_regenerating(map_index);
+                self.maps[map_index as usize].completed = false;
+                self.launch_map(self.job.map_task(map_index), None);
+            }
+        } else if count == BASELINE_FETCH_REPORTS_TO_REEXECUTE {
+            // Baseline: enough reports finally convince the AM the MOF is
+            // gone; re-execute the map (normal priority).
+            self.fetch_reports.remove(&map_index);
+            self.maps[map_index as usize].completed = false;
+            self.launch_map(self.job.map_task(map_index), None);
+        }
+    }
+
+    /// Cancel every running attempt of a task except `keep`.
+    fn cancel_others(&mut self, task: TaskId, keep: AttemptId) {
+        let state =
+            if task.is_map() { &mut self.maps[task.index as usize] } else { &mut self.reduces[task.index as usize] };
+        for (a, (_, _, cancel)) in state.running.iter() {
+            if *a != keep {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        }
+        state.running.clear();
+    }
+
+    fn check_time_faults(&mut self) {
+        let now = self.now_ms();
+        let due: Vec<NodeId> = self
+            .pending_crashes_ms
+            .iter()
+            .filter(|(_, at)| *at <= now)
+            .map(|(n, _)| *n)
+            .collect();
+        self.pending_crashes_ms.retain(|(_, at)| *at > now);
+        for n in due {
+            self.cluster.crash_node(n);
+        }
+    }
+
+    fn check_progress_faults(&mut self, reduce_index: u32, progress: f64) {
+        let due: Vec<NodeId> = self
+            .pending_crashes_progress
+            .iter()
+            .filter(|(_, r, p)| *r == reduce_index && progress >= *p)
+            .map(|(n, _, _)| *n)
+            .collect();
+        self.pending_crashes_progress.retain(|(_, r, p)| !(*r == reduce_index && progress >= *p));
+        for n in due {
+            self.cluster.crash_node(n);
+        }
+    }
+
+    fn check_node_detection(&mut self) {
+        let timeout = Duration::from_millis(self.cluster.config.node_liveness_timeout_ms);
+        let newly_dead: Vec<NodeId> = self
+            .cluster
+            .nodes
+            .iter()
+            .filter(|n| !n.is_alive() && !self.handled_node_failures.contains(&n.id))
+            .filter(|n| n.crashed_for().is_some_and(|d| d >= timeout))
+            .map(|n| n.id)
+            .collect();
+        for n in newly_dead {
+            self.handle_node_failure(n);
+        }
+    }
+
+    /// Run the job to completion; returns the report.
+    pub fn run(mut self) -> JobReport {
+        // Launch the first wave: all maps, then all reduces (reduces start
+        // shuffling as MOFs appear — the paper's map/reduce overlap).
+        for m in 0..self.job.num_maps {
+            self.launch_map(self.job.map_task(m), None);
+        }
+        for r in 0..self.job.num_reduces {
+            self.launch_reduce(self.job.reduce_task(r), None, None, ExecMode::Regular);
+        }
+
+        let started = Instant::now();
+        let mut succeeded = false;
+        loop {
+            if started.elapsed() > JOB_WALL_CAP {
+                break;
+            }
+            self.check_time_faults();
+            self.check_node_detection();
+
+            // Job-level failure: a task ran out of attempts with nothing running.
+            let exhausted = self
+                .reduces
+                .iter()
+                .chain(self.maps.iter())
+                .any(|t| !t.completed && t.running.is_empty() && t.attempts >= self.cluster.config.max_task_attempts);
+            if exhausted {
+                break;
+            }
+
+            let ev = match self.events_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(ev) => ev,
+                Err(_) => continue,
+            };
+            match ev {
+                TaskEvent::MapCompleted { attempt, node, mof } => {
+                    let st = &mut self.maps[attempt.task.index as usize];
+                    st.running.remove(&attempt);
+                    st.completed = true;
+                    self.registry.register(attempt.task.index, node, mof);
+                    self.cancel_others(attempt.task, attempt);
+                }
+                TaskEvent::ReduceCompleted { attempt, node: _, output_records } => {
+                    let idx = attempt.task.index;
+                    let st = &mut self.reduces[idx as usize];
+                    if !st.completed {
+                        st.completed = true;
+                        self.report.output_records.insert(idx, output_records);
+                    }
+                    st.running.remove(&attempt);
+                    self.cancel_others(attempt.task, attempt);
+                    if self.reduces.iter().all(|t| t.completed) {
+                        succeeded = true;
+                        break;
+                    }
+                }
+                TaskEvent::TaskFailed { attempt, node, kind } => {
+                    self.handle_task_failure(attempt, node, kind);
+                }
+                TaskEvent::FetchFailure { reducer, map_index, source } => {
+                    self.handle_fetch_failure(reducer, map_index, source);
+                }
+                TaskEvent::ReduceProgress { attempt, phase, progress } => {
+                    let overall = crate::reducetask::overall_progress(phase, progress);
+                    let now = self.now_ms();
+                    self.report
+                        .reduce_timeline
+                        .entry(attempt.task.index)
+                        .or_default()
+                        .push((now, overall));
+                    self.check_progress_faults(attempt.task.index, overall);
+                }
+                TaskEvent::MapProgress { .. } => {}
+            }
+        }
+
+        // Tear down: cancel all still-running attempts and reap threads.
+        for table in [&mut self.maps, &mut self.reduces] {
+            for st in table.iter_mut() {
+                for (_, (_, _, cancel)) in st.running.iter() {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+
+        self.report.succeeded = succeeded;
+        self.report.job_time_ms = self.now_ms();
+        self.report
+    }
+}
+
+/// Convenience: build + run.
+pub fn run_job(cluster: Arc<MiniCluster>, job: JobDef, faults: FaultPlan) -> JobReport {
+    JobRunner::new(cluster, job, faults).run()
+}

@@ -1,0 +1,111 @@
+//! Logical nodes and the mini-cluster.
+
+use alm_dfs::{DfsCluster, Topology};
+use alm_shuffle::MemFs;
+use alm_types::{NodeId, YarnConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One compute node: a local store, a liveness flag, and crash bookkeeping.
+pub struct NodeHandle {
+    pub id: NodeId,
+    pub fs: MemFs,
+    alive: AtomicBool,
+    /// When the node was crashed (for the AM's detection delay).
+    crashed_at: Mutex<Option<Instant>>,
+}
+
+impl NodeHandle {
+    fn new(id: NodeId) -> NodeHandle {
+        NodeHandle { id, fs: MemFs::new(), alive: AtomicBool::new(true), crashed_at: Mutex::new(None) }
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Crash the node: wipe its store (MOFs, spills, local logs all gone)
+    /// and stop heartbeating. Running task threads notice via
+    /// [`NodeHandle::is_alive`] at their next safe point and die silently.
+    pub fn crash(&self) {
+        if self.alive.swap(false, Ordering::AcqRel) {
+            self.fs.wipe();
+            *self.crashed_at.lock() = Some(Instant::now());
+        }
+    }
+
+    /// How long ago the node crashed, if it did.
+    pub fn crashed_for(&self) -> Option<std::time::Duration> {
+        self.crashed_at.lock().map(|t| t.elapsed())
+    }
+}
+
+/// The whole in-process cluster: nodes + DFS + configuration.
+pub struct MiniCluster {
+    pub nodes: Vec<Arc<NodeHandle>>,
+    pub dfs: Arc<DfsCluster>,
+    pub config: YarnConfig,
+}
+
+impl MiniCluster {
+    /// A cluster of `n` nodes over `racks` racks with the given config.
+    pub fn new(n: u32, racks: u32, config: YarnConfig) -> MiniCluster {
+        let topo = Topology::even(n, racks);
+        let dfs = Arc::new(DfsCluster::new(topo, config.dfs_block_size, config.dfs_replication));
+        let nodes = (0..n).map(|i| Arc::new(NodeHandle::new(NodeId(i)))).collect();
+        MiniCluster { nodes, dfs, config }
+    }
+
+    /// Test-scaled cluster (fast timeouts, small buffers).
+    pub fn for_tests(n: u32) -> MiniCluster {
+        MiniCluster::new(n, 2.min(n), YarnConfig::scaled_for_tests())
+    }
+
+    pub fn node(&self, id: NodeId) -> &Arc<NodeHandle> {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Crash a node everywhere: local store, DFS replicas, liveness.
+    pub fn crash_node(&self, id: NodeId) {
+        self.node(id).crash();
+        self.dfs.set_node_alive(id, false);
+    }
+
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.is_alive()).map(|n| n.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alm_shuffle::LocalFs;
+    use bytes::Bytes;
+
+    #[test]
+    fn crash_wipes_store_and_liveness() {
+        let c = MiniCluster::for_tests(3);
+        let n = c.node(NodeId(1));
+        n.fs.write("mof/x", Bytes::from_static(b"data")).unwrap();
+        assert!(n.is_alive());
+        assert!(n.crashed_for().is_none());
+        c.crash_node(NodeId(1));
+        assert!(!n.is_alive());
+        assert!(n.fs.read("mof/x").is_err());
+        assert!(n.crashed_for().is_some());
+        assert!(!c.dfs.is_node_alive(NodeId(1)));
+        assert_eq!(c.alive_nodes(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn double_crash_is_idempotent() {
+        let c = MiniCluster::for_tests(2);
+        c.crash_node(NodeId(0));
+        let t1 = c.node(NodeId(0)).crashed_for().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        c.crash_node(NodeId(0));
+        assert!(c.node(NodeId(0)).crashed_for().unwrap() >= t1, "crash time not reset");
+    }
+}

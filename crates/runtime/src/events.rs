@@ -1,0 +1,25 @@
+//! Events flowing from task threads to the ApplicationMaster.
+
+use alm_shuffle::MofData;
+use alm_types::{AttemptId, FailureKind, NodeId, ReducePhase};
+
+/// One message on the task → AM channel (the heartbeat/umbilical analogue).
+#[derive(Debug, Clone)]
+pub enum TaskEvent {
+    /// A MapTask attempt committed its MOF on `node`.
+    MapCompleted { attempt: AttemptId, node: NodeId, mof: MofData },
+    /// A ReduceTask attempt committed its final output.
+    ReduceCompleted { attempt: AttemptId, node: NodeId, output_records: u64 },
+    /// An attempt died with an error it could report (injected OOM, fetch
+    /// failure limit). Silent deaths (node crash) produce no event — the AM
+    /// discovers them via the liveness timeout.
+    TaskFailed { attempt: AttemptId, node: NodeId, kind: FailureKind },
+    /// A reducer failed to fetch map `map_index`'s MOF from `source`.
+    /// YARN uses these reports to eventually re-execute the map.
+    FetchFailure { reducer: AttemptId, map_index: u32, source: NodeId },
+    /// Periodic progress report from a reduce attempt (drives timelines,
+    /// progress-triggered fault injection, and straggler visibility).
+    ReduceProgress { attempt: AttemptId, phase: ReducePhase, progress: f64 },
+    /// Periodic progress report from a map attempt.
+    MapProgress { attempt: AttemptId, progress: f64 },
+}

@@ -1,0 +1,161 @@
+//! The MOF registry and shuffle fetch service.
+//!
+//! The AM-side registry maps each map index to the node and MOF of its
+//! latest successful attempt; reducers fetch partitions through
+//! [`try_fetch`], which distinguishes the three situations a reducer can
+//! meet (§II-C):
+//!
+//! * **NotReady** — the map hasn't committed yet (or SFM marked it as being
+//!   proactively regenerated, in which case the reducer *waits* instead of
+//!   burning fetch retries — the fix for failure amplification);
+//! * **Data** — the bytes arrived;
+//! * **SourceDead** — the MOF is registered but its host is gone: the
+//!   fetch-retry treadmill starts, and with baseline recovery eventually
+//!   kills the reducer.
+
+use alm_shuffle::MofData;
+use alm_types::NodeId;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::cluster::NodeHandle;
+
+/// Shared MOF location table.
+#[derive(Default)]
+pub struct MofRegistry {
+    inner: Mutex<HashMap<u32, (NodeId, MofData)>>,
+    /// Map indices whose MOFs are being proactively regenerated (SFM).
+    regenerating: Mutex<HashSet<u32>>,
+}
+
+impl MofRegistry {
+    pub fn new() -> MofRegistry {
+        MofRegistry::default()
+    }
+
+    /// Register (or replace, after re-execution) a map's MOF location.
+    pub fn register(&self, map_index: u32, node: NodeId, mof: MofData) {
+        self.inner.lock().insert(map_index, (node, mof));
+        self.regenerating.lock().remove(&map_index);
+    }
+
+    pub fn lookup(&self, map_index: u32) -> Option<(NodeId, MofData)> {
+        self.inner.lock().get(&map_index).cloned()
+    }
+
+    pub fn registered_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Map indices whose registered MOF lives on `node`.
+    pub fn mofs_on_node(&self, node: NodeId) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.inner.lock().iter().filter(|(_, (n, _))| *n == node).map(|(i, _)| *i).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mark a map's MOF as being regenerated; fetches return NotReady
+    /// instead of SourceDead until the new MOF registers.
+    pub fn mark_regenerating(&self, map_index: u32) {
+        self.regenerating.lock().insert(map_index);
+    }
+
+    pub fn is_regenerating(&self, map_index: u32) -> bool {
+        self.regenerating.lock().contains(&map_index)
+    }
+}
+
+/// Result of one fetch attempt.
+#[derive(Debug, Clone)]
+pub enum FetchOutcome {
+    /// The partition's bytes.
+    Data(Bytes),
+    /// Not available yet; wait without penalty.
+    NotReady,
+    /// Registered but unreachable: the host node is dead/wiped.
+    SourceDead { node: NodeId },
+}
+
+/// Fetch `partition` of map `map_index` for a reducer.
+pub fn try_fetch(
+    nodes: &[Arc<NodeHandle>],
+    registry: &MofRegistry,
+    map_index: u32,
+    partition: u32,
+) -> FetchOutcome {
+    let Some((node_id, mof)) = registry.lookup(map_index) else {
+        return FetchOutcome::NotReady;
+    };
+    let node = &nodes[node_id.0 as usize];
+    if !node.is_alive() {
+        if registry.is_regenerating(map_index) {
+            return FetchOutcome::NotReady;
+        }
+        return FetchOutcome::SourceDead { node: node_id };
+    }
+    match mof.read_partition(&node.fs, partition) {
+        Ok(data) => FetchOutcome::Data(data),
+        Err(_) => {
+            // Store wiped between liveness check and read, or MOF dropped.
+            if registry.is_regenerating(map_index) {
+                FetchOutcome::NotReady
+            } else {
+                FetchOutcome::SourceDead { node: node_id }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::MiniCluster;
+    use alm_shuffle::mof::write_mof;
+
+    fn mini() -> (MiniCluster, MofData) {
+        let c = MiniCluster::for_tests(3);
+        let mut p0 = Vec::new();
+        alm_shuffle::codec::encode_into(&mut p0, b"k", b"v");
+        let mof = write_mof(&c.node(NodeId(1)).fs, "mof/m0", vec![p0]).unwrap();
+        (c, mof)
+    }
+
+    #[test]
+    fn fetch_states() {
+        let (c, mof) = mini();
+        let reg = MofRegistry::new();
+        // Unregistered: not ready.
+        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::NotReady));
+        // Registered + alive: data.
+        reg.register(0, NodeId(1), mof);
+        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::Data(_)));
+        // Node crash: source dead.
+        c.crash_node(NodeId(1));
+        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::SourceDead { node } if node == NodeId(1)));
+        // SFM marks regenerating: reducers wait instead of failing.
+        reg.mark_regenerating(0);
+        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::NotReady));
+    }
+
+    #[test]
+    fn reregistration_clears_regenerating_and_redirects() {
+        let (c, mof) = mini();
+        let reg = MofRegistry::new();
+        reg.register(0, NodeId(1), mof);
+        c.crash_node(NodeId(1));
+        reg.mark_regenerating(0);
+
+        // Re-executed map commits on node 2.
+        let mut p0 = Vec::new();
+        alm_shuffle::codec::encode_into(&mut p0, b"k", b"v");
+        let mof2 = write_mof(&c.node(NodeId(2)).fs, "mof/m0r1", vec![p0]).unwrap();
+        reg.register(0, NodeId(2), mof2);
+        assert!(!reg.is_regenerating(0));
+        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::Data(_)));
+        assert_eq!(reg.mofs_on_node(NodeId(2)), vec![0]);
+        assert!(reg.mofs_on_node(NodeId(1)).is_empty());
+    }
+}

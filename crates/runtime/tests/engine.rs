@@ -1,0 +1,233 @@
+//! End-to-end tests of the threaded mini-YARN: every scenario checks both
+//! *liveness* (the job completes despite injected faults) and *safety*
+//! (committed output is byte-identical to the reference oracle's).
+
+use std::sync::Arc;
+
+use alm_runtime::am::run_job;
+use alm_runtime::{FaultPlan, JobDef, MiniCluster};
+use alm_types::{AlmConfig, JobId, NodeId, RecoveryMode, TaskId};
+use alm_workloads::reference::{canonicalize, reference_output};
+use alm_workloads::{Record, SecondarySort, Terasort, Wordcount, Workload};
+
+fn job(id: u32, workload: Arc<dyn Workload>, maps: u32, reduces: u32, mode: RecoveryMode) -> JobDef {
+    JobDef::new(JobId(id), workload, maps, reduces, 42, AlmConfig::with_mode(mode))
+}
+
+/// Read committed outputs back from the DFS and decode them.
+fn committed_outputs(cluster: &MiniCluster, job: &JobDef) -> Vec<Vec<Record>> {
+    (0..job.num_reduces)
+        .map(|r| {
+            let data = cluster
+                .dfs
+                .read(&job.output_path(r))
+                .unwrap_or_else(|e| panic!("partition {r} missing: {e}"));
+            let mut out = Vec::new();
+            let mut off = 0;
+            while let Some((k, v, next)) = alm_shuffle::codec::decode_at(&data, off).unwrap() {
+                out.push(Record::new(k.to_vec(), v.to_vec()));
+                off = next;
+            }
+            out
+        })
+        .collect()
+}
+
+fn assert_output_matches(cluster: &MiniCluster, jd: &JobDef) {
+    let got = committed_outputs(cluster, jd);
+    let expected = reference_output(jd.workload.as_ref(), jd.num_maps, jd.num_reduces, jd.seed);
+    assert_eq!(
+        canonicalize(&got),
+        canonicalize(&expected),
+        "engine output must equal the reference oracle's"
+    );
+}
+
+// ---------- failure-free correctness, all workloads, all modes ----------
+
+fn run_clean(workload: Arc<dyn Workload>, maps: u32, reduces: u32, mode: RecoveryMode, id: u32) {
+    let cluster = Arc::new(MiniCluster::for_tests(4));
+    let jd = job(id, workload, maps, reduces, mode);
+    let report = run_job(cluster.clone(), jd.clone(), FaultPlan::none());
+    assert!(report.succeeded, "failure-free job must succeed: {report:?}");
+    assert!(report.failures.is_empty());
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn terasort_clean_baseline() {
+    run_clean(Arc::new(Terasort::new(800)), 3, 4, RecoveryMode::Baseline, 1);
+}
+
+#[test]
+fn terasort_clean_sfm_alg() {
+    run_clean(Arc::new(Terasort::new(800)), 3, 4, RecoveryMode::SfmAlg, 2);
+}
+
+#[test]
+fn wordcount_clean_baseline() {
+    run_clean(Arc::new(Wordcount::new(4000, 20)), 3, 2, RecoveryMode::Baseline, 3);
+}
+
+#[test]
+fn wordcount_clean_alg() {
+    run_clean(Arc::new(Wordcount::new(4000, 20)), 3, 2, RecoveryMode::Alg, 4);
+}
+
+#[test]
+fn secondarysort_clean_baseline() {
+    run_clean(Arc::new(SecondarySort::new(700)), 2, 3, RecoveryMode::Baseline, 5);
+}
+
+#[test]
+fn secondarysort_clean_sfm_alg() {
+    run_clean(Arc::new(SecondarySort::new(700)), 2, 3, RecoveryMode::SfmAlg, 6);
+}
+
+// ---------- single task failures (Fig. 2 / Fig. 8 scenario) ----------
+
+#[test]
+fn map_oom_recovers_quickly_baseline() {
+    let cluster = Arc::new(MiniCluster::for_tests(4));
+    let jd = job(10, Arc::new(Terasort::new(600)), 4, 2, RecoveryMode::Baseline);
+    let plan = FaultPlan::kill_task(TaskId::map(JobId(10), 1), 0.5);
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded);
+    assert_eq!(report.failures.len(), 1);
+    assert!(report.map_attempts >= 5, "the failed map re-ran");
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn reduce_oom_recovers_baseline() {
+    let cluster = Arc::new(MiniCluster::for_tests(4));
+    let jd = job(11, Arc::new(Terasort::new(600)), 3, 2, RecoveryMode::Baseline);
+    let plan = FaultPlan::kill_task(TaskId::reduce(JobId(11), 0), 0.9);
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    assert!(report.failures.iter().any(|f| f.task == TaskId::reduce(JobId(11), 0)));
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn reduce_oom_resumes_from_logs_alg() {
+    let cluster = Arc::new(MiniCluster::for_tests(4));
+    let mut alm = AlmConfig::with_mode(RecoveryMode::Alg);
+    alm.logging_interval_ms = 1; // log eagerly so the resume path is exercised
+    let jd = JobDef::new(JobId(12), Arc::new(Terasort::new(1500)), 3, 2, 42, alm);
+    let plan = FaultPlan::kill_task(TaskId::reduce(JobId(12), 1), 0.9);
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn reduce_oom_all_workloads_sfm_alg() {
+    let workloads: Vec<(u32, Arc<dyn Workload>)> = vec![
+        (13, Arc::new(Terasort::new(700))),
+        (14, Arc::new(Wordcount::new(3000, 25))),
+        (15, Arc::new(SecondarySort::new(600))),
+    ];
+    for (id, w) in workloads {
+        let cluster = Arc::new(MiniCluster::for_tests(4));
+        let mut alm = AlmConfig::with_mode(RecoveryMode::SfmAlg);
+        alm.logging_interval_ms = 1;
+        let jd = JobDef::new(JobId(id), w, 3, 2, 42, alm);
+        let plan = FaultPlan::kill_task(TaskId::reduce(JobId(id), 0), 0.5);
+        let report = run_job(cluster.clone(), jd.clone(), plan);
+        assert!(report.succeeded, "job {id}: {report:?}");
+        assert_output_matches(&cluster, &jd);
+    }
+}
+
+// ---------- node crashes (Figs. 3/4/9/10, Table II scenario) ----------
+
+#[test]
+fn node_crash_baseline_recovers_with_amplification() {
+    let cluster = Arc::new(MiniCluster::for_tests(5));
+    let jd = job(20, Arc::new(Terasort::new(900)), 5, 3, RecoveryMode::Baseline);
+    // Crash node 1 once reduce 0 is mid-shuffle; its MOFs are lost.
+    let plan = FaultPlan::crash_node_at_reduce_progress(NodeId(1), 0, 0.05);
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    // Losing a node's MOFs must have caused at least one observable failure
+    // (fetch-failure preemptions and/or node-crash task deaths).
+    assert!(!report.failures.is_empty(), "baseline cannot hide a node loss");
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn node_crash_sfm_no_reduce_amplification() {
+    let cluster = Arc::new(MiniCluster::for_tests(5));
+    let jd = job(21, Arc::new(Terasort::new(900)), 5, 3, RecoveryMode::Sfm);
+    let plan = FaultPlan::crash_node_at_reduce_progress(NodeId(1), 0, 0.05);
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    // SFM's proactive regeneration means no healthy reducer is preempted
+    // for fetch failures: the only failures are tasks that died with the node.
+    assert!(
+        report.failures.iter().all(|f| f.kind == alm_types::FailureKind::NodeCrash),
+        "no fetch-failure amplification under SFM: {:?}",
+        report.failures
+    );
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn node_crash_sfm_alg_single_reducer_temporal_case() {
+    // The Fig. 10 scenario: Wordcount with one ReduceTask, node crash mid-
+    // reduce; SFM+ALG migrates with FCM and resumes from DFS logs.
+    let cluster = Arc::new(MiniCluster::for_tests(4));
+    let mut alm = AlmConfig::with_mode(RecoveryMode::SfmAlg);
+    alm.logging_interval_ms = 1;
+    let jd = JobDef::new(JobId(22), Arc::new(Wordcount::new(5000, 25)), 4, 1, 42, alm);
+    // Crash the reducer's own node: reduce 0 runs on some node; crash node 0
+    // at 50% reduce progress (node 0 hosts MOFs and possibly the reducer).
+    let plan = FaultPlan::crash_node_at_reduce_progress(NodeId(0), 0, 0.5);
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn multiple_concurrent_node_crashes_sfm() {
+    let cluster = Arc::new(MiniCluster::for_tests(6));
+    let jd = job(23, Arc::new(Terasort::new(600)), 4, 4, RecoveryMode::SfmAlg);
+    let plan = FaultPlan::crash_node_at_reduce_progress(NodeId(1), 0, 0.05)
+        .and(FaultPlan::crash_node_at_reduce_progress(NodeId(2), 1, 0.05));
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    assert_output_matches(&cluster, &jd);
+}
+
+#[test]
+fn fcm_attempts_launched_on_node_failure_sfm() {
+    let cluster = Arc::new(MiniCluster::for_tests(5));
+    let jd = job(24, Arc::new(Terasort::new(800)), 4, 2, RecoveryMode::Sfm);
+    // Crash a node hosting MOFs + possibly a reducer.
+    let plan = FaultPlan::crash_node_at_reduce_progress(NodeId(0), 0, 0.05);
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    if report.failures.iter().any(|f| f.task.is_reduce()) {
+        assert!(report.fcm_attempts > 0, "reduce recovery under SFM uses FCM mode");
+    }
+    assert_output_matches(&cluster, &jd);
+}
+
+// ---------- determinism / idempotence under duplicate attempts ----------
+
+#[test]
+fn speculative_duplicates_commit_identical_output() {
+    // SFM often runs a local resume AND an FCM migration concurrently; the
+    // first to finish wins, and output must be correct either way.
+    for seed in [1u64, 2, 3] {
+        let cluster = Arc::new(MiniCluster::for_tests(4));
+        let mut alm = AlmConfig::with_mode(RecoveryMode::SfmAlg);
+        alm.logging_interval_ms = 1;
+        let jd = JobDef::new(JobId(30 + seed as u32), Arc::new(Terasort::new(500)), 3, 2, seed, alm);
+        let plan = FaultPlan::kill_task(TaskId::reduce(jd.id, 0), 0.4);
+        let report = run_job(cluster.clone(), jd.clone(), plan);
+        assert!(report.succeeded, "seed {seed}: {report:?}");
+        assert_output_matches(&cluster, &jd);
+    }
+}

@@ -1,0 +1,49 @@
+//! Data-plane errors.
+
+use std::fmt;
+
+/// Errors raised by the shuffle/merge pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleError {
+    /// A path was not found in the node-local filesystem (e.g. wiped by a
+    /// simulated node crash).
+    NotFound(String),
+    /// A segment's bytes did not decode as the record wire format.
+    Corrupt(String),
+    /// A fetch against a remote MOF failed (source node dead or MOF gone).
+    /// This is the error class whose repetition drives the paper's failure
+    /// amplification.
+    FetchFailed { source: String, reason: String },
+    /// Programmer error surfaced as a result (invalid partition index etc.).
+    Invalid(String),
+}
+
+impl fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShuffleError::NotFound(p) => write!(f, "not found: {p}"),
+            ShuffleError::Corrupt(m) => write!(f, "corrupt segment: {m}"),
+            ShuffleError::FetchFailed { source, reason } => {
+                write!(f, "fetch from {source} failed: {reason}")
+            }
+            ShuffleError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShuffleError {}
+
+pub type Result<T> = std::result::Result<T, ShuffleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_payload() {
+        let e = ShuffleError::FetchFailed { source: "node003".into(), reason: "connection refused".into() };
+        let s = e.to_string();
+        assert!(s.contains("node003") && s.contains("connection refused"));
+        assert!(ShuffleError::NotFound("x/y".into()).to_string().contains("x/y"));
+    }
+}

@@ -1,0 +1,53 @@
+//! The MapReduce data plane, reimplemented from scratch (§II-A of the
+//! paper): everything between a map function's `emit` and a reduce
+//! function's `values` iterator.
+//!
+//! * [`localfs`] — node-local storage abstraction (in-memory filesystem)
+//!   holding spills, MOFs and analytics logs; a node crash wipes it.
+//! * [`codec`] — the length-prefixed record wire format.
+//! * [`segment`] — sorted runs: [`segment::SegmentReader`] decodes a run
+//!   record-by-record and is *offset-resumable*, which is what makes the
+//!   paper's reduce-stage analytics logs (file path + offset per MPQ entry,
+//!   Fig. 6) sufficient to reconstruct a half-consumed merge.
+//! * [`kvbuffer`] — the map-side sort buffer with spill-and-merge, producing
+//!   a Map Output File.
+//! * [`mof`] — the MOF: one data blob plus a per-partition index.
+//! * [`mpq`] — the Minimum Priority Queue: a comparator-driven k-way merge
+//!   heap over segment readers, snapshottable for logging.
+//! * [`merger`] — merge execution (with optional combiner) and merge
+//!   planning down to `io.sort.factor` inputs.
+//! * [`fetcher`] — the reduce-side shuffle buffers: in-memory vs on-disk
+//!   segment management with the in-memory merge flush ALG piggybacks on.
+
+pub mod codec;
+pub mod error;
+pub mod fetcher;
+pub mod kvbuffer;
+pub mod localfs;
+pub mod merger;
+pub mod mof;
+pub mod mpq;
+pub mod segment;
+
+pub use error::ShuffleError;
+pub use fetcher::ReduceBuffers;
+pub use kvbuffer::MapOutputBuffer;
+pub use localfs::{LocalFs, MemFs};
+pub use mof::MofData;
+pub use mpq::{MergeQueue, MpqEntry, SortedRun};
+pub use segment::{SegmentReader, SegmentSource};
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Key comparator used throughout the pipeline. Byte-wise for Terasort and
+/// Wordcount; composite for Secondarysort.
+pub type KeyCmp = Arc<dyn Fn(&[u8], &[u8]) -> Ordering + Send + Sync>;
+
+/// Map-side combiner: fold one key's values into a single value.
+pub type Combiner = Arc<dyn Fn(&[u8], &[Vec<u8>]) -> Option<Vec<u8>> + Send + Sync>;
+
+/// The plain byte-wise comparator.
+pub fn bytewise_cmp() -> KeyCmp {
+    Arc::new(|a: &[u8], b: &[u8]| a.cmp(b))
+}

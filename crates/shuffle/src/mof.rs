@@ -1,0 +1,125 @@
+//! Map Output Files.
+//!
+//! A MOF is the committed output of one MapTask attempt: a single data
+//! blob containing every reduce partition's sorted run back-to-back, plus
+//! an index of `(offset, len)` per partition (§II-A: "A MOF contains
+//! multiple partitions, one per ReduceTask"). MOFs live on the map-side
+//! node's local store; losing that node loses the MOFs — the root cause
+//! chain of the paper's failure amplification.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, ShuffleError};
+use crate::localfs::LocalFs;
+
+/// Handle to a committed MOF.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MofData {
+    /// Path of the data blob on the producing node's local store.
+    pub path: String,
+    /// Per-partition `(offset, len)` into the blob.
+    pub index: Vec<(u64, u64)>,
+}
+
+impl MofData {
+    pub fn num_partitions(&self) -> u32 {
+        self.index.len() as u32
+    }
+
+    /// Bytes of one partition (zero for an empty partition).
+    pub fn partition_len(&self, partition: u32) -> u64 {
+        self.index.get(partition as usize).map_or(0, |&(_, len)| len)
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.index.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Read one partition's sorted run from the producing node's store.
+    /// Fails if the partition index is out of range or the store lost the
+    /// blob (node crash).
+    pub fn read_partition(&self, fs: &dyn LocalFs, partition: u32) -> Result<Bytes> {
+        let &(off, len) = self
+            .index
+            .get(partition as usize)
+            .ok_or_else(|| ShuffleError::Invalid(format!("partition {partition} out of range")))?;
+        let blob = fs.read(&self.path)?;
+        let (off, len) = (off as usize, len as usize);
+        if off + len > blob.len() {
+            return Err(ShuffleError::Corrupt(format!(
+                "MOF index points past blob end ({} + {} > {})",
+                off,
+                len,
+                blob.len()
+            )));
+        }
+        Ok(blob.slice(off..off + len))
+    }
+}
+
+/// Assemble and commit a MOF from per-partition encoded sorted runs.
+pub fn write_mof(fs: &dyn LocalFs, path: &str, partitions: Vec<Vec<u8>>) -> Result<MofData> {
+    let mut blob = Vec::with_capacity(partitions.iter().map(Vec::len).sum());
+    let mut index = Vec::with_capacity(partitions.len());
+    for part in &partitions {
+        index.push((blob.len() as u64, part.len() as u64));
+        blob.extend_from_slice(part);
+    }
+    fs.write(path, Bytes::from(blob))?;
+    Ok(MofData { path: path.to_string(), index })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+    use crate::localfs::MemFs;
+
+    fn encoded(pairs: &[(&str, &str)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, v) in pairs {
+            codec::encode_into(&mut out, k.as_bytes(), v.as_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn write_and_read_partitions() {
+        let fs = MemFs::new();
+        let p0 = encoded(&[("a", "1")]);
+        let p1 = Vec::new(); // empty partition
+        let p2 = encoded(&[("b", "2"), ("c", "3")]);
+        let mof = write_mof(&fs, "mof/m0", vec![p0.clone(), p1, p2.clone()]).unwrap();
+        assert_eq!(mof.num_partitions(), 3);
+        assert_eq!(mof.partition_len(1), 0);
+        assert_eq!(mof.total_bytes(), (p0.len() + p2.len()) as u64);
+        assert_eq!(&mof.read_partition(&fs, 0).unwrap()[..], &p0[..]);
+        assert!(mof.read_partition(&fs, 1).unwrap().is_empty());
+        assert_eq!(&mof.read_partition(&fs, 2).unwrap()[..], &p2[..]);
+    }
+
+    #[test]
+    fn out_of_range_partition_rejected() {
+        let fs = MemFs::new();
+        let mof = write_mof(&fs, "mof/m0", vec![encoded(&[("a", "1")])]).unwrap();
+        assert!(matches!(mof.read_partition(&fs, 5), Err(ShuffleError::Invalid(_))));
+        assert_eq!(mof.partition_len(5), 0);
+    }
+
+    #[test]
+    fn node_crash_loses_mof() {
+        let fs = MemFs::new();
+        let mof = write_mof(&fs, "mof/m0", vec![encoded(&[("a", "1")])]).unwrap();
+        fs.wipe();
+        assert!(mof.read_partition(&fs, 0).is_err());
+    }
+
+    #[test]
+    fn corrupt_index_detected() {
+        let fs = MemFs::new();
+        fs.write("m", Bytes::from_static(b"short")).unwrap();
+        let mof = MofData { path: "m".into(), index: vec![(0, 100)] };
+        assert!(matches!(mof.read_partition(&fs, 0), Err(ShuffleError::Corrupt(_))));
+    }
+}

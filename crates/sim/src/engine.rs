@@ -1,0 +1,1780 @@
+//! The simulation engine.
+//!
+//! One [`Simulation`] runs one job on the modelled cluster. Nodes expose
+//! four equal-share resources (disk, NIC-in, NIC-out, CPU) plus one shared
+//! uplink per rack; tasks are state machines whose phase transitions are
+//! driven by flow completions and timers from the `alm-des` kernel. The
+//! recovery policies are the *same code* the threaded runtime uses
+//! (`alm_core::schedule_recovery`), so the amplification dynamics emerge
+//! from mechanism, not curve fitting:
+//!
+//! * baseline reducers hammer fetch retries against lost MOFs, fail with
+//!   `FetchFailureLimit`, and only after enough reports does the AM
+//!   re-execute the map — temporal + spatial amplification;
+//! * ALM marks lost MOFs as regenerating (reducers wait), relaunches maps
+//!   at high priority, resumes reducers from logged progress, and migrates
+//!   with in-memory fast collective merging.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use alm_core::{schedule_recovery, ExecMode, PolicyCtx, SchedAction};
+use alm_des::{EventQueue, EventToken, FlowId, FlowPool, SimDuration};
+use alm_types::{AttemptId, FailureKind, FailureReport, JobId, NodeId, TaskId};
+
+use crate::quantities::Quantities;
+use crate::spec::{ExperimentEnv, SimFault, SimJobSpec};
+use crate::trace::{SimFailure, SimReport};
+
+/// Hadoop's `mapreduce.reduce.shuffle.parallelcopies`.
+const MAX_PARALLEL_FETCHES: usize = 5;
+/// Spill granularity during shuffle.
+const SPILL_FLOW_BYTES: u64 = 256 << 20;
+/// Progress-sampling / trigger-checking cadence.
+const SAMPLE_EVERY_NS: u64 = 1_000_000_000;
+/// FCM synchronisation overhead before the pipeline starts (§V-B notes the
+/// extra coordination cost of FCM).
+const FCM_SYNC_SECS: f64 = 1.5;
+/// Hard cap on simulated events (runaway guard).
+const MAX_EVENTS: u64 = 50_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PoolRef {
+    Disk(u32),
+    NicIn(u32),
+    NicOut(u32),
+    Uplink(u32),
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    PoolWake(PoolRef),
+    LaunchDone(AttemptId),
+    FetchRetry { attempt: AttemptId, map: u32 },
+    CpuDone { attempt: AttemptId, gen: u32 },
+    FcmWaitTimeout { attempt: AttemptId, gen: u32 },
+    DetectNode(u32),
+    FcmStart(AttemptId),
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Purpose {
+    MapRead,
+    MapWrite,
+    /// Stage 1 of a fetch: the source node's disk serves the chunk.
+    FetchRead { map: u32, source: u32 },
+    /// Stage 2 of a fetch: the chunk crosses the network.
+    Fetch { map: u32, source: u32 },
+    Spill,
+    MergePass,
+    ReduceRead,
+    Output,
+    FcmLocal { source: u32 },
+    FcmNet { source: u32 },
+}
+
+struct FlowInfo {
+    attempt: AttemptId,
+    purpose: Purpose,
+    pool: PoolRef,
+}
+
+/// A queued reduce attempt: `(task, pinned node, avoided node, mode,
+/// drop_if_pin_unavailable)`. SFM's local-resume attempts are dropped when
+/// their pinned node is gone (the speculative attempt covers recovery);
+/// ALG-only relaunches fall back to any node instead.
+type QueuedReduce = (TaskId, Option<u32>, Option<u32>, ExecMode, bool);
+
+struct SimNode {
+    alive: bool,
+    rack: u32,
+    map_slots_free: u32,
+    reduce_slots_free: u32,
+}
+
+struct MapTask {
+    completed: bool,
+    /// Whether the task has EVER completed (regeneration resets
+    /// `completed` but not this) — drives first-wave accounting.
+    ever_completed: bool,
+    attempts: u32,
+    kill_at: Option<f64>,
+}
+
+struct MapAtt {
+    node: u32,
+    phase: MapPhase,
+    dead: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MapPhase {
+    Launching,
+    Reading,
+    Cpu,
+    Writing,
+}
+
+struct RedTask {
+    completed: bool,
+    attempts: u32,
+    kill_at: Option<f64>,
+    attempts_on_node: HashMap<u32, u32>,
+    running: Vec<AttemptId>,
+    /// Last ALG-logged snapshot (None until first log).
+    logged: Option<LoggedState>,
+}
+
+#[derive(Debug, Clone)]
+struct LoggedState {
+    node: u32,
+    fetched: BTreeSet<u32>,
+    merge_done: bool,
+    /// Fraction of reduce-stage work whose results are durable on the DFS.
+    reduce_frac: f64,
+}
+
+struct RedAtt {
+    node: u32,
+    mode: ExecMode,
+    phase: RedPhase,
+    pending: BTreeSet<u32>,
+    active_fetches: HashMap<FlowId, u32>,
+    fetched: BTreeSet<u32>,
+    retry: HashMap<u32, u32>,
+    flows: HashSet<FlowId>,
+    spill_debt: u64,
+    spill_emitted: u64,
+    spill_outstanding: usize,
+    merge_rounds_left: u32,
+    /// Fraction of reduce-stage work skipped thanks to ALG logs.
+    resume_reduce_frac: f64,
+    /// Total CPU seconds of the reduce stage (reduce fn + deserialization).
+    reduce_cpu_secs: f64,
+    /// CPU timer of the current reduce/FCM phase.
+    cpu_done: bool,
+    cpu_start: f64,
+    cpu_dur: f64,
+    /// Phase generation: stale CPU timers from an interrupted phase are
+    /// ignored by comparing this.
+    gen: u32,
+    last_log_secs: f64,
+    dead: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RedPhase {
+    Launching,
+    Shuffle,
+    Merge,
+    Reduce,
+    FcmWait,
+    Fcm,
+}
+
+/// One simulated job run.
+pub struct Simulation {
+    q: EventQueue<Ev>,
+    pools: HashMap<PoolRef, (FlowPool, Option<EventToken>)>,
+    flows: HashMap<FlowId, FlowInfo>,
+    next_flow: u64,
+    nodes: Vec<SimNode>,
+    env: ExperimentEnv,
+    qty: Quantities,
+    maps: Vec<MapTask>,
+    reduces: Vec<RedTask>,
+    map_atts: HashMap<AttemptId, MapAtt>,
+    red_atts: HashMap<AttemptId, RedAtt>,
+    mof_loc: HashMap<u32, u32>,
+    regenerating: HashSet<u32>,
+    fetch_reports: HashMap<u32, u32>,
+    queued_maps: VecDeque<TaskId>,
+    queued_reduces: VecDeque<QueuedReduce>,
+    reduces_dispatched: bool,
+    maps_done_once: u32,
+    dead_pending: Vec<(u32, Vec<AttemptId>)>,
+    faults_time: Vec<(u32, f64)>,
+    faults_progress: Vec<(u32, u32, f64)>,
+    report: SimReport,
+    rr: u32,
+    failed: bool,
+    job: JobId,
+}
+
+impl Simulation {
+    pub fn new(spec: SimJobSpec, env: ExperimentEnv, faults: Vec<SimFault>) -> Simulation {
+        let model = spec.workload.model();
+        let qty = Quantities::derive(&spec, &model, &env.yarn);
+        let workers = env.cluster.worker_nodes();
+        let racks = env.cluster.racks.max(1);
+        let nodes: Vec<SimNode> = (0..workers)
+            .map(|n| SimNode {
+                alive: true,
+                rack: n % racks,
+                map_slots_free: env.cluster.map_slots_per_node,
+                reduce_slots_free: env.cluster.reduce_slots_per_node,
+            })
+            .collect();
+        let mut pools = HashMap::new();
+        for n in 0..workers {
+            pools.insert(PoolRef::Disk(n), (FlowPool::new(env.cluster.disk_read_bandwidth), None));
+            pools.insert(PoolRef::NicIn(n), (FlowPool::new(env.cluster.nic_bandwidth), None));
+            pools.insert(PoolRef::NicOut(n), (FlowPool::new(env.cluster.nic_bandwidth), None));
+        }
+        for r in 0..racks {
+            pools.insert(PoolRef::Uplink(r), (FlowPool::new(env.cluster.rack_uplink_bandwidth), None));
+        }
+
+        let mut maps: Vec<MapTask> =
+            (0..qty.num_maps).map(|_| MapTask { completed: false, ever_completed: false, attempts: 0, kill_at: None }).collect();
+        let mut reduces: Vec<RedTask> = (0..qty.num_reduces)
+            .map(|_| RedTask {
+                completed: false,
+                attempts: 0,
+                kill_at: None,
+                attempts_on_node: HashMap::new(),
+                running: Vec::new(),
+                logged: None,
+            })
+            .collect();
+
+        let mut faults_time = Vec::new();
+        let mut faults_progress = Vec::new();
+        for f in &faults {
+            match f {
+                SimFault::KillReduceAtProgress { reduce_index, at_progress } => {
+                    if let Some(r) = reduces.get_mut(*reduce_index as usize) {
+                        r.kill_at = Some(*at_progress);
+                    }
+                }
+                SimFault::KillMapAtProgress { map_index, at_progress } => {
+                    if let Some(m) = maps.get_mut(*map_index as usize) {
+                        m.kill_at = Some(*at_progress);
+                    }
+                }
+                SimFault::CrashNodeAtSecs { node, at_secs } => faults_time.push((*node, *at_secs)),
+                SimFault::CrashNodeAtReduceProgress { node, reduce_index, at_progress } => {
+                    faults_progress.push((*node, *reduce_index, *at_progress))
+                }
+            }
+        }
+
+        Simulation {
+            q: EventQueue::new(),
+            pools,
+            flows: HashMap::new(),
+            next_flow: 0,
+            nodes,
+            env,
+            qty,
+            maps,
+            reduces,
+            map_atts: HashMap::new(),
+            red_atts: HashMap::new(),
+            mof_loc: HashMap::new(),
+            regenerating: HashSet::new(),
+            fetch_reports: HashMap::new(),
+            queued_maps: VecDeque::new(),
+            queued_reduces: VecDeque::new(),
+            reduces_dispatched: false,
+            maps_done_once: 0,
+            dead_pending: Vec::new(),
+            faults_time,
+            faults_progress,
+            report: SimReport::default(),
+            rr: 0,
+            failed: false,
+            job: JobId(0),
+        }
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.q.now().as_secs_f64()
+    }
+
+    // ---------------- pools and flows ----------------
+
+    fn reschedule_pool(&mut self, p: PoolRef) {
+        let (pool, wake) = self.pools.get_mut(&p).expect("pool exists");
+        if let Some(tok) = wake.take() {
+            self.q.cancel(tok);
+        }
+        if let Some((_, when)) = pool.next_completion() {
+            *wake = Some(self.q.schedule_at(when, Ev::PoolWake(p)));
+        }
+    }
+
+    fn start_flow(&mut self, p: PoolRef, bytes: u64, attempt: AttemptId, purpose: Purpose) -> FlowId {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        let now = self.q.now();
+        {
+            let (pool, _) = self.pools.get_mut(&p).expect("pool exists");
+            pool.advance_to(now);
+            pool.add(id, bytes);
+        }
+        self.flows.insert(id, FlowInfo { attempt, purpose, pool: p });
+        self.reschedule_pool(p);
+        if matches!(p, PoolRef::Uplink(_)) {
+            self.report.uplink_bytes += bytes;
+        }
+        id
+    }
+
+    /// Abort a flow, returning its remaining bytes (None if unknown).
+    fn abort_flow(&mut self, id: FlowId) -> Option<u64> {
+        let info = self.flows.remove(&id)?;
+        let now = self.q.now();
+        let (pool, _) = self.pools.get_mut(&info.pool).expect("pool exists");
+        pool.advance_to(now);
+        let remaining = pool.remove(id);
+        self.reschedule_pool(info.pool);
+        remaining
+    }
+
+    fn pool_wake(&mut self, p: PoolRef) {
+        let now = self.q.now();
+        let done = {
+            let (pool, wake) = self.pools.get_mut(&p).expect("pool exists");
+            *wake = None;
+            pool.advance_to(now);
+            pool.drain_completed()
+        };
+        for id in done {
+            if let Some(info) = self.flows.remove(&id) {
+                self.flow_done(id, info);
+            }
+        }
+        self.reschedule_pool(p);
+    }
+
+    // ---------------- scheduling ----------------
+
+    fn pick_node(&mut self, reduce: bool, avoid: Option<u32>, pin: Option<u32>) -> Option<u32> {
+        if let Some(p) = pin {
+            let n = &self.nodes[p as usize];
+            let free = if reduce { n.reduce_slots_free } else { n.map_slots_free };
+            if n.alive && free > 0 {
+                return Some(p);
+            }
+            return None;
+        }
+        let count = self.nodes.len() as u32;
+        let alive = self.nodes.iter().filter(|n| n.alive).count();
+        for _ in 0..count {
+            let id = self.rr % count;
+            self.rr += 1;
+            let n = &self.nodes[id as usize];
+            if !n.alive {
+                continue;
+            }
+            if avoid == Some(id) && alive > 1 {
+                continue;
+            }
+            let free = if reduce { n.reduce_slots_free } else { n.map_slots_free };
+            if free > 0 {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn enqueue_map(&mut self, task: TaskId, high_priority: bool) {
+        if high_priority {
+            self.queued_maps.push_front(task);
+        } else {
+            self.queued_maps.push_back(task);
+        }
+    }
+
+    fn dispatch(&mut self) {
+        // Maps first (they hold the job back), then reduces.
+        let mut requeue = VecDeque::new();
+        while let Some(task) = self.queued_maps.pop_front() {
+            if self.maps[task.index as usize].completed {
+                continue;
+            }
+            match self.pick_node(false, None, None) {
+                Some(node) => self.launch_map(task, node),
+                None => {
+                    requeue.push_back(task);
+                    break;
+                }
+            }
+        }
+        while let Some(t) = self.queued_maps.pop_front() {
+            requeue.push_back(t);
+        }
+        self.queued_maps = requeue;
+
+        let mut requeue = VecDeque::new();
+        while let Some((task, pin, avoid, mode, drop_on_pin_fail)) = self.queued_reduces.pop_front() {
+            if self.reduces[task.index as usize].completed {
+                continue;
+            }
+            match self.pick_node(true, avoid, pin) {
+                Some(node) => self.launch_reduce(task, node, mode),
+                None => match pin {
+                    Some(p) if drop_on_pin_fail => {
+                        // SFM local resume with its node gone/busy: drop it;
+                        // the speculative attempt covers recovery.
+                        let _ = p;
+                        continue;
+                    }
+                    Some(_) => {
+                        // ALG relaunch: fall back to any node (losing the
+                        // local files but keeping DFS-logged progress).
+                        requeue.push_back((task, None, avoid, mode, false));
+                    }
+                    None => {
+                        requeue.push_back((task, pin, avoid, mode, drop_on_pin_fail));
+                        break;
+                    }
+                },
+            }
+        }
+        while let Some(t) = self.queued_reduces.pop_front() {
+            requeue.push_back(t);
+        }
+        self.queued_reduces = requeue;
+    }
+
+    fn launch_map(&mut self, task: TaskId, node: u32) {
+        let st = &mut self.maps[task.index as usize];
+        let attempt = task.attempt(st.attempts);
+        st.attempts += 1;
+        self.report.map_attempts += 1;
+        self.nodes[node as usize].map_slots_free -= 1;
+        self.map_atts.insert(attempt, MapAtt { node, phase: MapPhase::Launching, dead: false });
+        let d = SimDuration::from_ms(self.env.cluster.container_launch_ms);
+        self.q.schedule_after(d, Ev::LaunchDone(attempt));
+    }
+
+    fn launch_reduce(&mut self, task: TaskId, node: u32, mode: ExecMode) {
+        let st = &mut self.reduces[task.index as usize];
+        let attempt = task.attempt(st.attempts);
+        st.attempts += 1;
+        *st.attempts_on_node.entry(node).or_insert(0) += 1;
+        st.running.push(attempt);
+        self.report.reduce_attempts += 1;
+        if mode == ExecMode::Fcm {
+            self.report.fcm_attempts += 1;
+        }
+        self.report.reduce_nodes.entry(task.index).or_default().push(node);
+        self.nodes[node as usize].reduce_slots_free -= 1;
+
+        // Recovery state from logs, if any and usable from `node`.
+        let logs = self.env.alm.mode.logs_enabled();
+        let logged = self.reduces[task.index as usize].logged.clone();
+        let (pending, fetched, merge_done, resume_frac) = match (logs, logged) {
+            (true, Some(l)) => {
+                if l.node == node {
+                    // Local resume: shuffle/merge state on the local store
+                    // plus DFS reduce-stage progress.
+                    let pending: BTreeSet<u32> =
+                        (0..self.qty.num_maps).filter(|m| !l.fetched.contains(m)).collect();
+                    (pending, l.fetched, l.merge_done, l.reduce_frac)
+                } else {
+                    // Migrated: only the DFS-held reduce-stage progress.
+                    ((0..self.qty.num_maps).collect(), BTreeSet::new(), false, l.reduce_frac)
+                }
+            }
+            _ => ((0..self.qty.num_maps).collect(), BTreeSet::new(), false, 0.0),
+        };
+
+        let reduce_cpu_secs = self.qty.reduce_cpu_secs + self.qty.reduce_deser_secs;
+        self.red_atts.insert(
+            attempt,
+            RedAtt {
+                node,
+                mode,
+                phase: RedPhase::Launching,
+                pending,
+                active_fetches: HashMap::new(),
+                fetched,
+                retry: HashMap::new(),
+                flows: HashSet::new(),
+                spill_debt: 0,
+                spill_emitted: 0,
+                spill_outstanding: 0,
+                merge_rounds_left: if merge_done { 0 } else { self.qty.merge_rounds },
+                resume_reduce_frac: resume_frac,
+                reduce_cpu_secs,
+                cpu_done: false,
+                cpu_start: 0.0,
+                cpu_dur: 0.0,
+                gen: 0,
+                last_log_secs: self.now_secs(),
+                dead: false,
+            },
+        );
+        let d = SimDuration::from_ms(self.env.cluster.container_launch_ms);
+        self.q.schedule_after(d, Ev::LaunchDone(attempt));
+    }
+
+    // ---------------- map lifecycle ----------------
+
+    fn map_launch_done(&mut self, attempt: AttemptId) {
+        let Some(att) = self.map_atts.get_mut(&attempt) else { return };
+        if att.dead {
+            return;
+        }
+        att.phase = MapPhase::Reading;
+        let node = att.node;
+        let bytes = self.qty.split_bytes;
+        self.start_flow(PoolRef::Disk(node), bytes, attempt, Purpose::MapRead);
+    }
+
+    fn map_flow_done(&mut self, attempt: AttemptId, purpose: Purpose) {
+        let Some(att) = self.map_atts.get_mut(&attempt) else { return };
+        if att.dead {
+            return;
+        }
+        match purpose {
+            Purpose::MapRead => {
+                att.phase = MapPhase::Cpu;
+                let d = SimDuration::from_secs_f64(self.qty.map_cpu_secs.max(1e-6));
+                self.q.schedule_after(d, Ev::CpuDone { attempt, gen: 0 });
+            }
+            Purpose::MapWrite => self.map_completed(attempt),
+            _ => unreachable!("map flows only"),
+        }
+    }
+
+    fn map_cpu_done(&mut self, attempt: AttemptId) {
+        let Some(att) = self.map_atts.get_mut(&attempt) else { return };
+        if att.dead || att.phase != MapPhase::Cpu {
+            return;
+        }
+        att.phase = MapPhase::Writing;
+        let node = att.node;
+        let bytes = self.qty.map_out_bytes;
+        self.start_flow(PoolRef::Disk(node), bytes, attempt, Purpose::MapWrite);
+    }
+
+    fn red_cpu_done(&mut self, attempt: AttemptId, gen: u32) {
+        let finished = {
+            let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+            if att.dead || att.gen != gen || !matches!(att.phase, RedPhase::Reduce | RedPhase::Fcm) {
+                return;
+            }
+            att.cpu_done = true;
+            att.flows.is_empty()
+        };
+        if finished {
+            self.reduce_completed(attempt);
+        }
+    }
+
+    /// Start the reduce-stage CPU timer for the un-resumed fraction.
+    fn start_reduce_cpu(&mut self, attempt: AttemptId, frac: f64) {
+        let (gen, dur) = {
+            let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+            att.cpu_done = false;
+            att.cpu_start = self.q.now().as_secs_f64();
+            att.cpu_dur = (att.reduce_cpu_secs * frac).max(1e-6);
+            (att.gen, att.cpu_dur)
+        };
+        self.q.schedule_after(SimDuration::from_secs_f64(dur), Ev::CpuDone { attempt, gen });
+    }
+
+    fn map_completed(&mut self, attempt: AttemptId) {
+        let att = self.map_atts.remove(&attempt).expect("attempt exists");
+        self.nodes[att.node as usize].map_slots_free += 1;
+        let task = &mut self.maps[attempt.task.index as usize];
+        let first = !task.ever_completed;
+        task.completed = true;
+        task.ever_completed = true;
+        self.mof_loc.insert(attempt.task.index, att.node);
+        self.regenerating.remove(&attempt.task.index);
+        if first {
+            self.maps_done_once += 1;
+            if self.maps_done_once == self.qty.num_maps {
+                self.report.map_phase_secs = self.now_secs();
+            }
+        }
+        // Wake reducers waiting on this MOF.
+        let m = attempt.task.index;
+        let waiting: Vec<AttemptId> = self
+            .red_atts
+            .iter()
+            .filter(|(_, a)| {
+                !a.dead
+                    && ((a.phase == RedPhase::Shuffle && a.pending.contains(&m))
+                        || a.phase == RedPhase::FcmWait)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for r in waiting {
+            match self.red_atts[&r].phase {
+                RedPhase::Shuffle => self.pump_fetches(r),
+                RedPhase::FcmWait => self.try_start_fcm(r),
+                _ => {}
+            }
+        }
+        self.launch_reduces_if_due();
+        self.dispatch();
+    }
+
+    fn launch_reduces_if_due(&mut self) {
+        if self.reduces_dispatched {
+            return;
+        }
+        let wave = (self.nodes.len() as u32 * self.env.cluster.map_slots_per_node).min(self.qty.num_maps);
+        if self.maps_done_once >= wave {
+            self.reduces_dispatched = true;
+            for r in 0..self.qty.num_reduces {
+                self.queued_reduces.push_back((TaskId::reduce(self.job, r), None, None, ExecMode::Regular, false));
+            }
+            self.dispatch();
+        }
+    }
+
+    // ---------------- reduce lifecycle ----------------
+
+    fn red_launch_done(&mut self, attempt: AttemptId) {
+        let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+        if att.dead {
+            return;
+        }
+        match att.mode {
+            ExecMode::Regular => {
+                att.phase = RedPhase::Shuffle;
+                if att.pending.is_empty() {
+                    self.maybe_finish_shuffle(attempt);
+                } else {
+                    self.pump_fetches(attempt);
+                }
+            }
+            ExecMode::Fcm => {
+                att.phase = RedPhase::FcmWait;
+                let gen = att.gen;
+                // Give up waiting for MOFs after the FCM teardown window:
+                // the AM then re-executes the missing maps and retries.
+                let d = SimDuration::from_ms(self.env.alm.fcm_teardown_timeout_ms);
+                self.q.schedule_after(d, Ev::FcmWaitTimeout { attempt, gen });
+                self.try_start_fcm(attempt);
+            }
+        }
+    }
+
+    /// Start fetch flows up to the parallelism limit.
+    fn pump_fetches(&mut self, attempt: AttemptId) {
+        loop {
+            let (_node, candidate) = {
+                let Some(att) = self.red_atts.get(&attempt) else { return };
+                if att.dead || att.phase != RedPhase::Shuffle {
+                    return;
+                }
+                if att.active_fetches.len() >= MAX_PARALLEL_FETCHES {
+                    return;
+                }
+                // First pending map whose MOF is registered and not already
+                // being retried on a timer.
+                let candidate = att.pending.iter().copied().find(|m| {
+                    self.mof_loc.contains_key(m) && !att.retry.contains_key(m) && {
+                        let src = self.mof_loc[m];
+                        self.nodes[src as usize].alive || !self.regenerating.contains(m)
+                    }
+                });
+                (att.node, candidate)
+            };
+            let Some(m) = candidate else {
+                self.maybe_finish_shuffle(attempt);
+                return;
+            };
+            let src = self.mof_loc[&m];
+            if !self.nodes[src as usize].alive {
+                if self.regenerating.contains(&m) {
+                    // Wait for the high-priority regeneration; the map
+                    // completion will re-pump us.
+                    return;
+                }
+                // Dead source: burn a retry.
+                self.fetch_failed(attempt, m, src);
+                continue;
+            }
+            // Stage 1: the source disk serves the chunk (this is what makes
+            // the shuffle lag map completions under map-phase disk pressure,
+            // leaving un-fetched MOFs for a crash to strand — §II-C).
+            let flow =
+                self.start_flow(PoolRef::Disk(src), self.qty.chunk_bytes, attempt, Purpose::FetchRead { map: m, source: src });
+            let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+            att.pending.remove(&m);
+            att.active_fetches.insert(flow, m);
+        }
+    }
+
+    /// Stage 1 done: move the chunk onto the network.
+    fn fetch_read_done(&mut self, attempt: AttemptId, flow: FlowId, m: u32, src: u32) {
+        let node = {
+            let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+            if att.dead {
+                return;
+            }
+            att.active_fetches.remove(&flow);
+            att.node
+        };
+        let dst_rack = self.nodes[node as usize].rack;
+        let src_rack = self.nodes[src as usize].rack;
+        let pool = if src_rack != dst_rack { PoolRef::Uplink(dst_rack) } else { PoolRef::NicIn(node) };
+        let net = self.start_flow(pool, self.qty.chunk_bytes, attempt, Purpose::Fetch { map: m, source: src });
+        let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+        att.active_fetches.insert(net, m);
+    }
+
+    fn fetch_failed(&mut self, attempt: AttemptId, m: u32, src: u32) {
+        *self.fetch_reports.entry(m).or_insert(0) += 1;
+        if self.env.alm.mode.sfm_enabled() {
+            // SFM: the AM knows the cause; regenerate at high priority and
+            // have the reducer wait (no retry treadmill, no preemption).
+            if !self.regenerating.contains(&m) && !self.nodes[src as usize].alive {
+                self.regenerating.insert(m);
+                self.maps[m as usize].completed = false;
+                self.enqueue_map(TaskId::map(self.job, m), true);
+                self.dispatch();
+            }
+        }
+
+        let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+        let tries = att.retry.entry(m).or_insert(0);
+        *tries += 1;
+        if *tries > self.env.yarn.fetch_retries_per_source {
+            // Exhausted: the reducer is preempted as faulty. Only now does
+            // baseline YARN learn which MOFs are gone ("YARN relies on
+            // running ReduceTasks to detect the lost MOFs", §II-C): the
+            // maps this attempt was stuck on are finally re-executed.
+            if !self.env.alm.mode.sfm_enabled() {
+                let stuck: Vec<u32> = att
+                    .retry
+                    .keys()
+                    .copied()
+                    .filter(|m| {
+                        self.mof_loc.get(m).is_some_and(|&s| !self.nodes[s as usize].alive)
+                    })
+                    .collect();
+                for m in stuck {
+                    if !self.regenerating.contains(&m) {
+                        self.regenerating.insert(m);
+                        self.maps[m as usize].completed = false;
+                        self.enqueue_map(TaskId::map(self.job, m), false);
+                    }
+                }
+            }
+            self.fail_attempt(attempt, FailureKind::FetchFailureLimit);
+            self.dispatch();
+            return;
+        }
+        let d = SimDuration::from_ms(self.env.yarn.fetch_retry_delay_ms);
+        self.q.schedule_after(d, Ev::FetchRetry { attempt, map: m });
+    }
+
+    fn fetch_retry(&mut self, attempt: AttemptId, m: u32) {
+        let Some(att) = self.red_atts.get(&attempt) else { return };
+        if att.dead || att.phase != RedPhase::Shuffle || !att.pending.contains(&m) {
+            return;
+        }
+        let Some(&src) = self.mof_loc.get(&m) else {
+            // MOF unregistered (regenerating): clear the retry state and
+            // wait for the map completion.
+            self.red_atts.get_mut(&attempt).unwrap().retry.remove(&m);
+            return;
+        };
+        if self.nodes[src as usize].alive {
+            self.red_atts.get_mut(&attempt).unwrap().retry.remove(&m);
+            self.pump_fetches(attempt);
+        } else if self.regenerating.contains(&m) {
+            self.red_atts.get_mut(&attempt).unwrap().retry.remove(&m);
+        } else {
+            self.fetch_failed(attempt, m, src);
+        }
+    }
+
+    fn fetch_flow_done(&mut self, attempt: AttemptId, flow: FlowId, m: u32) {
+        {
+            let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+            if att.dead {
+                return;
+            }
+            att.active_fetches.remove(&flow);
+            att.fetched.insert(m);
+            att.retry.remove(&m);
+            // Spill accounting: beyond the resident budget, fetched bytes
+            // belong on disk.
+            let total_fetched = att.fetched.len() as u64 * self.qty.chunk_bytes;
+            let resident = (self.qty.mem_budget as f64 * self.env.yarn.merge_spill_fraction) as u64;
+            att.spill_debt = total_fetched.saturating_sub(resident).min(self.qty.spilled_bytes);
+        }
+        self.start_due_spills(attempt);
+        self.pump_fetches(attempt);
+    }
+
+    /// Emit disk flows for any spill debt not yet covered, in
+    /// `SPILL_FLOW_BYTES` chunks (the background in-memory merger's flushes).
+    fn start_due_spills(&mut self, attempt: AttemptId) {
+        loop {
+            let (node, chunk) = {
+                let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+                if att.spill_debt <= att.spill_emitted {
+                    return;
+                }
+                let chunk = (att.spill_debt - att.spill_emitted).min(SPILL_FLOW_BYTES);
+                // Flush only full chunks mid-shuffle; the remainder flushes
+                // when the shuffle finishes.
+                if chunk < SPILL_FLOW_BYTES && !(att.pending.is_empty() && att.active_fetches.is_empty()) {
+                    return;
+                }
+                att.spill_emitted += chunk;
+                att.spill_outstanding += 1;
+                (att.node, chunk)
+            };
+            self.start_flow(PoolRef::Disk(node), chunk, attempt, Purpose::Spill);
+        }
+    }
+
+    fn maybe_finish_shuffle(&mut self, attempt: AttemptId) {
+        self.start_due_spills(attempt);
+        let ready = {
+            let Some(att) = self.red_atts.get(&attempt) else { return };
+            att.phase == RedPhase::Shuffle
+                && att.pending.is_empty()
+                && att.active_fetches.is_empty()
+                && att.flows.is_empty()
+        };
+        if ready {
+            self.enter_merge(attempt);
+        }
+    }
+
+    fn enter_merge(&mut self, attempt: AttemptId) {
+        let (node, rounds) = {
+            let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+            att.phase = RedPhase::Merge;
+            (att.node, att.merge_rounds_left)
+        };
+        if rounds == 0 {
+            self.enter_reduce(attempt);
+            return;
+        }
+        // One merge pass = read + write the spilled data.
+        let bytes = self.qty.spilled_bytes.saturating_mul(2).max(1);
+        let flow = self.start_flow(PoolRef::Disk(node), bytes, attempt, Purpose::MergePass);
+        self.red_atts.get_mut(&attempt).unwrap().flows.insert(flow);
+    }
+
+    fn merge_pass_done(&mut self, attempt: AttemptId, flow: FlowId) {
+        let rounds = {
+            let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+            att.flows.remove(&flow);
+            att.merge_rounds_left = att.merge_rounds_left.saturating_sub(1);
+            att.merge_rounds_left
+        };
+        if rounds == 0 {
+            self.enter_reduce(attempt);
+        } else {
+            self.enter_merge(attempt);
+        }
+    }
+
+    fn enter_reduce(&mut self, attempt: AttemptId) {
+        let (node, resume) = {
+            let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+            att.phase = RedPhase::Reduce;
+            (att.node, att.resume_reduce_frac)
+        };
+        let frac = (1.0 - resume).clamp(0.0, 1.0);
+        // Concurrent flows of the reduce stage: disk re-read of spilled
+        // runs, CPU (reduce fn + deserialization), output replication.
+        let mut flows = Vec::new();
+        let disk_read = (self.qty.spilled_bytes as f64 * frac) as u64;
+        if disk_read > 0 {
+            flows.push(self.start_flow(PoolRef::Disk(node), disk_read, attempt, Purpose::ReduceRead));
+        }
+        self.start_reduce_cpu(attempt, frac);
+        flows.extend(self.output_flows(attempt, node, (self.qty.reduce_out_bytes as f64 * frac) as u64));
+        let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+        att.flows.extend(flows);
+        // Degenerate case: nothing to read/write and CPU may already be due.
+        self.maybe_finish_reduce(attempt);
+    }
+
+    fn maybe_finish_reduce(&mut self, attempt: AttemptId) {
+        let finished = {
+            let Some(att) = self.red_atts.get(&attempt) else { return };
+            matches!(att.phase, RedPhase::Reduce | RedPhase::Fcm) && att.flows.is_empty() && att.cpu_done
+        };
+        if finished {
+            self.reduce_completed(attempt);
+        }
+    }
+
+    /// DFS output-replication flows for `bytes` at the configured level.
+    fn output_flows(&mut self, attempt: AttemptId, node: u32, bytes: u64) -> Vec<FlowId> {
+        if bytes == 0 {
+            return Vec::new();
+        }
+        let level = if self.env.alm.mode.logs_enabled() {
+            self.env.alm.log_replication
+        } else {
+            alm_types::ReplicationLevel::Cluster // stock HDFS placement
+        };
+        let replicas = level.replica_count(self.env.yarn.dfs_replication) as u64;
+        let mut flows = Vec::new();
+        // Local replica: disk write.
+        flows.push(self.start_flow(PoolRef::Disk(node), bytes, attempt, Purpose::Output));
+        if replicas > 1 {
+            let remote_bytes = bytes * (replicas - 1);
+            let workers = self.nodes.len() as u32;
+            let racks = self.env.cluster.racks.max(1);
+            // Remote replica traffic leaves via our NIC...
+            flows.push(self.start_flow(PoolRef::NicOut(node), remote_bytes, attempt, Purpose::Output));
+            // ...lands on the replica node's disk...
+            let replica_node = if level == alm_types::ReplicationLevel::Cluster && racks > 1 {
+                (node + 1) % workers // adjacent index = other rack (round-robin racks)
+            } else {
+                (node + racks) % workers // same-rack peer
+            };
+            flows.push(self.start_flow(PoolRef::Disk(replica_node), remote_bytes, attempt, Purpose::Output));
+            if level == alm_types::ReplicationLevel::Cluster && racks > 1 {
+                // ...and crosses the rack uplink at cluster level.
+                let rack = self.nodes[node as usize].rack;
+                flows.push(self.start_flow(PoolRef::Uplink(rack), remote_bytes, attempt, Purpose::Output));
+            }
+        }
+        flows
+    }
+
+    fn reduce_flow_done(&mut self, attempt: AttemptId, flow: FlowId) {
+        let finished = {
+            let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+            att.flows.remove(&flow);
+            att.flows.is_empty() && att.cpu_done && matches!(att.phase, RedPhase::Reduce | RedPhase::Fcm)
+        };
+        if finished {
+            self.reduce_completed(attempt);
+        }
+    }
+
+    fn spill_flow_done(&mut self, attempt: AttemptId) {
+        if let Some(att) = self.red_atts.get_mut(&attempt) {
+            att.spill_outstanding = att.spill_outstanding.saturating_sub(1);
+        }
+        self.maybe_finish_shuffle(attempt);
+    }
+
+    fn reduce_completed(&mut self, attempt: AttemptId) {
+        let att = self.red_atts.remove(&attempt).expect("attempt exists");
+        self.nodes[att.node as usize].reduce_slots_free += 1;
+        let task = &mut self.reduces[attempt.task.index as usize];
+        task.running.retain(|a| *a != attempt);
+        if task.completed {
+            return;
+        }
+        task.completed = true;
+        // Cancel sibling attempts (speculative duplicates).
+        let siblings: Vec<AttemptId> = task.running.drain(..).collect();
+        for s in siblings {
+            self.kill_attempt_silently(s);
+        }
+        if self.reduces.iter().all(|r| r.completed) {
+            self.report.succeeded = true;
+            self.report.job_secs = self.now_secs();
+        }
+        self.dispatch();
+    }
+
+    // ---------------- FCM ----------------
+
+    fn try_start_fcm(&mut self, attempt: AttemptId) {
+        let ready = (0..self.qty.num_maps).all(|m| {
+            self.mof_loc.get(&m).is_some_and(|&n| self.nodes[n as usize].alive)
+        });
+        if !ready {
+            return;
+        }
+        {
+            let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+            if att.dead || att.phase != RedPhase::FcmWait {
+                return;
+            }
+            att.phase = RedPhase::Fcm; // claimed; flows start after sync delay
+        }
+        let d = SimDuration::from_secs_f64(FCM_SYNC_SECS);
+        self.q.schedule_after(d, Ev::FcmStart(attempt));
+    }
+
+    /// The FCM attempt waited too long for MOF availability (only possible
+    /// when proactive regeneration is disabled or regeneration keeps
+    /// failing): the AM finally re-executes the missing maps and fails the
+    /// attempt so recovery retries.
+    fn fcm_wait_timeout(&mut self, attempt: AttemptId, gen: u32) {
+        {
+            let Some(att) = self.red_atts.get(&attempt) else { return };
+            if att.dead || att.gen != gen || att.phase != RedPhase::FcmWait {
+                return;
+            }
+        }
+        let missing: Vec<u32> = (0..self.qty.num_maps)
+            .filter(|m| !self.mof_loc.get(m).is_some_and(|&n| self.nodes[n as usize].alive))
+            .collect();
+        for m in missing {
+            if !self.regenerating.contains(&m) {
+                self.regenerating.insert(m);
+                self.maps[m as usize].completed = false;
+                self.enqueue_map(TaskId::map(self.job, m), false);
+            }
+        }
+        self.fail_attempt(attempt, FailureKind::TaskTimeout);
+        self.dispatch();
+    }
+
+    fn fcm_start(&mut self, attempt: AttemptId) {
+        let (node, resume) = {
+            let Some(att) = self.red_atts.get(&attempt) else { return };
+            if att.dead || att.phase != RedPhase::Fcm {
+                return;
+            }
+            (att.node, att.resume_reduce_frac)
+        };
+        // Bytes per source node for this partition.
+        let mut per_node: BTreeMap<u32, u64> = BTreeMap::new();
+        for m in 0..self.qty.num_maps {
+            if let Some(&src) = self.mof_loc.get(&m) {
+                *per_node.entry(src).or_insert(0) += self.qty.chunk_bytes;
+            }
+        }
+        let frac = (1.0 - resume).clamp(0.0, 1.0);
+        let mut flows = Vec::new();
+        let dst_rack = self.nodes[node as usize].rack;
+        for (src, bytes) in per_node {
+            // Participant-side pre-merge read...
+            flows.push(self.start_flow(PoolRef::Disk(src), bytes, attempt, Purpose::FcmLocal { source: src }));
+            // ...streamed to the recovering reducer (all in memory, no
+            // reducer-side disk at all — FCM's defining property).
+            let src_rack = self.nodes[src as usize].rack;
+            let pool = if src_rack != dst_rack { PoolRef::Uplink(dst_rack) } else { PoolRef::NicIn(node) };
+            flows.push(self.start_flow(pool, bytes, attempt, Purpose::FcmNet { source: src }));
+        }
+        // Reduce CPU for the un-resumed fraction; with ALG the deser cost
+        // of the resumed fraction is skipped too.
+        self.start_reduce_cpu(attempt, frac);
+        flows.extend(self.output_flows(attempt, node, (self.qty.reduce_out_bytes as f64 * frac) as u64));
+        let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+        att.flows.extend(flows);
+        self.maybe_finish_reduce(attempt);
+    }
+
+    // ---------------- failures & recovery ----------------
+
+    fn kill_attempt_silently(&mut self, attempt: AttemptId) {
+        if attempt.task.is_reduce() {
+            if let Some(att) = self.red_atts.remove(&attempt) {
+                for f in att.flows.iter().chain(att.active_fetches.keys()) {
+                    self.abort_flow(*f);
+                }
+                if self.nodes[att.node as usize].alive {
+                    self.nodes[att.node as usize].reduce_slots_free += 1;
+                }
+                self.reduces[attempt.task.index as usize].running.retain(|a| *a != attempt);
+            }
+        } else if let Some(att) = self.map_atts.remove(&attempt) {
+            // Any flows of this attempt are aborted by scan.
+            let owned: Vec<FlowId> =
+                self.flows.iter().filter(|(_, i)| i.attempt == attempt).map(|(f, _)| *f).collect();
+            for f in owned {
+                self.abort_flow(f);
+            }
+            if self.nodes[att.node as usize].alive {
+                self.nodes[att.node as usize].map_slots_free += 1;
+            }
+        }
+    }
+
+    fn fail_attempt(&mut self, attempt: AttemptId, kind: FailureKind) {
+        let node = if attempt.task.is_reduce() {
+            self.red_atts.get(&attempt).map(|a| a.node)
+        } else {
+            self.map_atts.get(&attempt).map(|a| a.node)
+        };
+        let Some(node) = node else { return };
+        self.kill_attempt_silently(attempt);
+        self.report.failures.push(SimFailure {
+            at_secs: self.now_secs(),
+            task: attempt.task,
+            attempt_number: attempt.number,
+            kind,
+        });
+        self.recover(attempt.task, node, kind, self.nodes[node as usize].alive);
+    }
+
+    fn recover(&mut self, task: TaskId, node: u32, kind: FailureKind, node_alive: bool) {
+        // Attempt budget.
+        let attempts = if task.is_reduce() {
+            self.reduces[task.index as usize].attempts
+        } else {
+            self.maps[task.index as usize].attempts
+        };
+        if attempts >= self.env.yarn.max_task_attempts {
+            self.failed = true;
+            return;
+        }
+
+        if self.env.alm.mode.sfm_enabled() {
+            let mut report = FailureReport::task_failure(NodeId(node), kind, task);
+            report.node_alive = node_alive;
+            let mut ctx = PolicyCtx::new(&self.env.alm, self.fcm_running());
+            if task.is_reduce() {
+                let st = &self.reduces[task.index as usize];
+                ctx.attempts_on_source_node.insert(task, st.attempts_on_node.get(&node).copied().unwrap_or(0));
+                ctx.running_attempts.insert(task, st.running.len() as u32);
+            }
+            let actions = schedule_recovery(&report, &ctx);
+            self.execute_actions(actions, node);
+        } else if task.is_map() {
+            self.maps[task.index as usize].completed = false;
+            self.enqueue_map(task, false);
+        } else {
+            // ALG (without SFM): "re-launch the same ReduceTask on the
+            // original node to resume from the logs" when that node lives.
+            let pin = if self.env.alm.mode.logs_enabled() {
+                self.reduces[task.index as usize]
+                    .logged
+                    .as_ref()
+                    .filter(|l| self.nodes[l.node as usize].alive)
+                    .map(|l| l.node)
+            } else {
+                None
+            };
+            self.queued_reduces.push_back((task, pin, None, ExecMode::Regular, false));
+        }
+        self.dispatch();
+    }
+
+    fn fcm_running(&self) -> usize {
+        self.red_atts.values().filter(|a| a.mode == ExecMode::Fcm && !a.dead).count()
+    }
+
+    fn execute_actions(&mut self, actions: Vec<SchedAction>, _source: u32) {
+        for a in actions {
+            match a {
+                SchedAction::LaunchMap { task, .. } => {
+                    self.regenerating.insert(task.index);
+                    self.maps[task.index as usize].completed = false;
+                    self.enqueue_map(task, true);
+                }
+                SchedAction::RelaunchReduceOnOrigin { task, node } => {
+                    self.queued_reduces.push_front((task, Some(node.0), None, ExecMode::Regular, true));
+                }
+                SchedAction::LaunchSpeculativeReduce { task, mode, avoid } => {
+                    self.queued_reduces.push_back((task, None, avoid.map(|n| n.0), mode, false));
+                }
+            }
+        }
+        self.dispatch();
+    }
+
+    fn crash_node(&mut self, node: u32) {
+        if !self.nodes[node as usize].alive {
+            return;
+        }
+        self.nodes[node as usize].alive = false;
+
+        // All flows touching this node die: flows on its pools, and fetch /
+        // FCM flows sourced from it (pooled elsewhere).
+        let doomed: Vec<(FlowId, AttemptId, Purpose)> = self
+            .flows
+            .iter()
+            .filter(|(_, i)| {
+                matches!(
+                    i.pool,
+                    PoolRef::Disk(n) | PoolRef::NicIn(n) | PoolRef::NicOut(n) if n == node
+                ) || matches!(i.purpose, Purpose::Fetch { source, .. } | Purpose::FetchRead { source, .. } | Purpose::FcmLocal { source } | Purpose::FcmNet { source } if source == node)
+            })
+            .map(|(f, i)| (*f, i.attempt, i.purpose))
+            .collect();
+
+        let mut interrupted_fetches: Vec<(AttemptId, u32, u32)> = Vec::new();
+        let mut interrupted_fcm: HashSet<AttemptId> = HashSet::new();
+        for (f, attempt, purpose) in doomed {
+            let remaining = self.abort_flow(f);
+            // Flows owned by attempts on OTHER nodes need follow-up.
+            let owner_node = if attempt.task.is_reduce() {
+                self.red_atts.get(&attempt).map(|a| a.node)
+            } else {
+                self.map_atts.get(&attempt).map(|a| a.node)
+            };
+            if owner_node == Some(node) {
+                continue; // the attempt itself dies below
+            }
+            match purpose {
+                Purpose::Fetch { map, source } | Purpose::FetchRead { map, source } if source == node => {
+                    if let Some(att) = self.red_atts.get_mut(&attempt) {
+                        att.active_fetches.remove(&f);
+                        att.pending.insert(map);
+                    }
+                    interrupted_fetches.push((attempt, map, source));
+                }
+                Purpose::FcmLocal { .. } | Purpose::FcmNet { .. } => {
+                    interrupted_fcm.insert(attempt);
+                }
+                Purpose::Output => {
+                    // A replica write targeting the dead node's disk: the
+                    // DFS re-pipelines it to another live node.
+                    let owner = owner_node.expect("owner is alive");
+                    let replacement = (0..self.nodes.len() as u32)
+                        .map(|i| (node + 1 + i) % self.nodes.len() as u32)
+                        .find(|&n| self.nodes[n as usize].alive && n != owner);
+                    if let (Some(repl), Some(bytes)) = (replacement, remaining) {
+                        let nf = self.start_flow(PoolRef::Disk(repl), bytes, attempt, Purpose::Output);
+                        if let Some(att) = self.red_atts.get_mut(&attempt) {
+                            att.flows.remove(&f);
+                            att.flows.insert(nf);
+                        }
+                    } else if let Some(att) = self.red_atts.get_mut(&attempt) {
+                        // No live replacement: drop to a single replica.
+                        att.flows.remove(&f);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Attempts hosted on the node die silently; the AM learns later.
+        let dead_reds: Vec<AttemptId> = self
+            .red_atts
+            .iter()
+            .filter(|(_, a)| a.node == node && !a.dead)
+            .map(|(id, _)| *id)
+            .collect();
+        let dead_maps: Vec<AttemptId> = self
+            .map_atts
+            .iter()
+            .filter(|(_, a)| a.node == node && !a.dead)
+            .map(|(id, _)| *id)
+            .collect();
+        for &a in &dead_reds {
+            let att = self.red_atts.get_mut(&a).unwrap();
+            att.dead = true;
+            let flows: Vec<FlowId> = att.flows.iter().chain(att.active_fetches.keys()).copied().collect();
+            for f in flows {
+                self.abort_flow(f);
+            }
+        }
+        for &a in &dead_maps {
+            self.map_atts.get_mut(&a).unwrap().dead = true;
+            let owned: Vec<FlowId> = self.flows.iter().filter(|(_, i)| i.attempt == a).map(|(f, _)| *f).collect();
+            for f in owned {
+                self.abort_flow(f);
+            }
+        }
+        let mut dead: Vec<AttemptId> = dead_reds;
+        dead.extend(dead_maps);
+        self.dead_pending.push((node, dead));
+
+        // Reducers that were fetching from the crashed node begin the retry
+        // treadmill immediately (their connections broke).
+        for (attempt, map, source) in interrupted_fetches {
+            self.fetch_failed(attempt, map, source);
+        }
+        // FCM recoveries fed by the node restart their wait.
+        for a in interrupted_fcm {
+            if let Some(att) = self.red_atts.get_mut(&a) {
+                if att.dead {
+                    continue;
+                }
+                let flows: Vec<FlowId> = att.flows.drain().collect();
+                att.phase = RedPhase::FcmWait;
+                att.gen += 1; // invalidate the in-flight CPU timer
+                att.cpu_done = false;
+                for f in flows {
+                    self.abort_flow(f);
+                }
+                self.try_start_fcm(a);
+            }
+        }
+
+        // Detection after the liveness timeout.
+        let d = SimDuration::from_ms(self.env.yarn.node_liveness_timeout_ms);
+        self.q.schedule_after(d, Ev::DetectNode(node));
+    }
+
+    fn detect_node(&mut self, node: u32) {
+        let Some(pos) = self.dead_pending.iter().position(|(n, _)| *n == node) else { return };
+        let (_, dead) = self.dead_pending.remove(pos);
+
+        let mut failed_reduces = Vec::new();
+        let mut failed_maps = Vec::new();
+        for a in dead {
+            let done = if a.task.is_reduce() {
+                self.reduces[a.task.index as usize].completed
+            } else {
+                self.maps[a.task.index as usize].completed
+            };
+            // Clean up the dead attempt records.
+            if a.task.is_reduce() {
+                self.red_atts.remove(&a);
+                self.reduces[a.task.index as usize].running.retain(|x| *x != a);
+            } else {
+                self.map_atts.remove(&a);
+            }
+            if done {
+                continue;
+            }
+            self.report.failures.push(SimFailure {
+                at_secs: self.now_secs(),
+                task: a.task,
+                attempt_number: a.number,
+                kind: FailureKind::NodeCrash,
+            });
+            if a.task.is_reduce() {
+                failed_reduces.push(a.task);
+            } else {
+                failed_maps.push(a.task);
+            }
+        }
+
+        let lost_mofs: Vec<u32> = self
+            .mof_loc
+            .iter()
+            .filter(|(_, n)| **n == node)
+            .map(|(m, _)| *m)
+            .collect();
+
+        if self.env.alm.mode.sfm_enabled() {
+            let lost_tasks: Vec<TaskId> = if self.env.alm.proactive_map_regen {
+                lost_mofs.iter().map(|&m| TaskId::map(self.job, m)).collect()
+            } else {
+                Vec::new()
+            };
+            let report = FailureReport::node_crash(NodeId(node), failed_reduces.iter().chain(failed_maps.iter()).copied(), lost_tasks);
+            let mut ctx = PolicyCtx::new(&self.env.alm, self.fcm_running());
+            for r in &report.failed_reduces {
+                let st = &self.reduces[r.index as usize];
+                ctx.attempts_on_source_node.insert(*r, st.attempts_on_node.get(&node).copied().unwrap_or(0));
+                ctx.running_attempts.insert(*r, st.running.len() as u32);
+            }
+            let over_budget = report
+                .failed_reduces
+                .iter()
+                .any(|r| self.reduces[r.index as usize].attempts >= self.env.yarn.max_task_attempts);
+            if over_budget {
+                self.failed = true;
+                return;
+            }
+            let actions = schedule_recovery(&report, &ctx);
+            self.execute_actions(actions, node);
+        } else {
+            for t in failed_maps {
+                self.maps[t.index as usize].completed = false;
+                self.enqueue_map(t, false);
+            }
+            for t in failed_reduces {
+                if self.reduces[t.index as usize].attempts >= self.env.yarn.max_task_attempts {
+                    self.failed = true;
+                    return;
+                }
+                self.queued_reduces.push_back((t, None, None, ExecMode::Regular, false));
+            }
+            self.dispatch();
+        }
+    }
+
+    // ---------------- progress / sampling / logging ----------------
+
+    fn red_progress(&self, attempt: AttemptId, att: &RedAtt) -> f64 {
+        match att.phase {
+            RedPhase::Launching => 0.0,
+            RedPhase::Shuffle => {
+                let f = att.fetched.len() as f64 / self.qty.num_maps.max(1) as f64;
+                f / 3.0
+            }
+            RedPhase::Merge => {
+                let total = self.qty.merge_rounds.max(1) as f64;
+                let done = (self.qty.merge_rounds - att.merge_rounds_left) as f64;
+                1.0 / 3.0 + (done / total) / 3.0
+            }
+            RedPhase::Reduce | RedPhase::Fcm => {
+                // The CPU timer drives reduce-stage progress.
+                let frac_of_rest = if att.cpu_done {
+                    1.0
+                } else if att.cpu_dur <= 0.0 {
+                    0.0
+                } else {
+                    ((self.q.now().as_secs_f64() - att.cpu_start) / att.cpu_dur).clamp(0.0, 1.0)
+                };
+                let frac = att.resume_reduce_frac + (1.0 - att.resume_reduce_frac) * frac_of_rest;
+                let _ = attempt;
+                2.0 / 3.0 + frac / 3.0
+            }
+            RedPhase::FcmWait => 0.0, // waiting for MOF regeneration
+        }
+    }
+
+    fn sample(&mut self) {
+        let now = self.now_secs();
+        // Progress per reduce task = best running attempt (0 if none).
+        let mut progress: BTreeMap<u32, f64> = BTreeMap::new();
+        let atts: Vec<(AttemptId, f64, u32)> = self
+            .red_atts
+            .iter()
+            .filter(|(_, a)| !a.dead)
+            .map(|(id, a)| (*id, self.red_progress(*id, a), a.node))
+            .collect();
+        for (id, p, _) in &atts {
+            let e = progress.entry(id.task.index).or_insert(0.0);
+            *e = e.max(*p);
+        }
+        for r in 0..self.qty.num_reduces {
+            let p = if self.reduces[r as usize].completed { 1.0 } else { *progress.get(&r).unwrap_or(&0.0) };
+            self.report.reduce_progress.entry(r).or_default().push((now, p));
+        }
+
+        // Progress-triggered node crashes.
+        let due: Vec<u32> = self
+            .faults_progress
+            .iter()
+            .filter(|(_, r, p)| progress.get(r).copied().unwrap_or(0.0) >= *p || self.reduces[*r as usize].completed)
+            .map(|(n, _, _)| *n)
+            .collect();
+        self.faults_progress.retain(|(n, _, _)| !due.contains(n));
+        for n in due {
+            self.crash_node(n);
+        }
+
+        // Kill triggers (injected OOMs) on attempt 0.
+        let mut to_kill: Vec<AttemptId> = Vec::new();
+        for (id, p, _) in &atts {
+            if id.number == 0 {
+                if let Some(k) = self.reduces[id.task.index as usize].kill_at {
+                    if *p >= k {
+                        to_kill.push(*id);
+                    }
+                }
+            }
+        }
+        for (id, att) in self.map_atts.iter() {
+            if id.number == 0 && !att.dead {
+                if let Some(k) = self.maps[id.task.index as usize].kill_at {
+                    let p = match att.phase {
+                        MapPhase::Launching => 0.0,
+                        MapPhase::Reading => 0.15,
+                        MapPhase::Cpu => 0.5,
+                        MapPhase::Writing => 0.85,
+                    };
+                    if p >= k {
+                        to_kill.push(*id);
+                    }
+                }
+            }
+        }
+        for id in to_kill {
+            // Clear the trigger so recovery attempts are not re-killed.
+            if id.task.is_reduce() {
+                self.reduces[id.task.index as usize].kill_at = None;
+            } else {
+                self.maps[id.task.index as usize].kill_at = None;
+            }
+            self.fail_attempt(id, FailureKind::TaskOom);
+        }
+
+        // ALG logging ticks: snapshot running reducers' progress.
+        if self.env.alm.mode.logs_enabled() {
+            let interval = self.env.alm.logging_interval_ms as f64 / 1000.0;
+            let snapshots: Vec<(AttemptId, LoggedState)> = self
+                .red_atts
+                .iter()
+                .filter(|(_, a)| !a.dead && now - a.last_log_secs >= interval)
+                .map(|(id, a)| {
+                    let overall = self.red_progress(*id, a);
+                    let reduce_frac = ((overall - 2.0 / 3.0) * 3.0).clamp(0.0, 1.0);
+                    (
+                        *id,
+                        LoggedState {
+                            node: a.node,
+                            fetched: a.fetched.clone(),
+                            merge_done: matches!(a.phase, RedPhase::Reduce | RedPhase::Fcm),
+                            reduce_frac,
+                        },
+                    )
+                })
+                .collect();
+            for (id, snap) in snapshots {
+                self.red_atts.get_mut(&id).unwrap().last_log_secs = now;
+                let slot = &mut self.reduces[id.task.index as usize].logged;
+                // Never regress durable progress.
+                let keep = slot
+                    .as_ref()
+                    .is_some_and(|old| old.reduce_frac > snap.reduce_frac && old.fetched.len() >= snap.fetched.len());
+                if !keep {
+                    *slot = Some(snap);
+                }
+                self.report.alg_snapshots += 1;
+            }
+        }
+
+        // Time-based crash faults.
+        let due: Vec<u32> =
+            self.faults_time.iter().filter(|(_, at)| *at <= now).map(|(n, _)| *n).collect();
+        self.faults_time.retain(|(_, at)| *at > now);
+        for n in due {
+            self.crash_node(n);
+        }
+    }
+
+    /// Diagnostic dump of live state (enabled via `ALM_SIM_DEBUG`).
+    fn dump_state(&self, why: &str) {
+        eprintln!("--- sim stall dump ({why}) at t={:.1}s ---", self.now_secs());
+        eprintln!("queued maps: {}, queued reduces: {:?}", self.queued_maps.len(), self.queued_reduces);
+        eprintln!("regenerating: {:?}", self.regenerating);
+        for (id, a) in &self.red_atts {
+            eprintln!(
+                "  red {id}: node={} mode={:?} phase={:?} pending={} active={} retry={:?} flows={} spill_out={} cpu_done={} dead={}",
+                a.node, a.mode, a.phase, a.pending.len(), a.active_fetches.len(), a.retry, a.flows.len(), a.spill_outstanding, a.cpu_done, a.dead
+            );
+        }
+        for (id, a) in &self.map_atts {
+            eprintln!("  map {id}: node={} phase={:?} dead={}", a.node, a.phase, a.dead);
+        }
+        let incomplete_m = self.maps.iter().filter(|m| !m.completed).count();
+        let incomplete_r: Vec<usize> =
+            self.reduces.iter().enumerate().filter(|(_, r)| !r.completed).map(|(i, _)| i).collect();
+        eprintln!("incomplete maps: {incomplete_m}, incomplete reduces: {incomplete_r:?}");
+    }
+
+    // ---------------- event dispatch ----------------
+
+    fn flow_done(&mut self, id: FlowId, info: FlowInfo) {
+        match info.purpose {
+            Purpose::MapRead | Purpose::MapWrite => self.map_flow_done(info.attempt, info.purpose),
+            Purpose::FetchRead { map, source } => self.fetch_read_done(info.attempt, id, map, source),
+            Purpose::Fetch { map, .. } => self.fetch_flow_done(info.attempt, id, map),
+            Purpose::Spill => self.spill_flow_done(info.attempt),
+            Purpose::MergePass => self.merge_pass_done(info.attempt, id),
+            Purpose::ReduceRead | Purpose::Output => self.reduce_flow_done(info.attempt, id),
+            Purpose::FcmLocal { .. } | Purpose::FcmNet { .. } => self.reduce_flow_done(info.attempt, id),
+        }
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(mut self) -> SimReport {
+        // Initial dispatch: all maps queued; reduces wait for the first wave.
+        for m in 0..self.qty.num_maps {
+            self.queued_maps.push_back(TaskId::map(self.job, m));
+        }
+        self.dispatch();
+        self.q.schedule_after(SimDuration::from_nanos(SAMPLE_EVERY_NS), Ev::Sample);
+
+        let debug_stall = std::env::var_os("ALM_SIM_DEBUG").is_some();
+        while let Some((_, ev)) = self.q.pop() {
+            self.report.events += 1;
+            if debug_stall && self.report.events == 2_000_000 {
+                self.dump_state("2M events");
+            }
+            if self.report.events > MAX_EVENTS {
+                break;
+            }
+            if self.report.succeeded || self.failed {
+                break;
+            }
+            match ev {
+                Ev::PoolWake(p) => self.pool_wake(p),
+                Ev::LaunchDone(a) => {
+                    if a.task.is_reduce() {
+                        self.red_launch_done(a)
+                    } else {
+                        self.map_launch_done(a)
+                    }
+                }
+                Ev::FetchRetry { attempt, map } => self.fetch_retry(attempt, map),
+                Ev::CpuDone { attempt, gen } => {
+                    if attempt.task.is_reduce() {
+                        self.red_cpu_done(attempt, gen)
+                    } else {
+                        self.map_cpu_done(attempt)
+                    }
+                }
+                Ev::FcmWaitTimeout { attempt, gen } => self.fcm_wait_timeout(attempt, gen),
+                Ev::DetectNode(n) => self.detect_node(n),
+                Ev::FcmStart(a) => self.fcm_start(a),
+                Ev::Sample => {
+                    self.sample();
+                    if !(self.report.succeeded || self.failed) {
+                        self.q.schedule_after(SimDuration::from_nanos(SAMPLE_EVERY_NS), Ev::Sample);
+                    }
+                }
+            }
+        }
+        if !self.report.succeeded {
+            self.report.job_secs = self.now_secs();
+        }
+        // Close out the timelines with the final state.
+        let end = self.report.job_secs;
+        for r in 0..self.qty.num_reduces {
+            let done = self.reduces[r as usize].completed;
+            self.report.reduce_progress.entry(r).or_default().push((end, if done { 1.0 } else { 0.0 }));
+        }
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alm_types::units::GB;
+    use alm_types::RecoveryMode;
+    use alm_workloads::WorkloadKind;
+
+    fn run(kind: WorkloadKind, gb: u64, reduces: u32, mode: RecoveryMode, faults: Vec<SimFault>) -> SimReport {
+        let spec = SimJobSpec::new(kind, gb * GB, reduces, 7);
+        Simulation::new(spec, ExperimentEnv::paper(mode), faults).run()
+    }
+
+    #[test]
+    fn clean_terasort_completes() {
+        let r = run(WorkloadKind::Terasort, 10, 8, RecoveryMode::Baseline, vec![]);
+        assert!(r.succeeded, "{r:?}");
+        assert!(r.failures.is_empty());
+        assert!(r.job_secs > 1.0 && r.job_secs < 10_000.0, "time {}", r.job_secs);
+        assert_eq!(r.map_attempts, 80);
+        assert_eq!(r.reduce_attempts, 8);
+    }
+
+    #[test]
+    fn clean_wordcount_single_reducer() {
+        let r = run(WorkloadKind::Wordcount, 10, 1, RecoveryMode::Baseline, vec![]);
+        assert!(r.succeeded, "{r:?}");
+        // Map phase strictly precedes job completion.
+        assert!(r.map_phase_secs > 0.0 && r.map_phase_secs < r.job_secs);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(WorkloadKind::Terasort, 5, 4, RecoveryMode::SfmAlg, vec![]);
+        let b = run(WorkloadKind::Terasort, 5, 4, RecoveryMode::SfmAlg, vec![]);
+        assert_eq!(a, b, "the simulation must be fully deterministic");
+    }
+
+    #[test]
+    fn reduce_oom_baseline_restarts_and_delays() {
+        let clean = run(WorkloadKind::Terasort, 10, 8, RecoveryMode::Baseline, vec![]);
+        let faulty = run(
+            WorkloadKind::Terasort,
+            10,
+            8,
+            RecoveryMode::Baseline,
+            vec![SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: 0.8 }],
+        );
+        assert!(faulty.succeeded, "{faulty:?}");
+        assert_eq!(faulty.failures.len(), 1);
+        assert!(faulty.job_secs > clean.job_secs, "a late reduce failure must delay the job");
+        assert_eq!(faulty.reduce_attempts, 9);
+    }
+
+    #[test]
+    fn map_failures_cheap_reduce_failures_expensive_baseline() {
+        // Fig. 1's core claim, reproduced in virtual time at paper scale
+        // (100 GB Terasort, 20 reducers): a late failure of one ReduceTask
+        // costs far more recovery time than a MapTask failure.
+        let clean = run(WorkloadKind::Terasort, 100, 20, RecoveryMode::Baseline, vec![]);
+        let map_fault = run(
+            WorkloadKind::Terasort,
+            100,
+            20,
+            RecoveryMode::Baseline,
+            vec![SimFault::KillMapAtProgress { map_index: 0, at_progress: 0.5 }],
+        );
+        let red_fault = run(
+            WorkloadKind::Terasort,
+            100,
+            20,
+            RecoveryMode::Baseline,
+            vec![SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: 0.9 }],
+        );
+        let map_delay = map_fault.job_secs - clean.job_secs;
+        let red_delay = red_fault.job_secs - clean.job_secs;
+        assert!(
+            red_delay > map_delay.max(1.0) * 3.0,
+            "reduce failure ({red_delay:.1}s) must hurt far more than a map failure ({map_delay:.1}s)"
+        );
+    }
+
+    #[test]
+    fn alg_resume_beats_baseline_restart() {
+        let kill = vec![SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: 0.9 }];
+        let yarn = run(WorkloadKind::Terasort, 20, 8, RecoveryMode::Baseline, kill.clone());
+        let alg = run(WorkloadKind::Terasort, 20, 8, RecoveryMode::Alg, kill);
+        assert!(yarn.succeeded && alg.succeeded);
+        assert!(
+            alg.job_secs < yarn.job_secs,
+            "ALG resume ({:.1}s) must beat restart-from-scratch ({:.1}s)",
+            alg.job_secs,
+            yarn.job_secs
+        );
+        assert!(alg.alg_snapshots > 0);
+    }
+
+    #[test]
+    fn node_crash_baseline_amplifies_sfm_does_not() {
+        // Paper-scale Terasort (100 GB, 20 reducers): crash a node once
+        // reduce 0 reaches 30% overall progress.
+        let fault = vec![SimFault::CrashNodeAtReduceProgress { node: 1, reduce_index: 0, at_progress: 0.3 }];
+        let yarn = run(WorkloadKind::Terasort, 100, 20, RecoveryMode::Baseline, fault.clone());
+        let sfm = run(WorkloadKind::Terasort, 100, 20, RecoveryMode::Sfm, fault);
+        assert!(yarn.succeeded, "{:?}", yarn.failures);
+        assert!(sfm.succeeded, "{:?}", sfm.failures);
+        let yarn_fetch_failures =
+            yarn.failures.iter().filter(|f| f.kind == FailureKind::FetchFailureLimit).count();
+        let sfm_fetch_failures =
+            sfm.failures.iter().filter(|f| f.kind == FailureKind::FetchFailureLimit).count();
+        assert!(
+            yarn_fetch_failures > 0,
+            "baseline: the recovered reducer must be preempted again over lost MOFs (temporal amplification): {:?}",
+            yarn.failures
+        );
+        assert_eq!(sfm_fetch_failures, 0, "SFM: proactive regeneration prevents amplification");
+        assert!(
+            sfm.job_secs < yarn.job_secs,
+            "SFM ({:.1}s) must recover faster than baseline ({:.1}s)",
+            sfm.job_secs,
+            yarn.job_secs
+        );
+    }
+
+    #[test]
+    fn node_crash_detection_honours_timeout() {
+        // Crash at a fixed time; the first NodeCrash failure is recorded
+        // only after the 70 s liveness timeout.
+        let fault = vec![SimFault::CrashNodeAtSecs { node: 0, at_secs: 30.0 }];
+        let r = run(WorkloadKind::Terasort, 20, 16, RecoveryMode::Sfm, fault);
+        assert!(r.succeeded, "{r:?}");
+        if let Some(f) = r.failures.iter().find(|f| f.kind == FailureKind::NodeCrash) {
+            assert!(
+                f.at_secs >= 30.0 + 69.0,
+                "detection at {:.1}s must wait for the 70s liveness timeout",
+                f.at_secs
+            );
+        }
+    }
+
+    #[test]
+    fn fcm_attempts_used_for_migration() {
+        let fault = vec![SimFault::CrashNodeAtReduceProgress { node: 0, reduce_index: 0, at_progress: 0.2 }];
+        let r = run(WorkloadKind::Terasort, 20, 16, RecoveryMode::Sfm, fault);
+        assert!(r.succeeded);
+        if r.failures.iter().any(|f| f.task.is_reduce()) {
+            assert!(r.fcm_attempts > 0, "reduce migration should use FCM: {r:?}");
+        }
+    }
+
+    #[test]
+    fn progress_timelines_are_sampled() {
+        let r = run(WorkloadKind::Wordcount, 10, 1, RecoveryMode::Baseline, vec![]);
+        let tl = r.reduce_progress.get(&0).expect("reduce 0 sampled");
+        assert!(tl.len() > 3);
+        assert!(tl.last().unwrap().1 >= 1.0 - 1e-9);
+        // Monotone non-decreasing in a failure-free run.
+        for w in tl.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+}

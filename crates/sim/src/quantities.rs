@@ -1,0 +1,138 @@
+//! Derived byte/cost quantities: the bridge from a [`SimJobSpec`] and its
+//! [`alm_workloads::WorkloadModel`] to the flow sizes and CPU costs the
+//! engine schedules.
+
+use alm_types::YarnConfig;
+use alm_workloads::WorkloadModel;
+
+use crate::spec::SimJobSpec;
+
+/// All per-task sizes the engine needs, precomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantities {
+    pub num_maps: u32,
+    pub num_reduces: u32,
+    /// Bytes of one input split (last split may be smaller; we use the
+    /// uniform mean, which is what matters for aggregate behaviour).
+    pub split_bytes: u64,
+    /// Intermediate bytes produced per map (post-combiner).
+    pub map_out_bytes: u64,
+    /// Bytes of one (map, reduce) shuffle chunk.
+    pub chunk_bytes: u64,
+    /// Total shuffled bytes per reducer.
+    pub partition_bytes: u64,
+    /// Shuffle-buffer memory budget per reducer.
+    pub mem_budget: u64,
+    /// Bytes a reducer spills to disk during shuffle.
+    pub spilled_bytes: u64,
+    /// Extra merge passes over the spilled data beyond the factor budget.
+    pub merge_rounds: u32,
+    /// Final output bytes per reducer.
+    pub reduce_out_bytes: u64,
+    /// CPU seconds per map (map function + sort).
+    pub map_cpu_secs: f64,
+    /// CPU seconds per reducer (reduce function over the partition).
+    pub reduce_cpu_secs: f64,
+    /// CPU seconds per reducer spent purely deserializing records — the
+    /// component ALG's log resume avoids re-paying (§V-E).
+    pub reduce_deser_secs: f64,
+}
+
+impl Quantities {
+    pub fn derive(spec: &SimJobSpec, model: &WorkloadModel, yarn: &YarnConfig) -> Quantities {
+        let num_maps = ((spec.input_bytes.div_ceil(yarn.dfs_block_size)).max(1)).min(u32::MAX as u64) as u32;
+        let num_reduces = spec.num_reduces.max(1);
+        let split_bytes = spec.input_bytes / num_maps as u64;
+        let intermediate = model.intermediate_bytes(spec.input_bytes);
+        let map_out_bytes = intermediate / num_maps as u64;
+        let chunk_bytes = (map_out_bytes / num_reduces as u64).max(1);
+        let partition_bytes = chunk_bytes * num_maps as u64;
+        let mem_budget = yarn.shuffle_buffer_bytes();
+        let resident = (mem_budget as f64 * yarn.merge_spill_fraction) as u64;
+        let spilled_bytes = partition_bytes.saturating_sub(resident);
+        // On-disk segment count: in-memory merges emit ~`resident`-sized
+        // runs; chunks larger than a quarter of the budget go to disk
+        // directly (mirrors `alm-shuffle`'s fetcher policy).
+        let seg_size = if chunk_bytes * 4 > mem_budget { chunk_bytes } else { resident.max(1) };
+        let on_disk_segments = if spilled_bytes == 0 { 0 } else { (spilled_bytes / seg_size.max(1)).max(1) as usize };
+        let merge_rounds = alm_shuffle::merger::merge_rounds(on_disk_segments, yarn.io_sort_factor) as u32;
+        let reduce_out_bytes = model.reduce_output_bytes(partition_bytes);
+        let gb = 1u64 << 30;
+        let map_cpu_secs = split_bytes as f64 / gb as f64 * model.map_cpu_secs_per_gb;
+        let reduce_cpu_secs = partition_bytes as f64 / gb as f64 * model.reduce_cpu_secs_per_gb;
+        let reduce_deser_secs = model.records_in(partition_bytes) as f64 * model.deser_secs_per_record;
+        Quantities {
+            num_maps,
+            num_reduces,
+            split_bytes,
+            map_out_bytes,
+            chunk_bytes,
+            partition_bytes,
+            mem_budget,
+            spilled_bytes,
+            merge_rounds,
+            reduce_out_bytes,
+            map_cpu_secs,
+            reduce_cpu_secs,
+            reduce_deser_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SimJobSpec;
+    use alm_types::units::GB;
+    use alm_workloads::WorkloadKind;
+
+    fn q(kind: WorkloadKind, input_gb: u64, reduces: u32) -> Quantities {
+        let spec = SimJobSpec::new(kind, input_gb * GB, reduces, 1);
+        Quantities::derive(&spec, &kind.model(), &YarnConfig::default())
+    }
+
+    #[test]
+    fn terasort_100gb_paper_shape() {
+        let q = q(WorkloadKind::Terasort, 100, 20);
+        assert_eq!(q.num_maps, 800, "100 GB / 128 MB blocks");
+        // Identity workload: intermediate == input.
+        assert!((q.partition_bytes as f64 - 5.0 * GB as f64).abs() < 0.01 * GB as f64);
+        assert!(q.spilled_bytes > 0, "5 GB partitions exceed the 2.8 GB shuffle buffer");
+        assert!(q.reduce_out_bytes > 0);
+    }
+
+    #[test]
+    fn wordcount_shuffles_little() {
+        let q = q(WorkloadKind::Wordcount, 10, 1);
+        assert!(
+            (q.partition_bytes as f64) < 0.1 * 10.0 * GB as f64,
+            "combiner collapses wordcount's shuffle: {} bytes",
+            q.partition_bytes
+        );
+    }
+
+    #[test]
+    fn conservation_across_tasks() {
+        let q = q(WorkloadKind::Terasort, 10, 8);
+        let total_chunks = q.chunk_bytes * q.num_maps as u64 * q.num_reduces as u64;
+        let total_map_out = q.map_out_bytes * q.num_maps as u64;
+        // Rounding loses at most one chunk per map.
+        assert!(total_map_out.abs_diff(total_chunks) <= q.num_maps as u64 * q.num_reduces as u64 * 2);
+        assert_eq!(q.partition_bytes, q.chunk_bytes * q.num_maps as u64);
+    }
+
+    #[test]
+    fn small_partition_spills_nothing() {
+        let q = q(WorkloadKind::Terasort, 1, 64);
+        assert_eq!(q.spilled_bytes, 0);
+        assert_eq!(q.merge_rounds, 0);
+    }
+
+    #[test]
+    fn cpu_costs_scale_with_size() {
+        let a = q(WorkloadKind::SecondarySort, 10, 8);
+        let b = q(WorkloadKind::SecondarySort, 20, 8);
+        assert!(b.reduce_cpu_secs > a.reduce_cpu_secs * 1.5);
+        assert!(b.reduce_deser_secs > a.reduce_deser_secs * 1.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Experiment inputs.
+
+use alm_types::{AlmConfig, ClusterSpec, RecoveryMode, YarnConfig};
+use alm_workloads::WorkloadKind;
+use serde::{Deserialize, Serialize};
+
+/// The job to simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimJobSpec {
+    pub workload: WorkloadKind,
+    pub input_bytes: u64,
+    pub num_reduces: u32,
+    pub seed: u64,
+}
+
+impl SimJobSpec {
+    pub fn new(workload: WorkloadKind, input_bytes: u64, num_reduces: u32, seed: u64) -> SimJobSpec {
+        SimJobSpec { workload, input_bytes, num_reduces, seed }
+    }
+
+    /// The paper's §V-B instance of this workload (Terasort 100 GB /
+    /// Wordcount 10 GB with 1 reducer / Secondarysort 10 GB).
+    pub fn paper(workload: WorkloadKind, seed: u64) -> SimJobSpec {
+        let gb = alm_types::units::GB;
+        match workload {
+            WorkloadKind::Terasort => SimJobSpec::new(workload, 100 * gb, 20, seed),
+            WorkloadKind::Wordcount => SimJobSpec::new(workload, 10 * gb, 1, seed),
+            WorkloadKind::SecondarySort => SimJobSpec::new(workload, 10 * gb, 8, seed),
+        }
+    }
+}
+
+/// A fault to inject, in virtual time or at a progress trigger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimFault {
+    /// Fail attempt 0 of the given reduce task with an injected OOM once
+    /// its overall progress reaches the fraction.
+    KillReduceAtProgress { reduce_index: u32, at_progress: f64 },
+    /// Fail attempt 0 of the given map task at a fraction of its work.
+    KillMapAtProgress { map_index: u32, at_progress: f64 },
+    /// Crash a node at an absolute virtual time.
+    CrashNodeAtSecs { node: u32, at_secs: f64 },
+    /// Crash a node once the given reduce task's reduce-phase progress
+    /// reaches the fraction (how §V places node failures).
+    CrashNodeAtReduceProgress { node: u32, reduce_index: u32, at_progress: f64 },
+}
+
+/// The full environment of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentEnv {
+    pub cluster: ClusterSpec,
+    pub yarn: YarnConfig,
+    pub alm: AlmConfig,
+}
+
+impl ExperimentEnv {
+    /// Paper testbed + Table I + a recovery mode.
+    pub fn paper(mode: RecoveryMode) -> ExperimentEnv {
+        ExperimentEnv {
+            cluster: ClusterSpec::default(),
+            yarn: YarnConfig::default(),
+            alm: AlmConfig::with_mode(mode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs() {
+        let t = SimJobSpec::paper(WorkloadKind::Terasort, 1);
+        assert_eq!(t.num_reduces, 20, "Table II / Fig. 4 use 20 reducers");
+        let w = SimJobSpec::paper(WorkloadKind::Wordcount, 1);
+        assert_eq!(w.num_reduces, 1, "Figs. 3/10 use a single reducer");
+    }
+
+    #[test]
+    fn env_modes() {
+        let e = ExperimentEnv::paper(RecoveryMode::Baseline);
+        assert_eq!(e.cluster.nodes, 21);
+        assert!(!e.alm.mode.sfm_enabled());
+    }
+}

@@ -1,0 +1,404 @@
+//! Configuration surface.
+//!
+//! [`YarnConfig`] carries the cluster/framework parameters of Table I of the
+//! paper plus the failure-detection knobs the amplification analysis depends
+//! on (node liveness timeout, shuffle fetch retry limits). [`AlmConfig`]
+//! carries the knobs of the paper's contribution: logging frequency and log
+//! replication level for ALG (§III), and the scheduling limits of
+//! Algorithm 1 for SFM (§IV).
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{GB, KB, MB};
+
+/// How the framework recovers from failures. The four evaluation modes of §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Stock YARN task re-execution: restart failed tasks from scratch,
+    /// rely on running ReduceTasks to discover lost MOFs.
+    Baseline,
+    /// Analytics logging only: failed ReduceTasks resume from their logs.
+    Alg,
+    /// Speculative fast migration only: proactive MapTask regeneration,
+    /// ReduceTask migration, fast collective merging; no log resume.
+    Sfm,
+    /// The full ALM framework: SFM leveraging ALG's logged analytics.
+    SfmAlg,
+}
+
+impl RecoveryMode {
+    /// Whether ReduceTasks write analytics logs in this mode.
+    pub fn logs_enabled(&self) -> bool {
+        matches!(self, RecoveryMode::Alg | RecoveryMode::SfmAlg)
+    }
+
+    /// Whether node failures are handled by speculative fast migration.
+    pub fn sfm_enabled(&self) -> bool {
+        matches!(self, RecoveryMode::Sfm | RecoveryMode::SfmAlg)
+    }
+}
+
+/// Replication level for HDFS writes of reduce outputs and reduce-stage
+/// analytics logs (§III-B, Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReplicationLevel {
+    /// Local replica only.
+    Node,
+    /// Local replica plus one replica elsewhere in the same rack
+    /// (ALG's default: "local and rack replicas").
+    Rack,
+    /// Replicas spread across racks (standard HDFS behaviour).
+    Cluster,
+}
+
+impl ReplicationLevel {
+    /// Number of replicas written at this level given the configured
+    /// `dfs.replication` factor.
+    pub fn replica_count(&self, dfs_replication: u16) -> u16 {
+        match self {
+            ReplicationLevel::Node => 1,
+            _ => dfs_replication.max(1),
+        }
+    }
+}
+
+/// Cluster and framework configuration (Table I plus detection knobs).
+///
+/// Time quantities are in milliseconds so the same struct drives both the
+/// simulator (virtual ms) and the threaded runtime (real ms, usually scaled
+/// down by the test harness).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YarnConfig {
+    // ---- Table I ----
+    /// `mapreduce.map.java.opts`: MapTask heap, bytes.
+    pub map_heap_bytes: u64,
+    /// `mapreduce.reduce.java.opts`: ReduceTask heap, bytes.
+    pub reduce_heap_bytes: u64,
+    /// `mapreduce.task.io.sort.factor`: maximum number of streams merged at
+    /// once; the reduce stage starts once segments are reduced below this.
+    pub io_sort_factor: usize,
+    /// `dfs.replication`.
+    pub dfs_replication: u16,
+    /// `dfs.block.size`, bytes.
+    pub dfs_block_size: u64,
+    /// `io.file.buffer.size`, bytes.
+    pub io_file_buffer_size: u64,
+    /// `yarn.nodemanager.vmem-pmem-ratio`.
+    pub vmem_pmem_ratio: f64,
+    /// `yarn.scheduler.minimum-allocation-mb`, bytes.
+    pub min_allocation_bytes: u64,
+    /// `yarn.scheduler.maximum-allocation-mb`, bytes.
+    pub max_allocation_bytes: u64,
+
+    // ---- failure detection / shuffle robustness ----
+    /// Heartbeat interval NodeManager -> ResourceManager / task -> AM.
+    pub heartbeat_interval_ms: u64,
+    /// Time without heartbeats after which a node is declared lost. The
+    /// paper measures ~70 s between crash and detection (Fig. 3).
+    pub node_liveness_timeout_ms: u64,
+    /// Consecutive fetch failures against one MOF source before the fetch is
+    /// reported to the AM.
+    pub fetch_retries_per_source: u32,
+    /// Delay between fetch retries.
+    pub fetch_retry_delay_ms: u64,
+    /// Fraction of a reducer's pending sources that must be failing before
+    /// the AM preempts (kills) the reducer as faulty — the mechanism behind
+    /// spatial amplification.
+    pub reducer_fetch_failure_fraction: f64,
+    /// Maximum attempts per task before the job is failed.
+    pub max_task_attempts: u32,
+    /// Share of reduce-side heap usable as shuffle buffer.
+    pub shuffle_buffer_fraction: f64,
+    /// In-memory segment merge threshold: when the shuffle buffer exceeds
+    /// this fraction, the in-memory merger flushes to disk.
+    pub merge_spill_fraction: f64,
+}
+
+impl Default for YarnConfig {
+    /// Table I values.
+    fn default() -> Self {
+        YarnConfig {
+            map_heap_bytes: 1536 * MB,
+            reduce_heap_bytes: 4096 * MB,
+            io_sort_factor: 100,
+            dfs_replication: 2,
+            dfs_block_size: 128 * MB,
+            io_file_buffer_size: 8 * MB,
+            vmem_pmem_ratio: 2.1,
+            min_allocation_bytes: 1024 * MB,
+            max_allocation_bytes: 6144 * MB,
+            heartbeat_interval_ms: 3_000,
+            node_liveness_timeout_ms: 70_000,
+            fetch_retries_per_source: 4,
+            fetch_retry_delay_ms: 5_000,
+            reducer_fetch_failure_fraction: 0.5,
+            max_task_attempts: 4,
+            shuffle_buffer_fraction: 0.70,
+            merge_spill_fraction: 0.66,
+        }
+    }
+}
+
+impl YarnConfig {
+    /// Shuffle buffer capacity in bytes for a reduce task.
+    pub fn shuffle_buffer_bytes(&self) -> u64 {
+        (self.reduce_heap_bytes as f64 * self.shuffle_buffer_fraction) as u64
+    }
+
+    /// A configuration scaled for fast in-process tests: small buffers and
+    /// millisecond-scale detection timeouts, preserving all ratios that the
+    /// recovery logic depends on.
+    pub fn scaled_for_tests() -> Self {
+        YarnConfig {
+            map_heap_bytes: 4 * MB,
+            reduce_heap_bytes: 16 * MB,
+            io_sort_factor: 10,
+            dfs_replication: 2,
+            dfs_block_size: 256 * KB,
+            io_file_buffer_size: 8 * KB,
+            heartbeat_interval_ms: 10,
+            node_liveness_timeout_ms: 250,
+            fetch_retries_per_source: 3,
+            fetch_retry_delay_ms: 20,
+            max_task_attempts: 8,
+            ..YarnConfig::default()
+        }
+    }
+
+    /// Basic sanity checks; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.io_sort_factor < 2 {
+            return Err("io.sort.factor must be >= 2".into());
+        }
+        if self.dfs_block_size == 0 {
+            return Err("dfs.block.size must be nonzero".into());
+        }
+        if !(0.0..=1.0).contains(&self.shuffle_buffer_fraction) {
+            return Err("shuffle_buffer_fraction must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.merge_spill_fraction) {
+            return Err("merge_spill_fraction must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.reducer_fetch_failure_fraction) {
+            return Err("reducer_fetch_failure_fraction must be in [0,1]".into());
+        }
+        if self.min_allocation_bytes > self.max_allocation_bytes {
+            return Err("minimum allocation exceeds maximum allocation".into());
+        }
+        if self.node_liveness_timeout_ms < self.heartbeat_interval_ms {
+            return Err("node liveness timeout shorter than heartbeat interval".into());
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the ALM framework itself (§III, §IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlmConfig {
+    pub mode: RecoveryMode,
+    /// Interval between analytics-log snapshots of a running ReduceTask.
+    /// §III-A observes that *higher* frequency lowers per-log cost; Fig. 12
+    /// sweeps this.
+    pub logging_interval_ms: u64,
+    /// Replication level used for reduce-stage log records and flushed
+    /// reduce output on HDFS (ALG default: rack).
+    pub log_replication: ReplicationLevel,
+    /// Algorithm 1, line 10: maximum re-launches of a failed ReduceTask on
+    /// its original (still-alive) node before giving up on local resume.
+    pub limit_local: u32,
+    /// Algorithm 1, line 16: cap on concurrently running FCM-mode recovery
+    /// tasks per job (default 10 in the paper).
+    pub fcm_cap: usize,
+    /// Algorithm 1, line 14: a speculative recovery attempt is spawned only
+    /// while the number of running attempts of the task is <= this.
+    pub max_running_attempts_for_speculation: u32,
+    /// §IV-B: proactively re-execute MapTasks from a failed node so MOFs are
+    /// regenerated before reducers stall. Disabling this re-introduces
+    /// temporal amplification (ablation for Fig. 10).
+    pub proactive_map_regen: bool,
+    /// §IV-A.1: participant nodes dismantle their Local-MPQs when no request
+    /// arrives from a recovering ReduceTask within this period.
+    pub fcm_teardown_timeout_ms: u64,
+}
+
+impl Default for AlmConfig {
+    fn default() -> Self {
+        AlmConfig {
+            mode: RecoveryMode::SfmAlg,
+            logging_interval_ms: 5_000,
+            log_replication: ReplicationLevel::Rack,
+            limit_local: 1,
+            fcm_cap: 10,
+            max_running_attempts_for_speculation: 2,
+            proactive_map_regen: true,
+            fcm_teardown_timeout_ms: 60_000,
+        }
+    }
+}
+
+impl AlmConfig {
+    /// The stock-YARN configuration: no logging, no migration.
+    pub fn baseline() -> Self {
+        AlmConfig { mode: RecoveryMode::Baseline, ..AlmConfig::default() }
+    }
+
+    pub fn with_mode(mode: RecoveryMode) -> Self {
+        AlmConfig { mode, ..AlmConfig::default() }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fcm_cap == 0 && self.mode.sfm_enabled() {
+            return Err("fcm_cap must be >= 1 when SFM is enabled".into());
+        }
+        if self.logging_interval_ms == 0 && self.mode.logs_enabled() {
+            return Err("logging interval must be nonzero when ALG is enabled".into());
+        }
+        Ok(())
+    }
+}
+
+/// Hardware profile of the evaluation testbed (§V-A): 21 nodes, 10 GbE,
+/// hex-core Xeons, one SATA SSD each. Used by the simulator's cost models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub nodes: u32,
+    pub racks: u32,
+    /// Per-node NIC bandwidth, bytes/second (10 GbE).
+    pub nic_bandwidth: u64,
+    /// Per-node aggregate disk read bandwidth, bytes/second (SATA SSD).
+    pub disk_read_bandwidth: u64,
+    /// Per-node aggregate disk write bandwidth, bytes/second.
+    pub disk_write_bandwidth: u64,
+    /// Map/reduce container slots per node (24 GB RAM, per-task heaps of
+    /// Table I give roughly this many concurrent tasks).
+    pub map_slots_per_node: u32,
+    pub reduce_slots_per_node: u32,
+    /// Container/JVM launch latency, ms.
+    pub container_launch_ms: u64,
+    /// CPU cores per node (4 x hex-core Xeon X5650 in the testbed).
+    pub cores_per_node: u32,
+    /// Aggregate cross-rack uplink bandwidth per rack, bytes/second.
+    /// Oversubscribed relative to the sum of node NICs, which is what makes
+    /// cluster-level replication expensive (Fig. 13).
+    pub rack_uplink_bandwidth: u64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            nodes: 21,
+            racks: 2,
+            nic_bandwidth: (10 * GB) / 8,      // 10 Gb/s => 1.25 GB/s
+            disk_read_bandwidth: 480 * MB,     // SATA SSD
+            disk_write_bandwidth: 400 * MB,
+            map_slots_per_node: 8,
+            reduce_slots_per_node: 4,
+            container_launch_ms: 2_500,
+            cores_per_node: 24,
+            rack_uplink_bandwidth: (3 * GB) / 4,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Worker nodes available for task containers (one node of the testbed
+    /// is dedicated to RM/NameNode in §V-A).
+    pub fn worker_nodes(&self) -> u32 {
+        self.nodes.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_defaults() {
+        let c = YarnConfig::default();
+        assert_eq!(c.map_heap_bytes, 1536 * MB);
+        assert_eq!(c.reduce_heap_bytes, 4096 * MB);
+        assert_eq!(c.io_sort_factor, 100);
+        assert_eq!(c.dfs_replication, 2);
+        assert_eq!(c.dfs_block_size, 128 * MB);
+        assert_eq!(c.io_file_buffer_size, 8 * MB);
+        assert!((c.vmem_pmem_ratio - 2.1).abs() < 1e-9);
+        assert_eq!(c.min_allocation_bytes, 1024 * MB);
+        assert_eq!(c.max_allocation_bytes, 6144 * MB);
+        c.validate().expect("Table I config must validate");
+    }
+
+    #[test]
+    fn scaled_config_validates_and_preserves_structure() {
+        let c = YarnConfig::scaled_for_tests();
+        c.validate().unwrap();
+        assert!(c.node_liveness_timeout_ms >= c.heartbeat_interval_ms);
+        assert!(c.io_sort_factor >= 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = YarnConfig::default();
+        c.io_sort_factor = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = YarnConfig::default();
+        c.min_allocation_bytes = c.max_allocation_bytes + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = YarnConfig::default();
+        c.node_liveness_timeout_ms = c.heartbeat_interval_ms - 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_mode_feature_flags() {
+        assert!(!RecoveryMode::Baseline.logs_enabled());
+        assert!(!RecoveryMode::Baseline.sfm_enabled());
+        assert!(RecoveryMode::Alg.logs_enabled());
+        assert!(!RecoveryMode::Alg.sfm_enabled());
+        assert!(!RecoveryMode::Sfm.logs_enabled());
+        assert!(RecoveryMode::Sfm.sfm_enabled());
+        assert!(RecoveryMode::SfmAlg.logs_enabled());
+        assert!(RecoveryMode::SfmAlg.sfm_enabled());
+    }
+
+    #[test]
+    fn replication_levels() {
+        assert_eq!(ReplicationLevel::Node.replica_count(3), 1);
+        assert_eq!(ReplicationLevel::Rack.replica_count(2), 2);
+        assert_eq!(ReplicationLevel::Cluster.replica_count(2), 2);
+        // A zero dfs.replication still yields at least one replica.
+        assert_eq!(ReplicationLevel::Cluster.replica_count(0), 1);
+    }
+
+    #[test]
+    fn alm_defaults_match_paper() {
+        let a = AlmConfig::default();
+        assert_eq!(a.fcm_cap, 10, "paper: FCM cap defaults to 10");
+        assert_eq!(a.max_running_attempts_for_speculation, 2);
+        assert_eq!(a.log_replication, ReplicationLevel::Rack);
+        assert!(a.proactive_map_regen);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn alm_validation() {
+        let mut a = AlmConfig::default();
+        a.fcm_cap = 0;
+        assert!(a.validate().is_err());
+        a.mode = RecoveryMode::Baseline;
+        assert!(a.validate().is_ok(), "fcm_cap irrelevant without SFM");
+
+        let mut a = AlmConfig::default();
+        a.logging_interval_ms = 0;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_spec_testbed() {
+        let s = ClusterSpec::default();
+        assert_eq!(s.nodes, 21);
+        assert_eq!(s.worker_nodes(), 20);
+        assert_eq!(s.nic_bandwidth, (10 * GB) / 8); // 1.25 GB/s
+    }
+}

@@ -1,0 +1,203 @@
+//! Failure descriptions.
+//!
+//! [`FailureReport`] is exactly the input of the paper's Algorithm 1
+//! ("Enhanced Failure Recovery Scheduling Policy"): the set of failed
+//! ReduceTasks, the set of failed MapTasks *plus* MapTasks whose output
+//! files (MOFs) were lost, and the source node of the report with its
+//! liveness. Both the baseline scheduler and the SFM policy consume it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::id::{NodeId, TaskId};
+
+/// Root cause of a task or node failure, mirroring the fault classes the
+/// paper injects (§II-B, §V-A) and the cascades it analyses (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Injected out-of-memory exception: a transient single-task fault.
+    TaskOom,
+    /// The task's host stopped responding (network services stopped /
+    /// machine crash). Detected only after the liveness timeout.
+    NodeCrash,
+    /// A reducer exceeded its fetch-failure budget against lost MOFs and
+    /// was preempted by the scheduler — the amplification mechanism.
+    FetchFailureLimit,
+    /// No progress within the task timeout.
+    TaskTimeout,
+    /// Node responsive but pathologically slow ("faulty node", §IV-B).
+    SlowNode,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::TaskOom => "task-oom",
+            FailureKind::NodeCrash => "node-crash",
+            FailureKind::FetchFailureLimit => "fetch-failure-limit",
+            FailureKind::TaskTimeout => "task-timeout",
+            FailureKind::SlowNode => "slow-node",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FailureKind {
+    /// Whether recovery may re-use the same node (the node is believed
+    /// healthy). Algorithm 1 line 9's "N is still alive" check.
+    pub fn node_presumed_alive(&self) -> bool {
+        matches!(self, FailureKind::TaskOom | FailureKind::TaskTimeout | FailureKind::SlowNode)
+    }
+}
+
+/// A failure report `R` as consumed by Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// The node the report concerns (Algorithm 1's `N`).
+    pub source_node: NodeId,
+    /// Whether `N` is still alive (heartbeating) at report time.
+    pub node_alive: bool,
+    /// Why the report was raised.
+    pub kind: FailureKind,
+    /// Failed ReduceTasks in `R` (`T_reduces`).
+    pub failed_reduces: Vec<TaskId>,
+    /// Failed MapTasks in `R` *and* maps whose MOFs were lost (`T_maps`).
+    pub failed_maps: Vec<TaskId>,
+}
+
+impl FailureReport {
+    /// A report for a single transient task failure on a live node.
+    pub fn task_failure(node: NodeId, kind: FailureKind, task: TaskId) -> Self {
+        let mut r = FailureReport {
+            source_node: node,
+            node_alive: kind.node_presumed_alive(),
+            kind,
+            failed_reduces: Vec::new(),
+            failed_maps: Vec::new(),
+        };
+        if task.is_reduce() {
+            r.failed_reduces.push(task);
+        } else {
+            r.failed_maps.push(task);
+        }
+        r
+    }
+
+    /// A report for a crashed node: every running task on it fails and
+    /// every MOF it hosted is lost.
+    pub fn node_crash(
+        node: NodeId,
+        running_tasks: impl IntoIterator<Item = TaskId>,
+        lost_mof_maps: impl IntoIterator<Item = TaskId>,
+    ) -> Self {
+        let mut failed_reduces = Vec::new();
+        let mut failed_maps: Vec<TaskId> = Vec::new();
+        for t in running_tasks {
+            if t.is_reduce() {
+                failed_reduces.push(t);
+            } else {
+                failed_maps.push(t);
+            }
+        }
+        for m in lost_mof_maps {
+            debug_assert!(m.is_map(), "lost MOFs belong to map tasks");
+            if !failed_maps.contains(&m) {
+                failed_maps.push(m);
+            }
+        }
+        FailureReport {
+            source_node: node,
+            node_alive: false,
+            kind: FailureKind::NodeCrash,
+            failed_reduces,
+            failed_maps,
+        }
+    }
+
+    /// Total number of task failures carried by the report.
+    pub fn failure_count(&self) -> usize {
+        self.failed_reduces.len() + self.failed_maps.len()
+    }
+
+    /// Internal consistency: reduces are reduces, maps are maps, no dups.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(t) = self.failed_reduces.iter().find(|t| !t.is_reduce()) {
+            return Err(format!("{t} listed in failed_reduces but is not a reduce"));
+        }
+        if let Some(t) = self.failed_maps.iter().find(|t| !t.is_map()) {
+            return Err(format!("{t} listed in failed_maps but is not a map"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in self.failed_reduces.iter().chain(self.failed_maps.iter()) {
+            if !seen.insert(*t) {
+                return Err(format!("duplicate task {t} in failure report"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::JobId;
+
+    fn job() -> JobId {
+        JobId(1)
+    }
+
+    #[test]
+    fn liveness_presumption_per_kind() {
+        assert!(FailureKind::TaskOom.node_presumed_alive());
+        assert!(FailureKind::SlowNode.node_presumed_alive());
+        assert!(FailureKind::TaskTimeout.node_presumed_alive());
+        assert!(!FailureKind::NodeCrash.node_presumed_alive());
+        assert!(!FailureKind::FetchFailureLimit.node_presumed_alive());
+    }
+
+    #[test]
+    fn task_failure_sorts_into_right_bucket() {
+        let r = FailureReport::task_failure(NodeId(3), FailureKind::TaskOom, TaskId::reduce(job(), 0));
+        assert_eq!(r.failed_reduces.len(), 1);
+        assert!(r.failed_maps.is_empty());
+        assert!(r.node_alive);
+        r.validate().unwrap();
+
+        let r = FailureReport::task_failure(NodeId(3), FailureKind::TaskOom, TaskId::map(job(), 7));
+        assert_eq!(r.failed_maps.len(), 1);
+        assert!(r.failed_reduces.is_empty());
+    }
+
+    #[test]
+    fn node_crash_merges_running_and_lost_mofs() {
+        let running = vec![TaskId::map(job(), 1), TaskId::reduce(job(), 2)];
+        // Map 1 both runs there and has a (previous attempt) MOF there.
+        let lost = vec![TaskId::map(job(), 1), TaskId::map(job(), 5)];
+        let r = FailureReport::node_crash(NodeId(9), running, lost);
+        assert!(!r.node_alive);
+        assert_eq!(r.failed_reduces, vec![TaskId::reduce(job(), 2)]);
+        assert_eq!(r.failed_maps.len(), 2, "map 1 deduplicated");
+        assert_eq!(r.failure_count(), 3);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_misfiled_tasks() {
+        let mut r = FailureReport::task_failure(NodeId(0), FailureKind::TaskOom, TaskId::map(job(), 0));
+        r.failed_reduces.push(TaskId::map(job(), 1));
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_duplicates() {
+        let t = TaskId::reduce(job(), 4);
+        let r = FailureReport {
+            source_node: NodeId(0),
+            node_alive: true,
+            kind: FailureKind::TaskOom,
+            failed_reduces: vec![t, t],
+            failed_maps: vec![],
+        };
+        assert!(r.validate().is_err());
+    }
+}

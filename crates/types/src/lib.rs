@@ -1,0 +1,23 @@
+//! Shared vocabulary for the ALM MapReduce reproduction.
+//!
+//! This crate holds the types every other crate speaks: task/job/node
+//! identifiers, the task and job state machines, the YARN configuration
+//! surface (Table I of the paper), failure descriptions (the input of the
+//! enhanced recovery scheduling policy, Algorithm 1), and progress values.
+//!
+//! Nothing in here performs I/O or simulation; it is pure data so that the
+//! real threaded runtime (`alm-runtime`) and the discrete-event simulator
+//! (`alm-sim`) can share one set of definitions.
+
+pub mod config;
+pub mod failure;
+pub mod id;
+pub mod progress;
+pub mod state;
+pub mod units;
+
+pub use config::{AlmConfig, ClusterSpec, RecoveryMode, ReplicationLevel, YarnConfig};
+pub use failure::{FailureKind, FailureReport};
+pub use id::{AttemptId, JobId, NodeId, RackId, TaskId};
+pub use progress::Progress;
+pub use state::{JobState, ReducePhase, TaskKind, TaskState};

@@ -1,0 +1,146 @@
+//! Job specifications: which workload, how much input, how many reducers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::WorkloadModel;
+use crate::{SecondarySort, Terasort, Wordcount, Workload};
+
+/// The three evaluation workloads, as a value (for configs/CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    Terasort,
+    Wordcount,
+    SecondarySort,
+}
+
+impl WorkloadKind {
+    pub const ALL: [WorkloadKind; 3] =
+        [WorkloadKind::Terasort, WorkloadKind::Wordcount, WorkloadKind::SecondarySort];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Terasort => "terasort",
+            WorkloadKind::Wordcount => "wordcount",
+            WorkloadKind::SecondarySort => "secondarysort",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "terasort" => Some(WorkloadKind::Terasort),
+            "wordcount" => Some(WorkloadKind::Wordcount),
+            "secondarysort" | "secondary-sort" => Some(WorkloadKind::SecondarySort),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the executable workload sized for in-process runs.
+    pub fn instantiate_small(&self) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Terasort => Box::new(Terasort::small()),
+            WorkloadKind::Wordcount => Box::new(Wordcount::small()),
+            WorkloadKind::SecondarySort => Box::new(SecondarySort::small()),
+        }
+    }
+
+    /// The analytic model for the simulator.
+    pub fn model(&self) -> WorkloadModel {
+        match self {
+            WorkloadKind::Terasort => Terasort::small().model(),
+            WorkloadKind::Wordcount => Wordcount::small().model(),
+            WorkloadKind::SecondarySort => SecondarySort::small().model(),
+        }
+    }
+
+    /// The input sizes the paper uses for this workload in §V-B
+    /// (Terasort 100 GB, Wordcount 10 GB, Secondarysort 10 GB).
+    pub fn paper_input_gb(&self) -> u64 {
+        match self {
+            WorkloadKind::Terasort => 100,
+            WorkloadKind::Wordcount => 10,
+            WorkloadKind::SecondarySort => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One job to run: the unit of the experiment runners.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    pub workload: WorkloadKind,
+    pub input_bytes: u64,
+    pub num_reduces: u32,
+}
+
+impl JobSpec {
+    pub fn new(workload: WorkloadKind, input_bytes: u64, num_reduces: u32) -> JobSpec {
+        JobSpec { workload, input_bytes, num_reduces }
+    }
+
+    /// Map count given the DFS block size (one split per block, like
+    /// Hadoop's FileInputFormat).
+    pub fn num_maps(&self, block_size: u64) -> u32 {
+        if self.input_bytes == 0 {
+            return 0;
+        }
+        (self.input_bytes.div_ceil(block_size.max(1))).min(u32::MAX as u64) as u32
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_bytes == 0 {
+            return Err("input size must be nonzero".into());
+        }
+        if self.num_reduces == 0 {
+            return Err("at least one reduce task is required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for k in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(WorkloadKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn map_count_follows_blocks() {
+        let j = JobSpec::new(WorkloadKind::Terasort, 1000, 4);
+        assert_eq!(j.num_maps(128), 8); // ceil(1000/128)
+        assert_eq!(j.num_maps(1000), 1);
+        assert_eq!(JobSpec::new(WorkloadKind::Terasort, 0, 4).num_maps(128), 0);
+    }
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(WorkloadKind::Terasort.paper_input_gb(), 100);
+        assert_eq!(WorkloadKind::Wordcount.paper_input_gb(), 10);
+        assert_eq!(WorkloadKind::SecondarySort.paper_input_gb(), 10);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(JobSpec::new(WorkloadKind::Wordcount, 0, 1).validate().is_err());
+        assert!(JobSpec::new(WorkloadKind::Wordcount, 10, 0).validate().is_err());
+        assert!(JobSpec::new(WorkloadKind::Wordcount, 10, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn instantiation_matches_kind() {
+        for k in WorkloadKind::ALL {
+            assert_eq!(k.instantiate_small().name(), k.name());
+            assert_eq!(k.model().name, k.name());
+        }
+    }
+}
