@@ -20,7 +20,12 @@ fn record_with_mpq(entries: usize, seq: u64) -> LogRecord {
         TaskId::reduce(JobId(1), 0).attempt(0),
         seq,
         seq * 1000,
-        StageLog::Reduce { records_processed: seq * 10_000, mpq, output_path: "/alg/partial".into(), output_records: seq * 9000 },
+        StageLog::Reduce {
+            records_processed: seq * 10_000,
+            mpq,
+            output_path: "/alg/partial".into(),
+            output_records: seq * 9000,
+        },
     )
 }
 

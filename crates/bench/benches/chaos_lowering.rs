@@ -1,0 +1,58 @@
+//! Chaos-subsystem overheads: sampling a randomized campaign from a
+//! [`FaultSpace`] and lowering scenarios onto both engines' fault
+//! vocabularies. These run per scenario inside campaign loops, so they
+//! must stay negligible next to a single simulated job (milliseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alm_chaos::{ChaosFault, ChaosScenario, FaultSpace, LoweringProfile};
+use alm_sim::SimFault;
+use alm_types::JobId;
+
+fn dense_scenario(faults: usize) -> ChaosScenario {
+    let mut s = ChaosScenario::new("dense");
+    for i in 0..faults as u32 {
+        s = match i % 5 {
+            0 => s.with(ChaosFault::KillReduce { index: i % 20, at_progress: 0.5 }),
+            1 => s.with(ChaosFault::KillMap { index: i % 80, at_progress: 0.3 }),
+            2 => s.with(ChaosFault::CrashNode { node: i % 20, at_secs: 10.0 + i as f64 }),
+            3 => s.with(ChaosFault::SlowNode { node: i % 20, at_secs: 5.0, factor: 3.0 }),
+            _ => s.with(ChaosFault::CrashRack { rack: i % 2, at_secs: 20.0 }),
+        };
+    }
+    s
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos_sample");
+    let space = FaultSpace::paper_like(20, 2, 80, 20);
+    for n in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("scenarios", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                space.sample(n, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lower(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos_lower");
+    let profile = LoweringProfile { workers: 20, racks: 2, ms_per_scenario_sec: 1000.0 };
+    for faults in [1usize, 10, 100] {
+        let s = dense_scenario(faults);
+        g.bench_with_input(BenchmarkId::new("to_shared_plan", faults), &s, |b, s| {
+            b.iter(|| s.lower(JobId(0), &profile))
+        });
+        let plan = s.lower(JobId(0), &profile);
+        g.bench_with_input(BenchmarkId::new("plan_to_sim", faults), &plan, |b, plan| {
+            b.iter(|| SimFault::lower_plan(plan))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sample, bench_lower);
+criterion_main!(benches);

@@ -45,7 +45,9 @@ fn bench_fcm(c: &mut Criterion) {
                     .iter()
                     .flatten()
                     .enumerate()
-                    .map(|(i, s)| SegmentReader::new(SegmentSource::Memory { id: i as u64 }, s.clone()).unwrap())
+                    .map(|(i, s)| {
+                        SegmentReader::new(SegmentSource::Memory { id: i as u64 }, s.clone()).unwrap()
+                    })
                     .collect();
                 let mut q = MergeQueue::new(bytewise_cmp(), readers);
                 let mut n = 0u64;
@@ -67,14 +69,18 @@ fn bench_fcm(c: &mut Criterion) {
                             .iter()
                             .enumerate()
                             .map(|(i, s)| {
-                                SegmentReader::new(SegmentSource::Memory { id: (n * 100 + i) as u64 }, s.clone())
-                                    .unwrap()
+                                SegmentReader::new(
+                                    SegmentSource::Memory { id: (n * 100 + i) as u64 },
+                                    s.clone(),
+                                )
+                                .unwrap()
                             })
                             .collect(),
                     })
                     .collect();
                 let mut n = 0u64;
-                collective_merge(&bytewise_cmp(), participants, 64 * 1024, |k, _| n += k.len() as u64).unwrap();
+                collective_merge(&bytewise_cmp(), participants, 64 * 1024, |k, _| n += k.len() as u64)
+                    .unwrap();
                 n
             })
         });

@@ -37,7 +37,9 @@ fn bench_merge(c: &mut Criterion) {
                 let readers: Vec<SegmentReader> = segs
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| SegmentReader::new(SegmentSource::Memory { id: i as u64 }, s.clone()).unwrap())
+                    .map(|(i, s)| {
+                        SegmentReader::new(SegmentSource::Memory { id: i as u64 }, s.clone()).unwrap()
+                    })
                     .collect();
                 let mut q = MergeQueue::new(bytewise_cmp(), readers);
                 let mut n = 0u64;

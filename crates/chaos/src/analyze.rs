@@ -1,0 +1,145 @@
+//! Amplification analysis over engine reports.
+//!
+//! Extracts the paper's two amplification phenomena from either engine's
+//! run report, normalised into one [`ScenarioOutcome`] shape:
+//!
+//! * **temporal amplification** (Figs. 3/10): repeated failures of the
+//!   *same* task — the longest repeat chain beyond a task's first failure;
+//! * **spatial amplification** (Fig. 4 / Table II): healthy reducers
+//!   preempted through `FetchFailureLimit` after losing a shuffle source —
+//!   failures "infecting" tasks the fault never touched.
+
+use alm_runtime::JobReport;
+use alm_sim::SimReport;
+use alm_types::{FailureKind, RecoveryMode, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::scenario::ChaosScenario;
+
+/// Which engine produced an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EngineKind {
+    Simulator,
+    Runtime,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Simulator => "sim",
+            EngineKind::Runtime => "runtime",
+        })
+    }
+}
+
+/// One (scenario, engine, mode) run, reduced to the campaign's metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    pub scenario: String,
+    pub engine: EngineKind,
+    pub mode: RecoveryMode,
+    pub succeeded: bool,
+    /// Virtual seconds (simulator) or wall seconds (runtime).
+    pub duration_secs: f64,
+    /// Faults the scenario injected that surface as failures.
+    pub injected_faults: usize,
+    pub total_failures: usize,
+    /// Distinct reduce tasks preempted via `FetchFailureLimit`.
+    pub spatial_amplification: usize,
+    /// Longest repeated-failure chain of one task (count beyond first).
+    pub temporal_amplification: usize,
+    pub fcm_attempts: u32,
+    /// Runtime only: committed output byte-identical to the oracle.
+    pub output_verified: Option<bool>,
+    /// Runtime only: reduce partitions with committed output records —
+    /// `num_reduces` here means no MOF loss went unrecovered.
+    pub partitions_committed: Option<u32>,
+}
+
+fn spatial_of(failures: impl Iterator<Item = (TaskId, FailureKind)>) -> usize {
+    let mut infected: Vec<TaskId> = failures
+        .filter(|(t, k)| t.is_reduce() && *k == FailureKind::FetchFailureLimit)
+        .map(|(t, _)| t)
+        .collect();
+    infected.sort_unstable();
+    infected.dedup();
+    infected.len()
+}
+
+fn temporal_of(failures: impl Iterator<Item = TaskId>) -> usize {
+    let mut per_task: BTreeMap<TaskId, usize> = BTreeMap::new();
+    for t in failures {
+        *per_task.entry(t).or_default() += 1;
+    }
+    per_task.values().map(|n| n.saturating_sub(1)).max().unwrap_or(0)
+}
+
+/// Analyze a simulator run of `scenario` under `mode`.
+pub fn analyze_sim(scenario: &ChaosScenario, mode: RecoveryMode, report: &SimReport) -> ScenarioOutcome {
+    ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        engine: EngineKind::Simulator,
+        mode,
+        succeeded: report.succeeded,
+        duration_secs: report.job_secs,
+        injected_faults: scenario.injected_failure_faults(),
+        total_failures: report.failures.len(),
+        spatial_amplification: spatial_of(report.failures.iter().map(|f| (f.task, f.kind))),
+        temporal_amplification: temporal_of(report.failures.iter().map(|f| f.task)),
+        fcm_attempts: report.fcm_attempts,
+        output_verified: None,
+        partitions_committed: None,
+    }
+}
+
+/// Analyze a threaded-runtime run of `scenario` under `mode`.
+/// `output_verified` carries the caller's oracle comparison.
+pub fn analyze_runtime(
+    scenario: &ChaosScenario,
+    mode: RecoveryMode,
+    report: &JobReport,
+    output_verified: bool,
+) -> ScenarioOutcome {
+    ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        engine: EngineKind::Runtime,
+        mode,
+        succeeded: report.succeeded,
+        duration_secs: report.job_time_ms as f64 / 1000.0,
+        injected_faults: scenario.injected_failure_faults(),
+        total_failures: report.failures.len(),
+        spatial_amplification: spatial_of(report.failures.iter().map(|f| (f.task, f.kind))),
+        temporal_amplification: temporal_of(report.failures.iter().map(|f| f.task)),
+        fcm_attempts: report.fcm_attempts,
+        output_verified: Some(output_verified),
+        partitions_committed: Some(report.output_records.len() as u32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alm_types::JobId;
+
+    #[test]
+    fn spatial_counts_distinct_fetch_limited_reduces_only() {
+        let j = JobId(0);
+        let failures = vec![
+            (TaskId::reduce(j, 1), FailureKind::FetchFailureLimit),
+            (TaskId::reduce(j, 1), FailureKind::FetchFailureLimit),
+            (TaskId::reduce(j, 2), FailureKind::FetchFailureLimit),
+            (TaskId::reduce(j, 3), FailureKind::TaskOom),
+            (TaskId::map(j, 0), FailureKind::FetchFailureLimit),
+        ];
+        assert_eq!(spatial_of(failures.into_iter()), 2);
+    }
+
+    #[test]
+    fn temporal_is_the_longest_repeat_chain() {
+        let j = JobId(0);
+        let tasks = vec![TaskId::reduce(j, 0), TaskId::reduce(j, 0), TaskId::reduce(j, 0), TaskId::map(j, 1)];
+        assert_eq!(temporal_of(tasks.into_iter()), 2);
+        assert_eq!(temporal_of(std::iter::empty()), 0);
+    }
+}

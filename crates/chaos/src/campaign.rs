@@ -1,0 +1,300 @@
+//! Campaign execution: scenarios × recovery modes × engines.
+//!
+//! A campaign takes declarative [`ChaosScenario`]s and executes each under
+//! every recovery mode of interest, on the discrete-event simulator
+//! ([`SimCampaign`], paper scale, virtual time) and/or the threaded
+//! runtime ([`RuntimeCampaign`], real bytes — every successful run's
+//! committed output is checked against the `alm_workloads::reference`
+//! oracle). Outcomes accumulate into a [`CampaignReport`] that renders as
+//! text/markdown and serialises to JSON.
+
+use std::sync::Arc;
+
+use alm_metrics::TextTable;
+use alm_runtime::am::run_job;
+use alm_runtime::{JobDef, MiniCluster};
+use alm_sim::experiment::run_one;
+use alm_sim::{ExperimentEnv, SimFault, SimJobSpec};
+use alm_types::{AlmConfig, ClusterSpec, JobId, RecoveryMode, YarnConfig};
+use alm_workloads::reference::{canonicalize, reference_output};
+use alm_workloads::{Record, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::analyze::{analyze_runtime, analyze_sim, EngineKind, ScenarioOutcome};
+use crate::scenario::{ChaosScenario, LoweringProfile};
+
+/// Simulator-side campaign configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCampaign {
+    pub spec: SimJobSpec,
+    pub cluster: ClusterSpec,
+    pub yarn: YarnConfig,
+    pub modes: Vec<RecoveryMode>,
+}
+
+impl SimCampaign {
+    /// Paper testbed (21 nodes / 2 racks, Table I) around a job spec.
+    pub fn paper(spec: SimJobSpec, modes: Vec<RecoveryMode>) -> SimCampaign {
+        SimCampaign { spec, cluster: ClusterSpec::default(), yarn: YarnConfig::default(), modes }
+    }
+
+    pub fn profile(&self) -> LoweringProfile {
+        LoweringProfile::simulator(&self.cluster)
+    }
+
+    /// Run one scenario under one mode.
+    pub fn run_scenario(&self, scenario: &ChaosScenario, mode: RecoveryMode) -> ScenarioOutcome {
+        let env = ExperimentEnv {
+            cluster: self.cluster.clone(),
+            yarn: self.yarn.clone(),
+            alm: AlmConfig::with_mode(mode),
+        };
+        let plan = scenario.lower(JobId(0), &self.profile());
+        let report = run_one(&self.spec, &env, SimFault::lower_plan(&plan));
+        analyze_sim(scenario, mode, &report)
+    }
+
+    /// Every scenario under every mode.
+    pub fn run(&self, scenarios: &[ChaosScenario]) -> Vec<ScenarioOutcome> {
+        let mut out = Vec::with_capacity(scenarios.len() * self.modes.len());
+        for s in scenarios {
+            for &m in &self.modes {
+                out.push(self.run_scenario(s, m));
+            }
+        }
+        out
+    }
+}
+
+/// Threaded-runtime campaign configuration (test-scaled, real bytes).
+#[derive(Clone)]
+pub struct RuntimeCampaign {
+    pub workload: Arc<dyn Workload>,
+    pub num_maps: u32,
+    pub num_reduces: u32,
+    pub seed: u64,
+    /// Cluster size; `MiniCluster::for_tests` supplies 2 racks and the
+    /// millisecond-scale `YarnConfig`.
+    pub nodes: u32,
+    /// Scenario-seconds compress to this many wall milliseconds.
+    pub ms_per_scenario_sec: f64,
+    pub modes: Vec<RecoveryMode>,
+}
+
+impl RuntimeCampaign {
+    pub fn profile(&self) -> LoweringProfile {
+        LoweringProfile::runtime(self.nodes, 2.min(self.nodes), self.ms_per_scenario_sec)
+    }
+
+    fn oracle(&self) -> Vec<Record> {
+        canonicalize(&reference_output(self.workload.as_ref(), self.num_maps, self.num_reduces, self.seed))
+    }
+
+    fn committed(cluster: &MiniCluster, job: &JobDef) -> Option<Vec<Record>> {
+        let mut all = Vec::new();
+        for r in 0..job.num_reduces {
+            let data = cluster.dfs.read(&job.output_path(r)).ok()?;
+            let mut off = 0;
+            while let Some((k, v, next)) = alm_shuffle::codec::decode_at(&data, off).ok()? {
+                all.push(Record::new(k.to_vec(), v.to_vec()));
+                off = next;
+            }
+        }
+        all.sort();
+        Some(all)
+    }
+
+    /// Run one scenario under one mode, verifying committed bytes against
+    /// the reference oracle.
+    pub fn run_scenario(&self, scenario: &ChaosScenario, mode: RecoveryMode) -> ScenarioOutcome {
+        let cluster = Arc::new(MiniCluster::for_tests(self.nodes));
+        let mut alm = AlmConfig::with_mode(mode);
+        alm.logging_interval_ms = 1; // log eagerly at test scale
+        let job =
+            JobDef::new(JobId(0), self.workload.clone(), self.num_maps, self.num_reduces, self.seed, alm);
+        let plan = scenario.lower(job.id, &self.profile());
+        let report = run_job(cluster.clone(), job.clone(), plan);
+        let verified =
+            report.succeeded && Self::committed(&cluster, &job).is_some_and(|got| got == self.oracle());
+        analyze_runtime(scenario, mode, &report, verified)
+    }
+
+    /// Every scenario under every mode.
+    pub fn run(&self, scenarios: &[ChaosScenario]) -> Vec<ScenarioOutcome> {
+        let mut out = Vec::with_capacity(scenarios.len() * self.modes.len());
+        for s in scenarios {
+            for &m in &self.modes {
+                out.push(self.run_scenario(s, m));
+            }
+        }
+        out
+    }
+}
+
+/// Accumulated campaign results + renderers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    pub name: String,
+    pub seed: u64,
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    pub fn new(name: impl Into<String>, seed: u64) -> CampaignReport {
+        CampaignReport { name: name.into(), seed, outcomes: Vec::new() }
+    }
+
+    pub fn extend(&mut self, outcomes: Vec<ScenarioOutcome>) -> &mut Self {
+        self.outcomes.extend(outcomes);
+        self
+    }
+
+    fn modes(&self) -> Vec<(EngineKind, RecoveryMode)> {
+        let mut keys: Vec<(EngineKind, RecoveryMode)> =
+            self.outcomes.iter().map(|o| (o.engine, o.mode)).collect();
+        keys.sort_by_key(|(e, m)| (*e, *m as u8));
+        keys.dedup();
+        keys
+    }
+
+    fn of(&self, engine: EngineKind, mode: RecoveryMode) -> impl Iterator<Item = &ScenarioOutcome> {
+        self.outcomes.iter().filter(move |o| o.engine == engine && o.mode == mode)
+    }
+
+    /// Per engine × mode aggregate (the Table II shape, campaign-wide).
+    pub fn mode_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!("campaign {} (seed {})", self.name, self.seed),
+            &["engine", "mode", "scenarios", "ok", "spatial>0", "spatial total", "temporal max", "mean secs"],
+        );
+        for (engine, mode) in self.modes() {
+            let runs: Vec<&ScenarioOutcome> = self.of(engine, mode).collect();
+            let n = runs.len().max(1);
+            let mean = runs.iter().map(|o| o.duration_secs).sum::<f64>() / n as f64;
+            t.row(&[
+                engine.to_string(),
+                format!("{mode:?}"),
+                runs.len().to_string(),
+                runs.iter().filter(|o| o.succeeded).count().to_string(),
+                runs.iter().filter(|o| o.spatial_amplification > 0).count().to_string(),
+                runs.iter().map(|o| o.spatial_amplification).sum::<usize>().to_string(),
+                runs.iter().map(|o| o.temporal_amplification).max().unwrap_or(0).to_string(),
+                format!("{mean:.1}"),
+            ]);
+        }
+        t
+    }
+
+    /// Scenarios where `baseline` shows spatial amplification, paired with
+    /// `treated`'s count on the same scenario — the paper's headline
+    /// contrast (Table II: YARN amplifies, SFM does not).
+    pub fn spatial_contrast(
+        &self,
+        engine: EngineKind,
+        baseline: RecoveryMode,
+        treated: RecoveryMode,
+    ) -> Vec<(String, usize, usize)> {
+        self.of(engine, baseline)
+            .filter(|b| b.spatial_amplification > 0)
+            .filter_map(|b| {
+                self.of(engine, treated)
+                    .find(|t| t.scenario == b.scenario)
+                    .map(|t| (b.scenario.clone(), b.spatial_amplification, t.spatial_amplification))
+            })
+            .collect()
+    }
+
+    pub fn render_text(&self) -> String {
+        self.mode_table().render_text()
+    }
+
+    pub fn render_markdown(&self) -> String {
+        self.mode_table().render_markdown()
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign report serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::EngineKind;
+    use crate::scenario::ChaosFault;
+    use alm_types::units::GB;
+    use alm_workloads::{Terasort, WorkloadKind};
+
+    fn kill_reduce(name: &str, index: u32, p: f64) -> ChaosScenario {
+        ChaosScenario::new(name).with(ChaosFault::KillReduce { index, at_progress: p })
+    }
+
+    #[test]
+    fn sim_campaign_runs_scenarios_across_modes() {
+        let campaign = SimCampaign::paper(
+            SimJobSpec::new(WorkloadKind::Terasort, GB, 4, 11),
+            vec![RecoveryMode::Baseline, RecoveryMode::SfmAlg],
+        );
+        let outcomes = campaign.run(&[kill_reduce("k0", 0, 0.5), kill_reduce("k1", 1, 0.2)]);
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert!(o.succeeded, "{o:?}");
+            assert_eq!(o.engine, EngineKind::Simulator);
+            assert_eq!(o.injected_faults, 1);
+            assert!(o.total_failures >= 1, "the injected kill must be recorded: {o:?}");
+        }
+    }
+
+    #[test]
+    fn runtime_campaign_verifies_output_against_oracle() {
+        let campaign = RuntimeCampaign {
+            workload: Arc::new(Terasort::new(600)),
+            num_maps: 3,
+            num_reduces: 2,
+            seed: 42,
+            nodes: 4,
+            ms_per_scenario_sec: 5.0,
+            modes: vec![RecoveryMode::Baseline],
+        };
+        let outcomes = campaign.run(&[kill_reduce("k", 0, 0.5)]);
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        assert!(o.succeeded, "{o:?}");
+        assert_eq!(o.engine, EngineKind::Runtime);
+        assert_eq!(o.output_verified, Some(true), "committed bytes must match the oracle");
+    }
+
+    #[test]
+    fn report_aggregates_and_contrasts() {
+        let mk = |scenario: &str, mode, spatial| ScenarioOutcome {
+            scenario: scenario.into(),
+            engine: EngineKind::Simulator,
+            mode,
+            succeeded: true,
+            duration_secs: 100.0,
+            injected_faults: 1,
+            total_failures: spatial + 1,
+            spatial_amplification: spatial,
+            temporal_amplification: 0,
+            fcm_attempts: 0,
+            output_verified: None,
+            partitions_committed: None,
+        };
+        let mut r = CampaignReport::new("unit", 1);
+        r.extend(vec![
+            mk("a", RecoveryMode::Baseline, 2),
+            mk("a", RecoveryMode::SfmAlg, 0),
+            mk("b", RecoveryMode::Baseline, 0),
+            mk("b", RecoveryMode::SfmAlg, 0),
+        ]);
+        let contrast =
+            r.spatial_contrast(EngineKind::Simulator, RecoveryMode::Baseline, RecoveryMode::SfmAlg);
+        assert_eq!(contrast, vec![("a".to_string(), 2, 0)]);
+        let txt = r.render_text();
+        assert!(txt.contains("Baseline") && txt.contains("SfmAlg"), "{txt}");
+        let md = r.render_markdown();
+        assert!(md.contains("| sim | Baseline |"), "{md}");
+        let back: CampaignReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,246 @@
+//! Differential cross-engine validation.
+//!
+//! Runs the *same* [`ChaosScenario`] on both engines at a matched small
+//! scale — the threaded runtime over real bytes and the discrete-event
+//! simulator over the same worker/rack/map/reduce counts — under each
+//! recovery mode, and asserts engine-independent invariants:
+//!
+//! 1. **completes** — every engine × mode run finishes the job;
+//! 2. **output-oracle** — every runtime run's committed bytes equal the
+//!    `alm_workloads::reference` oracle's;
+//! 3. **amplification-ordering** — the engines never *strictly contradict*
+//!    each other on how recovery modes order by spatial amplification
+//!    (if the simulator says mode A amplifies more than mode B, the
+//!    runtime must not say the opposite);
+//! 4. **no-mof-loss** — no lost map output goes unrecovered: the runtime
+//!    commits every reduce partition, the simulator completes every
+//!    reduce.
+
+use std::sync::Arc;
+
+use alm_sim::SimJobSpec;
+use alm_types::{ClusterSpec, RecoveryMode, YarnConfig};
+use alm_workloads::{Terasort, WorkloadKind};
+use serde::{Deserialize, Serialize};
+
+use crate::analyze::{EngineKind, ScenarioOutcome};
+use crate::campaign::{RuntimeCampaign, SimCampaign};
+use crate::scenario::ChaosScenario;
+
+/// The matched small scale both engines run at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchedScale {
+    /// Worker nodes (runtime cluster size; simulator gets workers + 1
+    /// master). 2 racks in both, `worker % 2` placement in both.
+    pub workers: u32,
+    pub num_maps: u32,
+    pub num_reduces: u32,
+    pub seed: u64,
+    /// Terasort records per split for the runtime's real-byte job.
+    pub records_per_split: u32,
+    /// Scenario-seconds → wall-ms compression for the runtime.
+    pub ms_per_scenario_sec: f64,
+}
+
+impl Default for MatchedScale {
+    fn default() -> MatchedScale {
+        MatchedScale {
+            workers: 5,
+            num_maps: 5,
+            num_reduces: 3,
+            seed: 42,
+            records_per_split: 900,
+            ms_per_scenario_sec: 5.0,
+        }
+    }
+}
+
+/// One named invariant check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invariant {
+    pub name: String,
+    pub passed: bool,
+    pub detail: String,
+}
+
+/// The verdict of one differential validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DifferentialReport {
+    pub scenario: String,
+    pub modes: Vec<RecoveryMode>,
+    pub invariants: Vec<Invariant>,
+    /// Both engines' per-mode outcomes, for inspection.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl DifferentialReport {
+    pub fn ok(&self) -> bool {
+        self.invariants.iter().all(|i| i.passed)
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = format!("differential validation: scenario {}\n", self.scenario);
+        for i in &self.invariants {
+            out.push_str(&format!(
+                "  [{}] {} — {}\n",
+                if i.passed { "ok" } else { "FAIL" },
+                i.name,
+                i.detail
+            ));
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("differential report serialisation cannot fail")
+    }
+}
+
+fn sign(a: usize, b: usize) -> i8 {
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+
+/// Validate `scenario` across both engines at [`MatchedScale::default`].
+pub fn validate_scenario(scenario: &ChaosScenario, modes: &[RecoveryMode]) -> DifferentialReport {
+    validate_at(scenario, modes, &MatchedScale::default())
+}
+
+/// Validate `scenario` across both engines at an explicit matched scale.
+pub fn validate_at(
+    scenario: &ChaosScenario,
+    modes: &[RecoveryMode],
+    scale: &MatchedScale,
+) -> DifferentialReport {
+    let yarn = YarnConfig::default();
+    let sim = SimCampaign {
+        spec: SimJobSpec::new(
+            WorkloadKind::Terasort,
+            scale.num_maps as u64 * yarn.dfs_block_size,
+            scale.num_reduces,
+            scale.seed,
+        ),
+        cluster: ClusterSpec { nodes: scale.workers + 1, ..ClusterSpec::default() },
+        yarn,
+        modes: modes.to_vec(),
+    };
+    let runtime = RuntimeCampaign {
+        workload: Arc::new(Terasort::new(scale.records_per_split)),
+        num_maps: scale.num_maps,
+        num_reduces: scale.num_reduces,
+        seed: scale.seed,
+        nodes: scale.workers,
+        ms_per_scenario_sec: scale.ms_per_scenario_sec,
+        modes: modes.to_vec(),
+    };
+
+    let mut outcomes = sim.run(std::slice::from_ref(scenario));
+    outcomes.extend(runtime.run(std::slice::from_ref(scenario)));
+
+    let by = |engine: EngineKind, mode: RecoveryMode| {
+        outcomes.iter().find(|o| o.engine == engine && o.mode == mode).expect("one outcome per engine x mode")
+    };
+
+    let mut invariants = Vec::new();
+
+    let stuck: Vec<String> =
+        outcomes.iter().filter(|o| !o.succeeded).map(|o| format!("{}/{:?}", o.engine, o.mode)).collect();
+    invariants.push(Invariant {
+        name: "completes".into(),
+        passed: stuck.is_empty(),
+        detail: if stuck.is_empty() {
+            format!("all {} engine x mode runs completed", outcomes.len())
+        } else {
+            format!("did not complete: {}", stuck.join(", "))
+        },
+    });
+
+    let unverified: Vec<String> = outcomes
+        .iter()
+        .filter(|o| o.engine == EngineKind::Runtime && o.output_verified != Some(true))
+        .map(|o| format!("{:?}", o.mode))
+        .collect();
+    invariants.push(Invariant {
+        name: "output-oracle".into(),
+        passed: unverified.is_empty(),
+        detail: if unverified.is_empty() {
+            "every runtime run committed byte-identical oracle output".into()
+        } else {
+            format!("oracle mismatch under: {}", unverified.join(", "))
+        },
+    });
+
+    let mut contradictions = Vec::new();
+    for (i, &a) in modes.iter().enumerate() {
+        for &b in &modes[i + 1..] {
+            let s = sign(
+                by(EngineKind::Simulator, a).spatial_amplification,
+                by(EngineKind::Simulator, b).spatial_amplification,
+            );
+            let r = sign(
+                by(EngineKind::Runtime, a).spatial_amplification,
+                by(EngineKind::Runtime, b).spatial_amplification,
+            );
+            if s * r < 0 {
+                contradictions.push(format!("{a:?} vs {b:?} (sim {s:+}, runtime {r:+})"));
+            }
+        }
+    }
+    invariants.push(Invariant {
+        name: "amplification-ordering".into(),
+        passed: contradictions.is_empty(),
+        detail: if contradictions.is_empty() {
+            "engines agree on how modes order by spatial amplification".into()
+        } else {
+            format!("engines contradict on: {}", contradictions.join("; "))
+        },
+    });
+
+    let mof_loss: Vec<String> = outcomes
+        .iter()
+        .filter(|o| match o.engine {
+            EngineKind::Runtime => o.partitions_committed != Some(scale.num_reduces),
+            EngineKind::Simulator => !o.succeeded,
+        })
+        .map(|o| format!("{}/{:?}", o.engine, o.mode))
+        .collect();
+    invariants.push(Invariant {
+        name: "no-mof-loss".into(),
+        passed: mof_loss.is_empty(),
+        detail: if mof_loss.is_empty() {
+            format!("all {} reduce partitions recovered and committed everywhere", scale.num_reduces)
+        } else {
+            format!("unrecovered output loss under: {}", mof_loss.join(", "))
+        },
+    });
+
+    DifferentialReport { scenario: scenario.name.clone(), modes: modes.to_vec(), invariants, outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ChaosFault;
+
+    #[test]
+    fn task_kill_scenario_validates_across_engines() {
+        let scenario =
+            ChaosScenario::new("diff-kill").with(ChaosFault::KillReduce { index: 1, at_progress: 0.5 });
+        let report = validate_scenario(&scenario, &[RecoveryMode::Baseline, RecoveryMode::SfmAlg]);
+        assert!(report.ok(), "{}", report.render_text());
+        assert_eq!(report.outcomes.len(), 4);
+        let json = report.to_json();
+        let back: DifferentialReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sign_is_a_three_way_comparison() {
+        assert_eq!(sign(0, 1), -1);
+        assert_eq!(sign(1, 1), 0);
+        assert_eq!(sign(2, 1), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Declarative fault-campaign subsystem for the ALM reproduction.
+//!
+//! The repo has two engines that execute the same recovery policies: the
+//! threaded mini-YARN (`alm-runtime`, real bytes, wall time) and the
+//! discrete-event simulator (`alm-sim`, paper scale, virtual time). This
+//! crate closes the loop between them:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`scenario`] | serde scenario spec: task kills, node crashes (timed, progress-triggered), slow nodes, correlated rack failures — lowered to both engines through the shared `alm_types::FaultPlan` |
+//! | [`space`]    | seeded randomized sweeps: a [`FaultSpace`] distribution sampled into N reproducible scenarios |
+//! | [`campaign`] | campaign runner: scenarios × recovery modes on either engine, runtime outputs checked against the reference oracle |
+//! | [`analyze`]  | amplification analyzer: temporal (repeated-failure chains, Figs. 3/10) and spatial (fetch-failure-infected reducers, Fig. 4 / Table II) metrics, JSON + text reports |
+//! | [`differential`] | differential validator: the same scenario on both engines at matched scale, asserting invariant agreement |
+
+pub mod analyze;
+pub mod campaign;
+pub mod differential;
+pub mod scenario;
+pub mod space;
+
+pub use analyze::{analyze_runtime, analyze_sim, EngineKind, ScenarioOutcome};
+pub use campaign::{CampaignReport, RuntimeCampaign, SimCampaign};
+pub use differential::{validate_at, validate_scenario, DifferentialReport, Invariant, MatchedScale};
+pub use scenario::{ChaosFault, ChaosScenario, LoweringProfile};
+pub use space::{FaultSpace, FaultWeights};

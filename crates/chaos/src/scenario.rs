@@ -1,0 +1,238 @@
+//! Declarative fault-campaign scenarios.
+//!
+//! A [`ChaosScenario`] names a set of [`ChaosFault`]s in *engine-neutral,
+//! job-neutral* terms: tasks by kind + index (no [`JobId`] yet), nodes by
+//! worker index, racks by rack index, times in **scenario seconds**. One
+//! lowering pass ([`ChaosScenario::lower`]) binds a job id, expands
+//! correlated rack crashes into their member-node crashes, and rescales
+//! scenario seconds to engine-native milliseconds — producing the shared
+//! [`FaultPlan`] both engines consume (the simulator via
+//! `alm_sim::SimFault::lower_plan`, the threaded runtime directly).
+
+use alm_types::{Fault, FaultPlan, JobId, NodeId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One declarative fault. Times are in scenario seconds; the lowering
+/// profile decides what a scenario second means to each engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChaosFault {
+    /// Injected OOM in attempt 0 of a map task at a fraction of its input.
+    KillMap { index: u32, at_progress: f64 },
+    /// Injected OOM in attempt 0 of a reduce task at a fraction of its
+    /// overall progress (the Fig. 2/8 scenario).
+    KillReduce { index: u32, at_progress: f64 },
+    /// Crash one worker node at an absolute scenario time.
+    CrashNode { node: u32, at_secs: f64 },
+    /// Crash one worker node once a reduce task reaches a progress
+    /// fraction (how §V places node failures; needs no time rescaling).
+    CrashNodeAtReduceProgress { node: u32, reduce_index: u32, at_progress: f64 },
+    /// Degrade a node's compute speed by `factor` (>= 1) from a scenario
+    /// time on. The node keeps heartbeating: faulty-but-alive (§IV-B).
+    SlowNode { node: u32, at_secs: f64, factor: f64 },
+    /// Correlated failure: crash *every* worker in the rack at once.
+    /// Expanded at lowering time using the shared `worker % racks`
+    /// placement both engines inherit from `Topology::even`.
+    CrashRack { rack: u32, at_secs: f64 },
+}
+
+impl ChaosFault {
+    /// Whether this fault is expected to surface as at least one recorded
+    /// task failure (slow nodes only degrade; they never fail anything).
+    pub fn produces_failures(&self) -> bool {
+        !matches!(self, ChaosFault::SlowNode { .. })
+    }
+}
+
+/// How a scenario maps onto one engine's cluster and clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoweringProfile {
+    /// Worker count (simulator: `ClusterSpec::worker_nodes()`; threaded
+    /// runtime: the `MiniCluster` node count — every node hosts tasks).
+    pub workers: u32,
+    pub racks: u32,
+    /// Engine-native milliseconds one scenario second lowers to. The
+    /// simulator runs at paper scale, so a scenario second *is* a virtual
+    /// second (1000). The test-scaled threaded runtime finishes whole jobs
+    /// in hundreds of wall milliseconds, so a scenario second shrinks to a
+    /// few real milliseconds.
+    pub ms_per_scenario_sec: f64,
+}
+
+impl LoweringProfile {
+    /// Profile for the discrete-event simulator.
+    pub fn simulator(cluster: &alm_types::ClusterSpec) -> LoweringProfile {
+        LoweringProfile { workers: cluster.worker_nodes(), racks: cluster.racks, ms_per_scenario_sec: 1000.0 }
+    }
+
+    /// Profile for a test-scaled threaded runtime cluster of `nodes`
+    /// nodes: one scenario second compresses to `ms_per_scenario_sec`
+    /// real milliseconds.
+    pub fn runtime(nodes: u32, racks: u32, ms_per_scenario_sec: f64) -> LoweringProfile {
+        LoweringProfile { workers: nodes, racks, ms_per_scenario_sec }
+    }
+
+    /// Workers in a rack, under the shared `worker % racks` placement.
+    pub fn rack_members(&self, rack: u32) -> Vec<u32> {
+        let racks = self.racks.max(1);
+        (0..self.workers).filter(|w| w % racks == rack % racks).collect()
+    }
+
+    fn to_ms(self, secs: f64) -> u64 {
+        (secs * self.ms_per_scenario_sec).round().max(0.0) as u64
+    }
+}
+
+/// A named, self-contained fault campaign scenario (serde round-trippable,
+/// so campaigns can be written as JSON and replayed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosScenario {
+    pub name: String,
+    pub faults: Vec<ChaosFault>,
+}
+
+impl ChaosScenario {
+    pub fn new(name: impl Into<String>) -> ChaosScenario {
+        ChaosScenario { name: name.into(), faults: Vec::new() }
+    }
+
+    pub fn with(mut self, fault: ChaosFault) -> ChaosScenario {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Faults expected to surface as recorded task failures (the
+    /// denominator for "additional failures" in amplification analysis).
+    pub fn injected_failure_faults(&self) -> usize {
+        self.faults.iter().filter(|f| f.produces_failures()).count()
+    }
+
+    /// Reduce indices this scenario kills *directly* (by task kill); node
+    /// crashes infect further tasks only through the engines' dynamics.
+    pub fn directly_killed_reduces(&self) -> Vec<u32> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                ChaosFault::KillReduce { index, .. } => Some(*index),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Lower onto the shared [`FaultPlan`]: bind `job`, expand rack
+    /// crashes, rescale scenario seconds via `profile`. Node/rack indices
+    /// are clamped into the profile's worker range so randomly sampled
+    /// scenarios stay valid on any cluster size.
+    pub fn lower(&self, job: JobId, profile: &LoweringProfile) -> FaultPlan {
+        let workers = profile.workers.max(1);
+        let node = |n: u32| NodeId(n % workers);
+        let mut plan = FaultPlan::none();
+        for f in &self.faults {
+            match f {
+                ChaosFault::KillMap { index, at_progress } => plan.faults.push(Fault::KillTask {
+                    task: TaskId::map(job, *index),
+                    attempt_number: 0,
+                    at_progress: *at_progress,
+                }),
+                ChaosFault::KillReduce { index, at_progress } => plan.faults.push(Fault::KillTask {
+                    task: TaskId::reduce(job, *index),
+                    attempt_number: 0,
+                    at_progress: *at_progress,
+                }),
+                ChaosFault::CrashNode { node: n, at_secs } => {
+                    plan.faults.push(Fault::CrashNodeAtMs { node: node(*n), at_ms: profile.to_ms(*at_secs) })
+                }
+                ChaosFault::CrashNodeAtReduceProgress { node: n, reduce_index, at_progress } => {
+                    plan.faults.push(Fault::CrashNodeAtReduceProgress {
+                        node: node(*n),
+                        reduce_index: *reduce_index,
+                        at_progress: *at_progress,
+                    })
+                }
+                ChaosFault::SlowNode { node: n, at_secs, factor } => plan.faults.push(Fault::SlowNode {
+                    node: node(*n),
+                    at_ms: profile.to_ms(*at_secs),
+                    factor: *factor,
+                }),
+                ChaosFault::CrashRack { rack, at_secs } => {
+                    for w in profile.rack_members(*rack) {
+                        plan.faults
+                            .push(Fault::CrashNodeAtMs { node: NodeId(w), at_ms: profile.to_ms(*at_secs) });
+                    }
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> LoweringProfile {
+        LoweringProfile { workers: 6, racks: 2, ms_per_scenario_sec: 1000.0 }
+    }
+
+    #[test]
+    fn rack_membership_follows_modulo_placement() {
+        let p = profile();
+        assert_eq!(p.rack_members(0), vec![0, 2, 4]);
+        assert_eq!(p.rack_members(1), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn rack_crash_expands_to_member_nodes() {
+        let s = ChaosScenario::new("rack-loss").with(ChaosFault::CrashRack { rack: 1, at_secs: 30.0 });
+        let plan = s.lower(JobId(7), &profile());
+        let crashed: Vec<(u32, u64)> = plan
+            .faults
+            .iter()
+            .map(|f| match f {
+                Fault::CrashNodeAtMs { node, at_ms } => (node.0, *at_ms),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(crashed, vec![(1, 30_000), (3, 30_000), (5, 30_000)]);
+    }
+
+    #[test]
+    fn scenario_seconds_rescale_per_engine() {
+        let s = ChaosScenario::new("crash").with(ChaosFault::CrashNode { node: 2, at_secs: 30.0 });
+        let sim = s.lower(JobId(0), &profile());
+        let rt = s.lower(JobId(0), &LoweringProfile::runtime(6, 2, 5.0));
+        assert_eq!(sim.faults, vec![Fault::CrashNodeAtMs { node: NodeId(2), at_ms: 30_000 }]);
+        assert_eq!(rt.faults, vec![Fault::CrashNodeAtMs { node: NodeId(2), at_ms: 150 }]);
+    }
+
+    #[test]
+    fn node_indices_clamp_into_worker_range() {
+        let s = ChaosScenario::new("oob").with(ChaosFault::CrashNode { node: 13, at_secs: 1.0 });
+        let plan = s.lower(JobId(0), &profile());
+        assert_eq!(plan.faults, vec![Fault::CrashNodeAtMs { node: NodeId(1), at_ms: 1000 }]);
+    }
+
+    #[test]
+    fn kills_bind_the_job_id_and_count_as_injected() {
+        let s = ChaosScenario::new("kills")
+            .with(ChaosFault::KillReduce { index: 3, at_progress: 0.8 })
+            .with(ChaosFault::KillMap { index: 1, at_progress: 0.5 })
+            .with(ChaosFault::SlowNode { node: 0, at_secs: 0.0, factor: 4.0 });
+        assert_eq!(s.injected_failure_faults(), 2);
+        assert_eq!(s.directly_killed_reduces(), vec![3]);
+        let plan = s.lower(JobId(9), &profile());
+        assert_eq!(plan.kill_point(TaskId::reduce(JobId(9), 3), 0), Some(0.8));
+        assert_eq!(plan.kill_point(TaskId::map(JobId(9), 1), 0), Some(0.5));
+        assert_eq!(plan.slow_nodes().count(), 1);
+    }
+
+    #[test]
+    fn scenario_serde_round_trip() {
+        let s = ChaosScenario::new("mixed")
+            .with(ChaosFault::CrashNodeAtReduceProgress { node: 1, reduce_index: 5, at_progress: 0.1 })
+            .with(ChaosFault::CrashRack { rack: 0, at_secs: 12.5 })
+            .with(ChaosFault::SlowNode { node: 2, at_secs: 3.0, factor: 2.5 });
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ChaosScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -31,10 +31,7 @@ pub struct LogPaths {
 
 impl LogPaths {
     pub fn for_task(task: TaskId) -> LogPaths {
-        LogPaths {
-            local_prefix: format!("alg/{task}/"),
-            dfs_prefix: format!("/alg/{task}/"),
-        }
+        LogPaths { local_prefix: format!("alg/{task}/"), dfs_prefix: format!("/alg/{task}/") }
     }
 
     pub fn local_record(&self, seq: u64) -> String {
@@ -102,7 +99,12 @@ impl AnalyticsLogger {
         self.bytes_written
     }
 
-    fn write_local(&mut self, fs: &dyn LocalFs, now_ms: u64, stage: StageLog) -> Result<LogRecord, ShuffleError> {
+    fn write_local(
+        &mut self,
+        fs: &dyn LocalFs,
+        now_ms: u64,
+        stage: StageLog,
+    ) -> Result<LogRecord, ShuffleError> {
         let rec = LogRecord::new(self.attempt, self.seq, now_ms, stage);
         let encoded = rec.encode();
         self.bytes_written += encoded.len() as u64;
@@ -202,7 +204,12 @@ pub struct PartialOutput {
 
 impl PartialOutput {
     pub fn new(paths: &LogPaths) -> PartialOutput {
-        PartialOutput { dfs_path: paths.dfs_partial_output(), buf: Vec::new(), records: 0, flushed_records: 0 }
+        PartialOutput {
+            dfs_path: paths.dfs_partial_output(),
+            buf: Vec::new(),
+            records: 0,
+            flushed_records: 0,
+        }
     }
 
     /// Reload previously flushed output during recovery.
@@ -328,10 +335,7 @@ mod tests {
         let mut out = PartialOutput::new(lg.paths());
         out.append(b"k1", b"v1");
         out.append(b"k2", b"v2");
-        let rec = lg
-            .maybe_log_reduce(0, &d, NodeId(1), &[], 2, &mut out)
-            .unwrap()
-            .unwrap();
+        let rec = lg.maybe_log_reduce(0, &d, NodeId(1), &[], 2, &mut out).unwrap().unwrap();
         match &rec.stage {
             StageLog::Reduce { records_processed, output_records, output_path, .. } => {
                 assert_eq!(*records_processed, 2);

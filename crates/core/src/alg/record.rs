@@ -31,17 +31,10 @@ pub enum StageLog {
     /// Shuffle stage: which MOFs have been fetched and where the local
     /// intermediate files are. On resume, only the missing MOFs are
     /// re-fetched.
-    Shuffle {
-        shuffled_bytes: u64,
-        fetched_mof_ids: Vec<u32>,
-        intermediate_files: Vec<String>,
-    },
+    Shuffle { shuffled_bytes: u64, fetched_mof_ids: Vec<u32>, intermediate_files: Vec<String> },
     /// Merge stage: all segments are local; only the file paths (and how
     /// far the factor-merge has come) matter.
-    Merge {
-        merge_progress: f64,
-        intermediate_files: Vec<String>,
-    },
+    Merge { merge_progress: f64, intermediate_files: Vec<String> },
     /// Reduce stage: the MPQ structure plus the amount of reduce work
     /// already done and where its flushed output lives on the DFS.
     Reduce {
@@ -108,8 +101,7 @@ impl LogRecord {
         if fnv64(payload) != checksum {
             return Err(ShuffleError::Corrupt("log record checksum mismatch".into()));
         }
-        serde_json::from_slice(payload)
-            .map_err(|e| ShuffleError::Corrupt(format!("log record json: {e}")))
+        serde_json::from_slice(payload).map_err(|e| ShuffleError::Corrupt(format!("log record json: {e}")))
     }
 }
 
@@ -143,7 +135,10 @@ mod tests {
             StageLog::Merge { merge_progress: 0.4, intermediate_files: vec!["r/merged-1.out".into()] },
             StageLog::Reduce {
                 records_processed: 12345,
-                mpq: vec![MpqLogEntry { source: SegmentSource::LocalFile { path: "r/final-0.out".into() }, offset: 4096 }],
+                mpq: vec![MpqLogEntry {
+                    source: SegmentSource::LocalFile { path: "r/final-0.out".into() },
+                    offset: 4096,
+                }],
                 output_path: "/out/part-3".into(),
                 output_records: 999,
             },
@@ -159,15 +154,24 @@ mod tests {
     #[test]
     fn stage_phases() {
         assert_eq!(
-            StageLog::Shuffle { shuffled_bytes: 0, fetched_mof_ids: vec![], intermediate_files: vec![] }.phase(),
+            StageLog::Shuffle { shuffled_bytes: 0, fetched_mof_ids: vec![], intermediate_files: vec![] }
+                .phase(),
             ReducePhase::Shuffle
         );
-        assert_eq!(StageLog::Merge { merge_progress: 0.0, intermediate_files: vec![] }.phase(), ReducePhase::Merge);
+        assert_eq!(
+            StageLog::Merge { merge_progress: 0.0, intermediate_files: vec![] }.phase(),
+            ReducePhase::Merge
+        );
     }
 
     #[test]
     fn torn_record_detected() {
-        let rec = LogRecord::new(attempt(), 0, 0, StageLog::Merge { merge_progress: 0.5, intermediate_files: vec![] });
+        let rec = LogRecord::new(
+            attempt(),
+            0,
+            0,
+            StageLog::Merge { merge_progress: 0.5, intermediate_files: vec![] },
+        );
         let bytes = rec.encode();
         // Truncate the payload: torn write.
         assert!(LogRecord::decode(&bytes[..bytes.len() - 3]).is_err());

@@ -35,12 +35,7 @@ pub enum RecoveredState {
     /// Resume at the merge stage with these local intermediate files.
     MergeStage { intermediate_files: Vec<String>, merge_progress: f64, seq: u64 },
     /// Resume mid-shuffle: re-fetch only the missing MOFs.
-    ShuffleStage {
-        shuffled_bytes: u64,
-        fetched_mof_ids: Vec<u32>,
-        intermediate_files: Vec<String>,
-        seq: u64,
-    },
+    ShuffleStage { shuffled_bytes: u64, fetched_mof_ids: Vec<u32>, intermediate_files: Vec<String>, seq: u64 },
     /// No usable log: start from scratch.
     Fresh,
 }
@@ -49,13 +44,24 @@ impl RecoveredState {
     pub fn from_record(rec: LogRecord) -> RecoveredState {
         match rec.stage {
             StageLog::Reduce { records_processed, mpq, output_path, output_records } => {
-                RecoveredState::ReduceStage { records_processed, mpq, output_path, output_records, seq: rec.seq }
+                RecoveredState::ReduceStage {
+                    records_processed,
+                    mpq,
+                    output_path,
+                    output_records,
+                    seq: rec.seq,
+                }
             }
             StageLog::Merge { merge_progress, intermediate_files } => {
                 RecoveredState::MergeStage { intermediate_files, merge_progress, seq: rec.seq }
             }
             StageLog::Shuffle { shuffled_bytes, fetched_mof_ids, intermediate_files } => {
-                RecoveredState::ShuffleStage { shuffled_bytes, fetched_mof_ids, intermediate_files, seq: rec.seq }
+                RecoveredState::ShuffleStage {
+                    shuffled_bytes,
+                    fetched_mof_ids,
+                    intermediate_files,
+                    seq: rec.seq,
+                }
             }
         }
     }
@@ -120,11 +126,7 @@ pub fn find_latest_log(
 }
 
 /// `find_latest_log` + `RecoveredState::from_record`.
-pub fn recover_state(
-    local_fs: Option<&dyn LocalFs>,
-    dfs: &DfsCluster,
-    paths: &LogPaths,
-) -> RecoveredState {
+pub fn recover_state(local_fs: Option<&dyn LocalFs>, dfs: &DfsCluster, paths: &LogPaths) -> RecoveredState {
     find_latest_log(local_fs, dfs, paths).map_or(RecoveredState::Fresh, RecoveredState::from_record)
 }
 
@@ -153,7 +155,11 @@ mod tests {
             attempt(),
             seq,
             0,
-            StageLog::Shuffle { shuffled_bytes: seq * 10, fetched_mof_ids: vec![], intermediate_files: vec![] },
+            StageLog::Shuffle {
+                shuffled_bytes: seq * 10,
+                fetched_mof_ids: vec![],
+                intermediate_files: vec![],
+            },
         )
     }
 
@@ -162,7 +168,12 @@ mod tests {
             attempt(),
             seq,
             0,
-            StageLog::Reduce { records_processed: seq, mpq: vec![], output_path: "/p".into(), output_records: 0 },
+            StageLog::Reduce {
+                records_processed: seq,
+                mpq: vec![],
+                output_path: "/p".into(),
+                output_records: 0,
+            },
         )
     }
 
@@ -193,8 +204,10 @@ mod tests {
         fs.write(&p.local_record(9), shuffle_rec(9).encode()).unwrap();
         d.write(&p.dfs_record(3), reduce_rec(3).encode(), NodeId(0), ReplicationLevel::Rack).unwrap();
         let st = recover_state(Some(&fs), &d, &p);
-        assert!(matches!(st, RecoveredState::ReduceStage { records_processed: 3, .. }),
-            "reduce-stage progress strictly supersedes shuffle-stage logs");
+        assert!(
+            matches!(st, RecoveredState::ReduceStage { records_processed: 3, .. }),
+            "reduce-stage progress strictly supersedes shuffle-stage logs"
+        );
     }
 
     #[test]
@@ -223,8 +236,13 @@ mod tests {
     fn partial_output_file_is_not_mistaken_for_a_record() {
         let d = dfs();
         let p = paths();
-        d.write(&p.dfs_partial_output(), Bytes::from_static(b"raw output bytes"), NodeId(0), ReplicationLevel::Rack)
-            .unwrap();
+        d.write(
+            &p.dfs_partial_output(),
+            Bytes::from_static(b"raw output bytes"),
+            NodeId(0),
+            ReplicationLevel::Rack,
+        )
+        .unwrap();
         assert!(recover_state(None, &d, &p).is_fresh());
     }
 

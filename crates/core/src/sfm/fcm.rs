@@ -191,7 +191,11 @@ impl FcmPipeline {
 /// runs for the caller's Global-MPQ. This is the building block used by
 /// `alm-runtime`'s FCM-mode ReduceTask, which needs to own the merge loop
 /// (for grouping, logging and cancellation).
-pub fn spawn_participants(cmp: &KeyCmp, participants: Vec<Participant>, chunk_bytes: usize) -> Result<FcmPipeline> {
+pub fn spawn_participants(
+    cmp: &KeyCmp,
+    participants: Vec<Participant>,
+    chunk_bytes: usize,
+) -> Result<FcmPipeline> {
     let chunk_bytes = chunk_bytes.max(64);
     let mut handles = Vec::with_capacity(participants.len());
     let mut runs = Vec::with_capacity(participants.len());
@@ -267,8 +271,12 @@ mod tests {
             Participant { node: NodeId(1), segments: vec![reader(2, &["b", "d", "f"])] },
         ];
         let mut keys = Vec::new();
-        let stats = collective_merge(&bytewise_cmp(), participants, 64, |k, _| keys.push(k.to_vec())).unwrap();
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec(), b"f".to_vec()]);
+        let stats =
+            collective_merge(&bytewise_cmp(), participants, 64, |k, _| keys.push(k.to_vec())).unwrap();
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec(), b"f".to_vec()]
+        );
         assert_eq!(stats.participants, 2);
         assert_eq!(stats.records, 6);
     }
@@ -293,8 +301,14 @@ mod tests {
         // chunk_bytes is clamped to 64, below any realistic record run, so
         // nearly every record crosses a channel send.
         let participants = vec![
-            Participant { node: NodeId(0), segments: vec![reader(0, &["aaaaaaaaaaaaaaaa", "cccccccccccccccc"]) ] },
-            Participant { node: NodeId(1), segments: vec![reader(1, &["bbbbbbbbbbbbbbbb", "dddddddddddddddd"]) ] },
+            Participant {
+                node: NodeId(0),
+                segments: vec![reader(0, &["aaaaaaaaaaaaaaaa", "cccccccccccccccc"])],
+            },
+            Participant {
+                node: NodeId(1),
+                segments: vec![reader(1, &["bbbbbbbbbbbbbbbb", "dddddddddddddddd"])],
+            },
         ];
         let mut keys = Vec::new();
         collective_merge(&bytewise_cmp(), participants, 1, |k, _| keys.push(k[0])).unwrap();

@@ -117,10 +117,8 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         let Reverse(entry) = self.heap.pop()?;
-        let payload = self
-            .payloads
-            .remove(&entry.seq)
-            .expect("skip_cancelled guarantees a live payload at the top");
+        let payload =
+            self.payloads.remove(&entry.seq).expect("skip_cancelled guarantees a live payload at the top");
         debug_assert!(entry.time >= self.now, "virtual time must be monotone");
         self.now = entry.time;
         self.popped += 1;

@@ -17,7 +17,10 @@ pub enum DfsError {
     /// A block of the file has no replica on any live node. For MOF-less
     /// recovery this is the "lost data" condition; for ALG it means the
     /// log's replication level was insufficient for the failure.
-    BlockUnavailable { path: String, block: usize },
+    BlockUnavailable {
+        path: String,
+        block: usize,
+    },
     /// No live node satisfied the placement request at all.
     NoLiveReplicaTarget,
 }
@@ -214,11 +217,7 @@ impl DfsCluster {
     /// Number of blocks that currently have no live replica.
     pub fn lost_block_count(&self) -> usize {
         let inner = self.inner.lock();
-        inner
-            .blocks
-            .values()
-            .filter(|b| !b.replicas.iter().any(|n| inner.alive.contains(n)))
-            .count()
+        inner.blocks.values().filter(|b| !b.replicas.iter().any(|n| inner.alive.contains(n))).count()
     }
 
     /// Total bytes stored across all replicas (capacity accounting).

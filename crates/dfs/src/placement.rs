@@ -37,10 +37,8 @@ pub fn choose_replicas(
     }
 
     let pick_from = |pool: Vec<NodeId>, chosen: &mut Vec<NodeId>, want: usize, salt: u64| {
-        let mut pool: Vec<NodeId> = pool
-            .into_iter()
-            .filter(|n| alive.contains(n) && !chosen.contains(n))
-            .collect();
+        let mut pool: Vec<NodeId> =
+            pool.into_iter().filter(|n| alive.contains(n) && !chosen.contains(n)).collect();
         pool.sort_unstable();
         if pool.is_empty() {
             return;
@@ -123,8 +121,11 @@ mod tests {
     fn degrades_when_rack_too_small() {
         // Rack 1 holds only node 1; rack-level rep=2 from node 1 must
         // degrade off-rack rather than under-replicate.
-        let topo =
-            Topology::from_pairs([(NodeId(0), alm_types::RackId(0)), (NodeId(1), alm_types::RackId(1)), (NodeId(2), alm_types::RackId(0))]);
+        let topo = Topology::from_pairs([
+            (NodeId(0), alm_types::RackId(0)),
+            (NodeId(1), alm_types::RackId(1)),
+            (NodeId(2), alm_types::RackId(0)),
+        ]);
         let alive: BTreeSet<NodeId> = [NodeId(0), NodeId(1), NodeId(2)].into();
         let r = choose_replicas(&topo, NodeId(1), ReplicationLevel::Rack, 2, &alive, 0);
         assert_eq!(r.len(), 2);

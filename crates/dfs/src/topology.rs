@@ -16,9 +16,7 @@ impl Topology {
     /// identical machines).
     pub fn even(nodes: u32, racks: u32) -> Topology {
         let racks = racks.max(1);
-        let node_rack = (0..nodes)
-            .map(|n| (NodeId(n), RackId(n % racks)))
-            .collect();
+        let node_rack = (0..nodes).map(|n| (NodeId(n), RackId(n % racks))).collect();
         Topology { node_rack }
     }
 
@@ -50,12 +48,9 @@ impl Topology {
     pub fn rack_peers(&self, node: NodeId) -> Vec<NodeId> {
         match self.rack_of(node) {
             None => Vec::new(),
-            Some(rack) => self
-                .node_rack
-                .iter()
-                .filter(|(n, r)| **r == rack && **n != node)
-                .map(|(n, _)| *n)
-                .collect(),
+            Some(rack) => {
+                self.node_rack.iter().filter(|(n, r)| **r == rack && **n != node).map(|(n, _)| *n).collect()
+            }
         }
     }
 
@@ -63,12 +58,7 @@ impl Topology {
     pub fn off_rack_nodes(&self, node: NodeId) -> Vec<NodeId> {
         match self.rack_of(node) {
             None => self.nodes().collect(),
-            Some(rack) => self
-                .node_rack
-                .iter()
-                .filter(|(_, r)| **r != rack)
-                .map(|(n, _)| *n)
-                .collect(),
+            Some(rack) => self.node_rack.iter().filter(|(_, r)| **r != rack).map(|(n, _)| *n).collect(),
         }
     }
 

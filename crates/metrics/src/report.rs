@@ -48,14 +48,7 @@ impl ExperimentReport {
         let mut out = format!("==== {} — {} ====\n", self.id, self.title);
         if !self.params.is_empty() {
             out.push_str("params: ");
-            out.push_str(
-                &self
-                    .params
-                    .iter()
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect::<Vec<_>>()
-                    .join(", "),
-            );
+            out.push_str(&self.params.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(", "));
             out.push('\n');
         }
         for t in &self.tables {

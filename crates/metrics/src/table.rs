@@ -31,6 +31,22 @@ impl TextTable {
         self.row(&cells);
     }
 
+    /// Render as a GitHub-flavoured markdown table (title as a heading),
+    /// for reports destined for READMEs / PR bodies rather than consoles.
+    pub fn render_markdown(&self) -> String {
+        let cell = |c: &str| c.replace('|', "\\|");
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!(
+            "| {} |\n",
+            self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(" | ")
+        ));
+        out.push_str(&format!("|{}\n", " --- |".repeat(self.headers.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.iter().map(|c| cell(c)).collect::<Vec<_>>().join(" | ")));
+        }
+        out
+    }
+
     /// Render with columns padded to their widest cell.
     pub fn render_text(&self) -> String {
         let ncols = self.headers.len();
@@ -73,9 +89,21 @@ mod tests {
         assert!(txt.contains("Table II"));
         let lines: Vec<&str> = txt.lines().collect();
         assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
-        // Header columns align with row columns.
+                                    // Header columns align with row columns.
         let hpos = lines[1].find("Point").unwrap();
         assert_eq!(&lines[3][hpos..hpos + 3], "10%");
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = TextTable::new("Table II", &["Type", "Additional Failures"]);
+        t.row(&["YARN".into(), "2".into()]);
+        t.row(&["SFM|ALG".into(), "0".into()]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("### Table II\n"));
+        assert!(md.contains("| Type | Additional Failures |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("| SFM\\|ALG | 0 |"), "pipes must be escaped: {md}");
     }
 
     #[test]

@@ -79,7 +79,12 @@ impl Timeline {
         let mut out = format!("## timeline: {}\n", self.name);
         for &(t, p) in &self.samples {
             let cols = (p * 50.0).round() as usize;
-            out.push_str(&format!("{t:>8.1}s |{}{}| {:5.1}%\n", "#".repeat(cols), " ".repeat(50 - cols), p * 100.0));
+            out.push_str(&format!(
+                "{t:>8.1}s |{}{}| {:5.1}%\n",
+                "#".repeat(cols),
+                " ".repeat(50 - cols),
+                p * 100.0
+            ));
         }
         for a in &self.annotations {
             out.push_str(&format!("  @ {:>7.1}s  {}\n", a.at_secs, a.label));

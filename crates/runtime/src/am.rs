@@ -74,6 +74,7 @@ pub struct JobRunner {
     rr_next: u32,
     pending_crashes_ms: Vec<(NodeId, u64)>,
     pending_crashes_progress: Vec<(NodeId, u32, f64)>,
+    pending_slow_ms: Vec<(NodeId, u64, f64)>,
 }
 
 impl JobRunner {
@@ -83,12 +84,14 @@ impl JobRunner {
         let reduces = (0..job.num_reduces).map(|_| TaskState::new()).collect();
         let mut pending_crashes_ms = Vec::new();
         let mut pending_crashes_progress = Vec::new();
+        let mut pending_slow_ms = Vec::new();
         for f in &faults.faults {
             match f {
                 Fault::CrashNodeAtMs { node, at_ms } => pending_crashes_ms.push((*node, *at_ms)),
                 Fault::CrashNodeAtReduceProgress { node, reduce_index, at_progress } => {
                     pending_crashes_progress.push((*node, *reduce_index, *at_progress))
                 }
+                Fault::SlowNode { node, at_ms, factor } => pending_slow_ms.push((*node, *at_ms, *factor)),
                 Fault::KillTask { .. } => {}
             }
         }
@@ -109,6 +112,7 @@ impl JobRunner {
             rr_next: 0,
             pending_crashes_ms,
             pending_crashes_progress,
+            pending_slow_ms,
         }
     }
 
@@ -212,11 +216,7 @@ impl JobRunner {
 
     /// Count of running FCM attempts across the job (Algorithm 1 line 16).
     fn fcm_running(&self) -> usize {
-        self.reduces
-            .iter()
-            .flat_map(|t| t.running.values())
-            .filter(|(_, m, _)| *m == ExecMode::Fcm)
-            .count()
+        self.reduces.iter().flat_map(|t| t.running.values()).filter(|(_, m, _)| *m == ExecMode::Fcm).count()
     }
 
     fn execute_actions(&mut self, actions: Vec<SchedAction>) {
@@ -244,8 +244,11 @@ impl JobRunner {
         let task = attempt.task;
         self.record_failure(attempt, kind);
         // Drop the dead attempt from the running set.
-        let state =
-            if task.is_map() { &mut self.maps[task.index as usize] } else { &mut self.reduces[task.index as usize] };
+        let state = if task.is_map() {
+            &mut self.maps[task.index as usize]
+        } else {
+            &mut self.reduces[task.index as usize]
+        };
         state.running.remove(&attempt);
         if state.completed {
             return;
@@ -257,7 +260,8 @@ impl JobRunner {
             let mut ctx = PolicyCtx::new(&self.job.alm, self.fcm_running());
             if task.is_reduce() {
                 let st = &self.reduces[task.index as usize];
-                ctx.attempts_on_source_node.insert(task, st.attempts_on_node.get(&node).copied().unwrap_or(0));
+                ctx.attempts_on_source_node
+                    .insert(task, st.attempts_on_node.get(&node).copied().unwrap_or(0));
                 ctx.running_attempts.insert(task, st.running.len() as u32);
             }
             let actions = schedule_recovery(&report, &ctx);
@@ -278,12 +282,8 @@ impl JobRunner {
         let mut dead_attempts: Vec<(AttemptId, ExecMode)> = Vec::new();
         for table in [&mut self.maps, &mut self.reduces] {
             for st in table.iter_mut() {
-                let doomed: Vec<AttemptId> = st
-                    .running
-                    .iter()
-                    .filter(|(_, (n, _, _))| *n == node)
-                    .map(|(a, _)| *a)
-                    .collect();
+                let doomed: Vec<AttemptId> =
+                    st.running.iter().filter(|(_, (n, _, _))| *n == node).map(|(a, _)| *a).collect();
                 for a in doomed {
                     let (_, mode, _) = st.running.remove(&a).unwrap();
                     if !st.completed {
@@ -354,8 +354,11 @@ impl JobRunner {
 
     /// Cancel every running attempt of a task except `keep`.
     fn cancel_others(&mut self, task: TaskId, keep: AttemptId) {
-        let state =
-            if task.is_map() { &mut self.maps[task.index as usize] } else { &mut self.reduces[task.index as usize] };
+        let state = if task.is_map() {
+            &mut self.maps[task.index as usize]
+        } else {
+            &mut self.reduces[task.index as usize]
+        };
         for (a, (_, _, cancel)) in state.running.iter() {
             if *a != keep {
                 cancel.store(true, Ordering::Relaxed);
@@ -366,15 +369,18 @@ impl JobRunner {
 
     fn check_time_faults(&mut self) {
         let now = self.now_ms();
-        let due: Vec<NodeId> = self
-            .pending_crashes_ms
-            .iter()
-            .filter(|(_, at)| *at <= now)
-            .map(|(n, _)| *n)
-            .collect();
+        let due: Vec<NodeId> =
+            self.pending_crashes_ms.iter().filter(|(_, at)| *at <= now).map(|(n, _)| *n).collect();
         self.pending_crashes_ms.retain(|(_, at)| *at > now);
         for n in due {
             self.cluster.crash_node(n);
+        }
+        // Activate due slow-node degradations (the node stays alive).
+        let due_slow: Vec<(NodeId, f64)> =
+            self.pending_slow_ms.iter().filter(|(_, at, _)| *at <= now).map(|(n, _, f)| (*n, *f)).collect();
+        self.pending_slow_ms.retain(|(_, at, _)| *at > now);
+        for (n, f) in due_slow {
+            self.cluster.node(n).set_slow(f);
         }
     }
 
@@ -427,11 +433,9 @@ impl JobRunner {
             self.check_node_detection();
 
             // Job-level failure: a task ran out of attempts with nothing running.
-            let exhausted = self
-                .reduces
-                .iter()
-                .chain(self.maps.iter())
-                .any(|t| !t.completed && t.running.is_empty() && t.attempts >= self.cluster.config.max_task_attempts);
+            let exhausted = self.reduces.iter().chain(self.maps.iter()).any(|t| {
+                !t.completed && t.running.is_empty() && t.attempts >= self.cluster.config.max_task_attempts
+            });
             if exhausted {
                 break;
             }
@@ -471,11 +475,7 @@ impl JobRunner {
                 TaskEvent::ReduceProgress { attempt, phase, progress } => {
                     let overall = crate::reducetask::overall_progress(phase, progress);
                     let now = self.now_ms();
-                    self.report
-                        .reduce_timeline
-                        .entry(attempt.task.index)
-                        .or_default()
-                        .push((now, overall));
+                    self.report.reduce_timeline.entry(attempt.task.index).or_default().push((now, overall));
                     self.check_progress_faults(attempt.task.index, overall);
                 }
                 TaskEvent::MapProgress { .. } => {}

@@ -4,9 +4,9 @@ use alm_dfs::{DfsCluster, Topology};
 use alm_shuffle::MemFs;
 use alm_types::{NodeId, YarnConfig};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One compute node: a local store, a liveness flag, and crash bookkeeping.
 pub struct NodeHandle {
@@ -15,15 +15,46 @@ pub struct NodeHandle {
     alive: AtomicBool,
     /// When the node was crashed (for the AM's detection delay).
     crashed_at: Mutex<Option<Instant>>,
+    /// Compute-slowdown factor as f64 bits (1.0 = healthy). Injected
+    /// `Fault::SlowNode` degradations raise it; task threads throttle
+    /// against it at their safe points. The node keeps heartbeating.
+    slow_factor: AtomicU64,
 }
 
 impl NodeHandle {
     fn new(id: NodeId) -> NodeHandle {
-        NodeHandle { id, fs: MemFs::new(), alive: AtomicBool::new(true), crashed_at: Mutex::new(None) }
+        NodeHandle {
+            id,
+            fs: MemFs::new(),
+            alive: AtomicBool::new(true),
+            crashed_at: Mutex::new(None),
+            slow_factor: AtomicU64::new(1.0f64.to_bits()),
+        }
     }
 
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Acquire)
+    }
+
+    /// Degrade (or restore, with 1.0) the node's compute speed.
+    pub fn set_slow(&self, factor: f64) {
+        self.slow_factor.store(factor.max(1.0).to_bits(), Ordering::Release);
+    }
+
+    pub fn slow_factor(&self) -> f64 {
+        f64::from_bits(self.slow_factor.load(Ordering::Acquire))
+    }
+
+    /// Called by task threads at their record-loop safe points: on a
+    /// degraded node, sleep proportionally to the slowdown factor so the
+    /// node's tasks become stragglers without ever failing. Healthy nodes
+    /// pay only an atomic load.
+    pub fn throttle(&self) {
+        let f = self.slow_factor();
+        if f > 1.0 {
+            let us = ((f - 1.0) * 200.0).min(5_000.0) as u64;
+            std::thread::sleep(Duration::from_micros(us));
+        }
     }
 
     /// Crash the node: wipe its store (MOFs, spills, local logs all gone)
@@ -97,6 +128,17 @@ mod tests {
         assert!(n.crashed_for().is_some());
         assert!(!c.dfs.is_node_alive(NodeId(1)));
         assert_eq!(c.alive_nodes(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn slow_factor_defaults_healthy_and_clamps() {
+        let c = MiniCluster::for_tests(2);
+        let n = c.node(NodeId(0));
+        assert_eq!(n.slow_factor(), 1.0);
+        n.set_slow(3.5);
+        assert_eq!(n.slow_factor(), 3.5);
+        n.set_slow(0.2); // cannot make a node faster than healthy
+        assert_eq!(n.slow_factor(), 1.0);
     }
 
     #[test]

@@ -1,89 +1,28 @@
-//! Fault injection plans — the experiment methodology of §V-A:
-//! "We inject out-of-memory exceptions to crash a task to emulate the
-//! transient task failures and stop the network services on a node for
-//! node failures."
+//! Fault injection plans — the experiment methodology of §V-A.
+//!
+//! The vocabulary itself lives in `alm_types::failure` so that this engine
+//! and the discrete-event simulator inject from one shared plan type; this
+//! module re-exports it under the runtime's historical path. The runtime
+//! consumes the plan directly: `at_ms` triggers fire against the job's
+//! real-time clock, progress triggers are polled by the task threads, and
+//! [`Fault::SlowNode`] throttles a node's task threads at their safe
+//! points.
 
-use alm_types::{NodeId, TaskId};
-
-/// One planned fault.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Fault {
-    /// Inject an OOM into a specific attempt of `task` once it reaches
-    /// `at_progress` of its own work.
-    KillTask { task: TaskId, attempt_number: u32, at_progress: f64 },
-    /// Crash a node at an absolute time since job start.
-    CrashNodeAtMs { node: NodeId, at_ms: u64 },
-    /// Crash a node once reduce `reduce_index` reaches `at_progress` of its
-    /// reduce-phase work (how Figs. 9/10 and Table II place node failures
-    /// "at X% of the reduce phase").
-    CrashNodeAtReduceProgress { node: NodeId, reduce_index: u32, at_progress: f64 },
-}
-
-/// The set of faults to inject into one job run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct FaultPlan {
-    pub faults: Vec<Fault>,
-}
-
-impl FaultPlan {
-    pub fn none() -> FaultPlan {
-        FaultPlan::default()
-    }
-
-    pub fn kill_task(task: TaskId, at_progress: f64) -> FaultPlan {
-        FaultPlan { faults: vec![Fault::KillTask { task, attempt_number: 0, at_progress }] }
-    }
-
-    pub fn crash_node_at_ms(node: NodeId, at_ms: u64) -> FaultPlan {
-        FaultPlan { faults: vec![Fault::CrashNodeAtMs { node, at_ms }] }
-    }
-
-    pub fn crash_node_at_reduce_progress(node: NodeId, reduce_index: u32, at_progress: f64) -> FaultPlan {
-        FaultPlan { faults: vec![Fault::CrashNodeAtReduceProgress { node, reduce_index, at_progress }] }
-    }
-
-    pub fn and(mut self, other: FaultPlan) -> FaultPlan {
-        self.faults.extend(other.faults);
-        self
-    }
-
-    /// The self-kill progress point for a given attempt, if planned.
-    pub fn kill_point(&self, task: TaskId, attempt_number: u32) -> Option<f64> {
-        self.faults.iter().find_map(|f| match f {
-            Fault::KillTask { task: t, attempt_number: a, at_progress }
-                if *t == task && *a == attempt_number =>
-            {
-                Some(*at_progress)
-            }
-            _ => None,
-        })
-    }
-
-    /// Number of directly injected faults (for amplification accounting).
-    pub fn injected_count(&self) -> usize {
-        self.faults.len()
-    }
-}
+pub use alm_types::failure::{Fault, FaultPlan};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alm_types::JobId;
+    use alm_types::{JobId, NodeId, TaskId};
 
     #[test]
-    fn kill_point_matches_task_and_attempt() {
+    fn runtime_and_types_share_one_plan_type() {
+        // A plan built through the runtime path is the types' plan —
+        // not a parallel definition.
         let t = TaskId::reduce(JobId(0), 1);
-        let plan = FaultPlan::kill_task(t, 0.5);
+        let plan: alm_types::FaultPlan =
+            FaultPlan::kill_task(t, 0.5).and(FaultPlan::crash_node_at_ms(NodeId(2), 100));
         assert_eq!(plan.kill_point(t, 0), Some(0.5));
-        assert_eq!(plan.kill_point(t, 1), None, "recovery attempts are not re-killed");
-        assert_eq!(plan.kill_point(TaskId::reduce(JobId(0), 2), 0), None);
-    }
-
-    #[test]
-    fn plans_compose() {
-        let t = TaskId::map(JobId(0), 0);
-        let plan = FaultPlan::kill_task(t, 0.1).and(FaultPlan::crash_node_at_ms(NodeId(2), 100));
-        assert_eq!(plan.faults.len(), 2);
         assert_eq!(plan.injected_count(), 2);
     }
 }

@@ -18,7 +18,14 @@ pub struct JobDef {
 }
 
 impl JobDef {
-    pub fn new(id: JobId, workload: Arc<dyn Workload>, num_maps: u32, num_reduces: u32, seed: u64, alm: AlmConfig) -> JobDef {
+    pub fn new(
+        id: JobId,
+        workload: Arc<dyn Workload>,
+        num_maps: u32,
+        num_reduces: u32,
+        seed: u64,
+        alm: AlmConfig,
+    ) -> JobDef {
         JobDef { id, workload, num_maps, num_reduces, seed, alm }
     }
 

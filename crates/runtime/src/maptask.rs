@@ -44,7 +44,8 @@ pub fn run_map(ctx: MapCtx) {
     );
 
     for (i, rec) in records.iter().enumerate() {
-        // Safe point: die silently with the node; honour cancellation.
+        // Safe point: die silently with the node; honour cancellation;
+        // straggle if the node is degraded.
         if i % 64 == 0 {
             if !ctx.node.is_alive() {
                 return;
@@ -52,6 +53,7 @@ pub fn run_map(ctx: MapCtx) {
             if ctx.cancelled.load(Ordering::Relaxed) {
                 return;
             }
+            ctx.node.throttle();
             let progress = i as f64 / total as f64;
             if let Some(kill) = ctx.kill_at {
                 if progress >= kill {

@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use alm_core::{
-    recover_state, spawn_participants, AnalyticsLogger, ExecMode, LogPaths, Participant,
-    PartialOutput, RecoveredState,
+    recover_state, spawn_participants, AnalyticsLogger, ExecMode, LogPaths, PartialOutput, Participant,
+    RecoveredState,
 };
 use alm_dfs::DfsCluster;
 use alm_shuffle::mpq::SortedRun;
@@ -59,6 +59,13 @@ impl ReduceCtx {
     /// Returns true if the attempt should die silently.
     fn dead_or_cancelled(&self) -> bool {
         !self.node.is_alive() || self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Hot-loop safe point: straggle if the node is degraded (injected
+    /// slow-node fault), then report whether the attempt should die.
+    fn safe_point(&self) -> bool {
+        self.node.throttle();
+        self.dead_or_cancelled()
     }
 
     fn fail(&self, kind: FailureKind) {
@@ -269,7 +276,9 @@ fn run_fcm(
     // state is the reduce-stage skip count (plus the restored output).
     let skip = match start {
         StartState::SkipReplay(n) => n,
-        StartState::MpqResume(_) | StartState::Fresh | StartState::Shuffle(_) | StartState::MergeReady(_) => 0,
+        StartState::MpqResume(_) | StartState::Fresh | StartState::Shuffle(_) | StartState::MergeReady(_) => {
+            0
+        }
     };
 
     // Wait until every MOF is present on a live node (the AM is
@@ -354,7 +363,7 @@ fn shuffle_phase(
     let total = ctx.job.num_maps.max(1) as f64;
 
     while !pending.is_empty() {
-        if ctx.dead_or_cancelled() {
+        if ctx.safe_point() {
             return Err(Exit::Silent);
         }
         let frac = (total - pending.len() as f64) / total;
@@ -507,7 +516,7 @@ fn reduce_phase<R: SortedRun>(
         groups += 1;
 
         if groups.is_multiple_of(32) {
-            if ctx.dead_or_cancelled() {
+            if ctx.safe_point() {
                 return Err(Exit::Silent);
             }
             let frac = if streaming {

@@ -134,7 +134,9 @@ mod tests {
         assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::Data(_)));
         // Node crash: source dead.
         c.crash_node(NodeId(1));
-        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::SourceDead { node } if node == NodeId(1)));
+        assert!(
+            matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::SourceDead { node } if node == NodeId(1))
+        );
         // SFM marks regenerating: reducers wait instead of failing.
         reg.mark_regenerating(0);
         assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::NotReady));

@@ -45,7 +45,12 @@ pub struct ReduceBuffers {
 }
 
 impl ReduceBuffers {
-    pub fn new(cmp: KeyCmp, prefix: impl Into<String>, mem_budget: u64, merge_trigger_fraction: f64) -> ReduceBuffers {
+    pub fn new(
+        cmp: KeyCmp,
+        prefix: impl Into<String>,
+        mem_budget: u64,
+        merge_trigger_fraction: f64,
+    ) -> ReduceBuffers {
         ReduceBuffers {
             cmp,
             prefix: prefix.into(),
@@ -248,7 +253,13 @@ mod tests {
         drop(b);
 
         let restored = ReduceBuffers::restore(
-            bytewise_cmp(), "r/", 10_000, 0.99, snapshot_fetched, snapshot_disk, shuffled,
+            bytewise_cmp(),
+            "r/",
+            10_000,
+            0.99,
+            snapshot_fetched,
+            snapshot_disk,
+            shuffled,
         );
         assert!(restored.has_fetched(0) && restored.has_fetched(1));
         let readers = restored.finalize(&fs, 10).unwrap();

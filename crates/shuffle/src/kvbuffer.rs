@@ -132,10 +132,7 @@ impl MapOutputBuffer {
                     let readers: Vec<SegmentReader> = paths
                         .iter()
                         .map(|p| {
-                            SegmentReader::new(
-                                SegmentSource::LocalFile { path: p.clone() },
-                                fs.read(p)?,
-                            )
+                            SegmentReader::new(SegmentSource::LocalFile { path: p.clone() }, fs.read(p)?)
                         })
                         .collect::<Result<_>>()?;
                     let merged = merger::merge_readers(&self.cmp, readers, self.combiner.as_ref())?;
@@ -205,7 +202,8 @@ mod tests {
     fn small_threshold_forces_spills_and_merge_preserves_order() {
         let fs = MemFs::new();
         let mut b = MapOutputBuffer::new(bytewise_cmp(), None, 1, 64, "m/");
-        let mut keys: Vec<Vec<u8>> = (0..100u32).map(|i| format!("k{:03}", (i * 37) % 100).into_bytes()).collect();
+        let mut keys: Vec<Vec<u8>> =
+            (0..100u32).map(|i| format!("k{:03}", (i * 37) % 100).into_bytes()).collect();
         for k in &keys {
             b.collect(&fs, 0, k.clone(), b"v".to_vec()).unwrap();
         }

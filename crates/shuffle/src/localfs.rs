@@ -78,11 +78,7 @@ impl LocalFs for MemFs {
 
     fn read(&self, path: &str) -> Result<Bytes> {
         self.check_alive()?;
-        self.files
-            .lock()
-            .get(path)
-            .cloned()
-            .ok_or_else(|| ShuffleError::NotFound(path.to_string()))
+        self.files.lock().get(path).cloned().ok_or_else(|| ShuffleError::NotFound(path.to_string()))
     }
 
     fn delete(&self, path: &str) -> bool {

@@ -16,7 +16,11 @@ use crate::{Combiner, KeyCmp};
 
 /// Merge sorted segments into one encoded stream. When a combiner is given,
 /// runs of *byte-equal* keys are folded through it (map-side semantics).
-pub fn merge_readers(cmp: &KeyCmp, readers: Vec<SegmentReader>, combiner: Option<&Combiner>) -> Result<Vec<u8>> {
+pub fn merge_readers(
+    cmp: &KeyCmp,
+    readers: Vec<SegmentReader>,
+    combiner: Option<&Combiner>,
+) -> Result<Vec<u8>> {
     let mut q = MergeQueue::new(cmp.clone(), readers);
     let mut out = Vec::new();
     match combiner {
@@ -103,10 +107,8 @@ pub fn factor_merge(
     while paths.len() > factor {
         // Merge the smallest segments first (Hadoop's heuristic): sort by
         // size descending so we can pop the smallest off the back.
-        let mut sized: Vec<(u64, String)> = paths
-            .iter()
-            .map(|p| Ok((fs.read(p)?.len() as u64, p.clone())))
-            .collect::<Result<_>>()?;
+        let mut sized: Vec<(u64, String)> =
+            paths.iter().map(|p| Ok((fs.read(p)?.len() as u64, p.clone()))).collect::<Result<_>>()?;
         sized.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let take = factor.min(sized.len() - 1).max(2); // always leave progress room
         let batch: Vec<String> = sized.split_off(sized.len() - take).into_iter().map(|(_, p)| p).collect();

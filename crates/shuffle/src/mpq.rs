@@ -206,8 +206,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn reader(id: u64, recs: &[(&[u8], &[u8])]) -> SegmentReader {
-        let recs: Vec<(Vec<u8>, Vec<u8>)> =
-            recs.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let recs: Vec<(Vec<u8>, Vec<u8>)> = recs.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
         SegmentReader::new(SegmentSource::Memory { id }, build_segment(&recs)).unwrap()
     }
 

@@ -61,13 +61,8 @@ impl SegmentReader {
     /// Open a segment at a byte offset previously obtained from
     /// [`SegmentReader::current_offset`] — the log-resume path.
     pub fn resume(source: SegmentSource, data: Bytes, offset: usize) -> Result<SegmentReader> {
-        let mut r = SegmentReader {
-            source,
-            data,
-            current_offset: offset,
-            next_offset: offset,
-            current: None,
-        };
+        let mut r =
+            SegmentReader { source, data, current_offset: offset, next_offset: offset, current: None };
         r.decode_current()?;
         Ok(r)
     }

@@ -62,15 +62,25 @@ enum Purpose {
     MapRead,
     MapWrite,
     /// Stage 1 of a fetch: the source node's disk serves the chunk.
-    FetchRead { map: u32, source: u32 },
+    FetchRead {
+        map: u32,
+        source: u32,
+    },
     /// Stage 2 of a fetch: the chunk crosses the network.
-    Fetch { map: u32, source: u32 },
+    Fetch {
+        map: u32,
+        source: u32,
+    },
     Spill,
     MergePass,
     ReduceRead,
     Output,
-    FcmLocal { source: u32 },
-    FcmNet { source: u32 },
+    FcmLocal {
+        source: u32,
+    },
+    FcmNet {
+        source: u32,
+    },
 }
 
 struct FlowInfo {
@@ -90,6 +100,9 @@ struct SimNode {
     rack: u32,
     map_slots_free: u32,
     reduce_slots_free: u32,
+    /// Compute-slowdown factor (1.0 = healthy). Raised by an activated
+    /// `SimFault::SlowNodeAtSecs`; scales CPU phases started afterwards.
+    slow: f64,
 }
 
 struct MapTask {
@@ -162,6 +175,14 @@ struct RedAtt {
     dead: bool,
 }
 
+/// A reduce attempt's live flows (own + active fetches) in deterministic
+/// (FlowId) order; the backing containers are hashed.
+fn sorted_flows(att: &RedAtt) -> Vec<FlowId> {
+    let mut v: Vec<FlowId> = att.flows.iter().chain(att.active_fetches.keys()).copied().collect();
+    v.sort_unstable();
+    v
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum RedPhase {
     Launching,
@@ -195,6 +216,7 @@ pub struct Simulation {
     dead_pending: Vec<(u32, Vec<AttemptId>)>,
     faults_time: Vec<(u32, f64)>,
     faults_progress: Vec<(u32, u32, f64)>,
+    faults_slow: Vec<(u32, f64, f64)>,
     report: SimReport,
     rr: u32,
     failed: bool,
@@ -213,6 +235,7 @@ impl Simulation {
                 rack: n % racks,
                 map_slots_free: env.cluster.map_slots_per_node,
                 reduce_slots_free: env.cluster.reduce_slots_per_node,
+                slow: 1.0,
             })
             .collect();
         let mut pools = HashMap::new();
@@ -225,8 +248,9 @@ impl Simulation {
             pools.insert(PoolRef::Uplink(r), (FlowPool::new(env.cluster.rack_uplink_bandwidth), None));
         }
 
-        let mut maps: Vec<MapTask> =
-            (0..qty.num_maps).map(|_| MapTask { completed: false, ever_completed: false, attempts: 0, kill_at: None }).collect();
+        let mut maps: Vec<MapTask> = (0..qty.num_maps)
+            .map(|_| MapTask { completed: false, ever_completed: false, attempts: 0, kill_at: None })
+            .collect();
         let mut reduces: Vec<RedTask> = (0..qty.num_reduces)
             .map(|_| RedTask {
                 completed: false,
@@ -240,6 +264,7 @@ impl Simulation {
 
         let mut faults_time = Vec::new();
         let mut faults_progress = Vec::new();
+        let mut faults_slow = Vec::new();
         for f in &faults {
             match f {
                 SimFault::KillReduceAtProgress { reduce_index, at_progress } => {
@@ -255,6 +280,9 @@ impl Simulation {
                 SimFault::CrashNodeAtSecs { node, at_secs } => faults_time.push((*node, *at_secs)),
                 SimFault::CrashNodeAtReduceProgress { node, reduce_index, at_progress } => {
                     faults_progress.push((*node, *reduce_index, *at_progress))
+                }
+                SimFault::SlowNodeAtSecs { node, at_secs, factor } => {
+                    faults_slow.push((*node, *at_secs, factor.max(1.0)))
                 }
             }
         }
@@ -281,6 +309,7 @@ impl Simulation {
             dead_pending: Vec::new(),
             faults_time,
             faults_progress,
+            faults_slow,
             report: SimReport::default(),
             rr: 0,
             failed: false,
@@ -533,7 +562,8 @@ impl Simulation {
         match purpose {
             Purpose::MapRead => {
                 att.phase = MapPhase::Cpu;
-                let d = SimDuration::from_secs_f64(self.qty.map_cpu_secs.max(1e-6));
+                let slow = self.nodes[att.node as usize].slow;
+                let d = SimDuration::from_secs_f64((self.qty.map_cpu_secs * slow).max(1e-6));
                 self.q.schedule_after(d, Ev::CpuDone { attempt, gen: 0 });
             }
             Purpose::MapWrite => self.map_completed(attempt),
@@ -569,10 +599,14 @@ impl Simulation {
     /// Start the reduce-stage CPU timer for the un-resumed fraction.
     fn start_reduce_cpu(&mut self, attempt: AttemptId, frac: f64) {
         let (gen, dur) = {
+            let slow = {
+                let node = self.red_atts[&attempt].node;
+                self.nodes[node as usize].slow
+            };
             let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
             att.cpu_done = false;
             att.cpu_start = self.q.now().as_secs_f64();
-            att.cpu_dur = (att.reduce_cpu_secs * frac).max(1e-6);
+            att.cpu_dur = (att.reduce_cpu_secs * frac * slow).max(1e-6);
             (att.gen, att.cpu_dur)
         };
         self.q.schedule_after(SimDuration::from_secs_f64(dur), Ev::CpuDone { attempt, gen });
@@ -595,7 +629,7 @@ impl Simulation {
         }
         // Wake reducers waiting on this MOF.
         let m = attempt.task.index;
-        let waiting: Vec<AttemptId> = self
+        let mut waiting: Vec<AttemptId> = self
             .red_atts
             .iter()
             .filter(|(_, a)| {
@@ -605,6 +639,7 @@ impl Simulation {
             })
             .map(|(id, _)| *id)
             .collect();
+        waiting.sort_unstable(); // hash order must not leak into flow scheduling
         for r in waiting {
             match self.red_atts[&r].phase {
                 RedPhase::Shuffle => self.pump_fetches(r),
@@ -624,7 +659,13 @@ impl Simulation {
         if self.maps_done_once >= wave {
             self.reduces_dispatched = true;
             for r in 0..self.qty.num_reduces {
-                self.queued_reduces.push_back((TaskId::reduce(self.job, r), None, None, ExecMode::Regular, false));
+                self.queued_reduces.push_back((
+                    TaskId::reduce(self.job, r),
+                    None,
+                    None,
+                    ExecMode::Regular,
+                    false,
+                ));
             }
             self.dispatch();
         }
@@ -697,8 +738,12 @@ impl Simulation {
             // Stage 1: the source disk serves the chunk (this is what makes
             // the shuffle lag map completions under map-phase disk pressure,
             // leaving un-fetched MOFs for a crash to strand — §II-C).
-            let flow =
-                self.start_flow(PoolRef::Disk(src), self.qty.chunk_bytes, attempt, Purpose::FetchRead { map: m, source: src });
+            let flow = self.start_flow(
+                PoolRef::Disk(src),
+                self.qty.chunk_bytes,
+                attempt,
+                Purpose::FetchRead { map: m, source: src },
+            );
             let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
             att.pending.remove(&m);
             att.active_fetches.insert(flow, m);
@@ -718,7 +763,8 @@ impl Simulation {
         let dst_rack = self.nodes[node as usize].rack;
         let src_rack = self.nodes[src as usize].rack;
         let pool = if src_rack != dst_rack { PoolRef::Uplink(dst_rack) } else { PoolRef::NicIn(node) };
-        let net = self.start_flow(pool, self.qty.chunk_bytes, attempt, Purpose::Fetch { map: m, source: src });
+        let net =
+            self.start_flow(pool, self.qty.chunk_bytes, attempt, Purpose::Fetch { map: m, source: src });
         let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
         att.active_fetches.insert(net, m);
     }
@@ -745,14 +791,13 @@ impl Simulation {
             // running ReduceTasks to detect the lost MOFs", §II-C): the
             // maps this attempt was stuck on are finally re-executed.
             if !self.env.alm.mode.sfm_enabled() {
-                let stuck: Vec<u32> = att
+                let mut stuck: Vec<u32> = att
                     .retry
                     .keys()
                     .copied()
-                    .filter(|m| {
-                        self.mof_loc.get(m).is_some_and(|&s| !self.nodes[s as usize].alive)
-                    })
+                    .filter(|m| self.mof_loc.get(m).is_some_and(|&s| !self.nodes[s as usize].alive))
                     .collect();
+                stuck.sort_unstable(); // deterministic re-execution order
                 for m in stuck {
                     if !self.regenerating.contains(&m) {
                         self.regenerating.insert(m);
@@ -986,9 +1031,8 @@ impl Simulation {
     // ---------------- FCM ----------------
 
     fn try_start_fcm(&mut self, attempt: AttemptId) {
-        let ready = (0..self.qty.num_maps).all(|m| {
-            self.mof_loc.get(&m).is_some_and(|&n| self.nodes[n as usize].alive)
-        });
+        let ready = (0..self.qty.num_maps)
+            .all(|m| self.mof_loc.get(&m).is_some_and(|&n| self.nodes[n as usize].alive));
         if !ready {
             return;
         }
@@ -1048,7 +1092,12 @@ impl Simulation {
         let dst_rack = self.nodes[node as usize].rack;
         for (src, bytes) in per_node {
             // Participant-side pre-merge read...
-            flows.push(self.start_flow(PoolRef::Disk(src), bytes, attempt, Purpose::FcmLocal { source: src }));
+            flows.push(self.start_flow(
+                PoolRef::Disk(src),
+                bytes,
+                attempt,
+                Purpose::FcmLocal { source: src },
+            ));
             // ...streamed to the recovering reducer (all in memory, no
             // reducer-side disk at all — FCM's defining property).
             let src_rack = self.nodes[src as usize].rack;
@@ -1066,11 +1115,20 @@ impl Simulation {
 
     // ---------------- failures & recovery ----------------
 
+    /// Flows owned by `attempt`, in deterministic (FlowId) order — the
+    /// backing map is hashed, and abort order must not vary across runs.
+    fn flows_of(&self, attempt: AttemptId) -> Vec<FlowId> {
+        let mut v: Vec<FlowId> =
+            self.flows.iter().filter(|(_, i)| i.attempt == attempt).map(|(f, _)| *f).collect();
+        v.sort_unstable();
+        v
+    }
+
     fn kill_attempt_silently(&mut self, attempt: AttemptId) {
         if attempt.task.is_reduce() {
             if let Some(att) = self.red_atts.remove(&attempt) {
-                for f in att.flows.iter().chain(att.active_fetches.keys()) {
-                    self.abort_flow(*f);
+                for f in sorted_flows(&att) {
+                    self.abort_flow(f);
                 }
                 if self.nodes[att.node as usize].alive {
                     self.nodes[att.node as usize].reduce_slots_free += 1;
@@ -1079,9 +1137,7 @@ impl Simulation {
             }
         } else if let Some(att) = self.map_atts.remove(&attempt) {
             // Any flows of this attempt are aborted by scan.
-            let owned: Vec<FlowId> =
-                self.flows.iter().filter(|(_, i)| i.attempt == attempt).map(|(f, _)| *f).collect();
-            for f in owned {
+            for f in self.flows_of(attempt) {
                 self.abort_flow(f);
             }
             if self.nodes[att.node as usize].alive {
@@ -1125,7 +1181,8 @@ impl Simulation {
             let mut ctx = PolicyCtx::new(&self.env.alm, self.fcm_running());
             if task.is_reduce() {
                 let st = &self.reduces[task.index as usize];
-                ctx.attempts_on_source_node.insert(task, st.attempts_on_node.get(&node).copied().unwrap_or(0));
+                ctx.attempts_on_source_node
+                    .insert(task, st.attempts_on_node.get(&node).copied().unwrap_or(0));
                 ctx.running_attempts.insert(task, st.running.len() as u32);
             }
             let actions = schedule_recovery(&report, &ctx);
@@ -1181,7 +1238,7 @@ impl Simulation {
 
         // All flows touching this node die: flows on its pools, and fetch /
         // FCM flows sourced from it (pooled elsewhere).
-        let doomed: Vec<(FlowId, AttemptId, Purpose)> = self
+        let mut doomed: Vec<(FlowId, AttemptId, Purpose)> = self
             .flows
             .iter()
             .filter(|(_, i)| {
@@ -1192,9 +1249,13 @@ impl Simulation {
             })
             .map(|(f, i)| (*f, i.attempt, i.purpose))
             .collect();
+        // Deterministic processing order: re-pipelined replica writes
+        // allocate fresh FlowIds and interrupted fetches queue retries, so
+        // hash order here would make otherwise-identical runs diverge.
+        doomed.sort_unstable_by_key(|(f, _, _)| *f);
 
         let mut interrupted_fetches: Vec<(AttemptId, u32, u32)> = Vec::new();
-        let mut interrupted_fcm: HashSet<AttemptId> = HashSet::new();
+        let mut interrupted_fcm: BTreeSet<AttemptId> = BTreeSet::new();
         for (f, attempt, purpose) in doomed {
             let remaining = self.abort_flow(f);
             // Flows owned by attempts on OTHER nodes need follow-up.
@@ -1240,30 +1301,23 @@ impl Simulation {
         }
 
         // Attempts hosted on the node die silently; the AM learns later.
-        let dead_reds: Vec<AttemptId> = self
-            .red_atts
-            .iter()
-            .filter(|(_, a)| a.node == node && !a.dead)
-            .map(|(id, _)| *id)
-            .collect();
-        let dead_maps: Vec<AttemptId> = self
-            .map_atts
-            .iter()
-            .filter(|(_, a)| a.node == node && !a.dead)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut dead_reds: Vec<AttemptId> =
+            self.red_atts.iter().filter(|(_, a)| a.node == node && !a.dead).map(|(id, _)| *id).collect();
+        dead_reds.sort_unstable();
+        let mut dead_maps: Vec<AttemptId> =
+            self.map_atts.iter().filter(|(_, a)| a.node == node && !a.dead).map(|(id, _)| *id).collect();
+        dead_maps.sort_unstable();
         for &a in &dead_reds {
             let att = self.red_atts.get_mut(&a).unwrap();
             att.dead = true;
-            let flows: Vec<FlowId> = att.flows.iter().chain(att.active_fetches.keys()).copied().collect();
+            let flows = sorted_flows(att);
             for f in flows {
                 self.abort_flow(f);
             }
         }
         for &a in &dead_maps {
             self.map_atts.get_mut(&a).unwrap().dead = true;
-            let owned: Vec<FlowId> = self.flows.iter().filter(|(_, i)| i.attempt == a).map(|(f, _)| *f).collect();
-            for f in owned {
+            for f in self.flows_of(a) {
                 self.abort_flow(f);
             }
         }
@@ -1282,7 +1336,8 @@ impl Simulation {
                 if att.dead {
                     continue;
                 }
-                let flows: Vec<FlowId> = att.flows.drain().collect();
+                let mut flows: Vec<FlowId> = att.flows.drain().collect();
+                flows.sort_unstable();
                 att.phase = RedPhase::FcmWait;
                 att.gen += 1; // invalidate the in-flight CPU timer
                 att.cpu_done = false;
@@ -1333,12 +1388,7 @@ impl Simulation {
             }
         }
 
-        let lost_mofs: Vec<u32> = self
-            .mof_loc
-            .iter()
-            .filter(|(_, n)| **n == node)
-            .map(|(m, _)| *m)
-            .collect();
+        let lost_mofs: Vec<u32> = self.mof_loc.iter().filter(|(_, n)| **n == node).map(|(m, _)| *m).collect();
 
         if self.env.alm.mode.sfm_enabled() {
             let lost_tasks: Vec<TaskId> = if self.env.alm.proactive_map_regen {
@@ -1346,7 +1396,11 @@ impl Simulation {
             } else {
                 Vec::new()
             };
-            let report = FailureReport::node_crash(NodeId(node), failed_reduces.iter().chain(failed_maps.iter()).copied(), lost_tasks);
+            let report = FailureReport::node_crash(
+                NodeId(node),
+                failed_reduces.iter().chain(failed_maps.iter()).copied(),
+                lost_tasks,
+            );
             let mut ctx = PolicyCtx::new(&self.env.alm, self.fcm_running());
             for r in &report.failed_reduces {
                 let st = &self.reduces[r.index as usize];
@@ -1433,7 +1487,9 @@ impl Simulation {
         let due: Vec<u32> = self
             .faults_progress
             .iter()
-            .filter(|(_, r, p)| progress.get(r).copied().unwrap_or(0.0) >= *p || self.reduces[*r as usize].completed)
+            .filter(|(_, r, p)| {
+                progress.get(r).copied().unwrap_or(0.0) >= *p || self.reduces[*r as usize].completed
+            })
             .map(|(n, _, _)| *n)
             .collect();
         self.faults_progress.retain(|(n, _, _)| !due.contains(n));
@@ -1467,6 +1523,7 @@ impl Simulation {
                 }
             }
         }
+        to_kill.sort_unstable(); // map_atts is hashed; fail in a fixed order
         for id in to_kill {
             // Clear the trigger so recovery attempts are not re-killed.
             if id.task.is_reduce() {
@@ -1498,13 +1555,15 @@ impl Simulation {
                     )
                 })
                 .collect();
+            let mut snapshots = snapshots;
+            snapshots.sort_unstable_by_key(|(id, _)| *id);
             for (id, snap) in snapshots {
                 self.red_atts.get_mut(&id).unwrap().last_log_secs = now;
                 let slot = &mut self.reduces[id.task.index as usize].logged;
                 // Never regress durable progress.
-                let keep = slot
-                    .as_ref()
-                    .is_some_and(|old| old.reduce_frac > snap.reduce_frac && old.fetched.len() >= snap.fetched.len());
+                let keep = slot.as_ref().is_some_and(|old| {
+                    old.reduce_frac > snap.reduce_frac && old.fetched.len() >= snap.fetched.len()
+                });
                 if !keep {
                     *slot = Some(snap);
                 }
@@ -1513,11 +1572,21 @@ impl Simulation {
         }
 
         // Time-based crash faults.
-        let due: Vec<u32> =
-            self.faults_time.iter().filter(|(_, at)| *at <= now).map(|(n, _)| *n).collect();
+        let due: Vec<u32> = self.faults_time.iter().filter(|(_, at)| *at <= now).map(|(n, _)| *n).collect();
         self.faults_time.retain(|(_, at)| *at > now);
         for n in due {
             self.crash_node(n);
+        }
+
+        // Slow-node degradations: activate once due; CPU phases scheduled
+        // from then on are stretched by the factor.
+        let due_slow: Vec<(u32, f64)> =
+            self.faults_slow.iter().filter(|(_, at, _)| *at <= now).map(|(n, _, f)| (*n, *f)).collect();
+        self.faults_slow.retain(|(_, at, _)| *at > now);
+        for (n, f) in due_slow {
+            if let Some(node) = self.nodes.get_mut(n as usize) {
+                node.slow = node.slow.max(f);
+            }
         }
     }
 
@@ -1624,7 +1693,13 @@ mod tests {
     use alm_types::RecoveryMode;
     use alm_workloads::WorkloadKind;
 
-    fn run(kind: WorkloadKind, gb: u64, reduces: u32, mode: RecoveryMode, faults: Vec<SimFault>) -> SimReport {
+    fn run(
+        kind: WorkloadKind,
+        gb: u64,
+        reduces: u32,
+        mode: RecoveryMode,
+        faults: Vec<SimFault>,
+    ) -> SimReport {
         let spec = SimJobSpec::new(kind, gb * GB, reduces, 7);
         Simulation::new(spec, ExperimentEnv::paper(mode), faults).run()
     }
@@ -1737,6 +1812,26 @@ mod tests {
             "SFM ({:.1}s) must recover faster than baseline ({:.1}s)",
             sfm.job_secs,
             yarn.job_secs
+        );
+    }
+
+    #[test]
+    fn slow_node_straggles_without_failing() {
+        let clean = run(WorkloadKind::Terasort, 10, 8, RecoveryMode::Baseline, vec![]);
+        let slowed = run(
+            WorkloadKind::Terasort,
+            10,
+            8,
+            RecoveryMode::Baseline,
+            vec![SimFault::SlowNodeAtSecs { node: 0, at_secs: 0.0, factor: 40.0 }],
+        );
+        assert!(slowed.succeeded, "{slowed:?}");
+        assert!(slowed.failures.is_empty(), "a slow node degrades, it never fails: {:?}", slowed.failures);
+        assert!(
+            slowed.job_secs > clean.job_secs * 1.05,
+            "stragglers must delay the job: {:.1}s vs clean {:.1}s",
+            slowed.job_secs,
+            clean.job_secs
         );
     }
 

@@ -41,9 +41,8 @@ pub fn fig1(seed: u64) -> ExperimentReport {
     let clean = run_one(&spec, &e, vec![]).job_secs;
     let mut maps = Series::new("map-failures", "failed MapTasks", "recovery time (s)");
     for n in [1u32, 50, 100, 150, 200] {
-        let faults: Vec<SimFault> = (0..n)
-            .map(|i| SimFault::KillMapAtProgress { map_index: i * 3, at_progress: 0.5 })
-            .collect();
+        let faults: Vec<SimFault> =
+            (0..n).map(|i| SimFault::KillMapAtProgress { map_index: i * 3, at_progress: 0.5 }).collect();
         let r = run_one(&spec, &e, faults);
         maps.push(n as f64, (r.job_secs - clean).max(0.0));
     }
@@ -77,11 +76,13 @@ pub fn fig2(seed: u64) -> ExperimentReport {
         let spec = SimJobSpec::paper(kind, seed);
         let clean = run_one(&spec, &e, vec![]).job_secs;
         let mut map_s = Series::new(format!("{kind}-map-failure"), "injection progress (%)", "slowdown (%)");
-        let mut red_s = Series::new(format!("{kind}-reduce-failure"), "injection progress (%)", "slowdown (%)");
+        let mut red_s =
+            Series::new(format!("{kind}-reduce-failure"), "injection progress (%)", "slowdown (%)");
         for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
             let rm = run_one(&spec, &e, vec![SimFault::KillMapAtProgress { map_index: 0, at_progress: p }]);
             map_s.push(p * 100.0, (rm.job_secs / clean - 1.0) * 100.0);
-            let rr = run_one(&spec, &e, vec![SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: p }]);
+            let rr =
+                run_one(&spec, &e, vec![SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: p }]);
             red_s.push(p * 100.0, (rr.job_secs / clean - 1.0) * 100.0);
         }
         rep.note(format!(
@@ -117,8 +118,11 @@ pub fn fig3(seed: u64) -> ExperimentReport {
         repeats + 1,
         r.job_secs
     ));
-    rep.note(format!("longest progress stall: {:.1}s (includes the {}s liveness timeout)",
-        tl.longest_stall_secs(), e.yarn.node_liveness_timeout_ms / 1000));
+    rep.note(format!(
+        "longest progress stall: {:.1}s (includes the {}s liveness timeout)",
+        tl.longest_stall_secs(),
+        e.yarn.node_liveness_timeout_ms / 1000
+    ));
     rep.timelines.push(tl);
     rep
 }
@@ -136,12 +140,8 @@ pub fn fig4(seed: u64) -> ExperimentReport {
         &e,
         vec![SimFault::CrashNodeAtReduceProgress { node: 1, reduce_index: 5, at_progress: 0.05 }],
     );
-    let injected: Vec<TaskId> = r
-        .failures
-        .iter()
-        .filter(|f| f.kind == alm_types::FailureKind::NodeCrash)
-        .map(|f| f.task)
-        .collect();
+    let injected: Vec<TaskId> =
+        r.failures.iter().filter(|f| f.kind == alm_types::FailureKind::NodeCrash).map(|f| f.task).collect();
     let infected = r.infected_reduces(&injected);
     rep.note(format!(
         "one node crash additionally failed {infected} healthy ReduceTasks (paper observed 6); total failures {}",
@@ -203,8 +203,10 @@ pub fn fig9(seed: u64) -> ExperimentReport {
     for kind in WorkloadKind::ALL {
         let spec = SimJobSpec::paper(kind, seed);
         let victim = node_of_reduce(&spec, &env(RecoveryMode::Baseline), 0);
-        let mut yarn_s = Series::new(format!("{kind}-yarn"), "reduce progress at crash (%)", "execution time (s)");
-        let mut sfm_s = Series::new(format!("{kind}-sfm"), "reduce progress at crash (%)", "execution time (s)");
+        let mut yarn_s =
+            Series::new(format!("{kind}-yarn"), "reduce progress at crash (%)", "execution time (s)");
+        let mut sfm_s =
+            Series::new(format!("{kind}-sfm"), "reduce progress at crash (%)", "execution time (s)");
         let mut gains = Vec::new();
         for &p in &points {
             let fault =
@@ -228,7 +230,11 @@ pub fn fig9(seed: u64) -> ExperimentReport {
 pub fn fig10(seed: u64, proactive: bool) -> ExperimentReport {
     let mut rep = ExperimentReport::new(
         "fig10",
-        if proactive { "SFM recovery timeline (proactive map regeneration ON)" } else { "SFM recovery timeline (ablation: proactive regeneration OFF)" },
+        if proactive {
+            "SFM recovery timeline (proactive map regeneration ON)"
+        } else {
+            "SFM recovery timeline (ablation: proactive regeneration OFF)"
+        },
     );
     let spec = SimJobSpec::paper(WorkloadKind::Wordcount, seed);
     let mut e = env(RecoveryMode::Sfm);
@@ -282,7 +288,9 @@ pub fn table2(seed: u64) -> ExperimentReport {
         }
     }
     rep.tables.push(t);
-    rep.note("SFM rows must show 0 additional failures; YARN rows show infected healthy reducers".to_string());
+    rep.note(
+        "SFM rows must show 0 additional failures; YARN rows show infected healthy reducers".to_string(),
+    );
     rep
 }
 
@@ -333,7 +341,8 @@ pub fn fig13(seed: u64, sizes_gb: &[u64]) -> ExperimentReport {
     let mut rep = ExperimentReport::new("fig13", "Replication level impact on the reduce stage (ALG)");
     rep.param("workload", "terasort").param("seed", seed);
     for level in [ReplicationLevel::Node, ReplicationLevel::Rack, ReplicationLevel::Cluster] {
-        let mut s = Series::new(format!("{level:?}").to_lowercase(), "input size (GB)", "reduce phase time (s)");
+        let mut s =
+            Series::new(format!("{level:?}").to_lowercase(), "input size (GB)", "reduce phase time (s)");
         for &gb in sizes_gb {
             let spec = SimJobSpec::new(WorkloadKind::Terasort, gb * GB, 20, seed);
             let mut e = env(RecoveryMode::Alg);
@@ -367,10 +376,12 @@ pub fn fig14(seed: u64, fcm_cap: Option<usize>) -> ExperimentReport {
     for &concurrent in &[1usize, 5, 10] {
         let mut yarn_s =
             Series::new(format!("yarn-{concurrent}f"), "data per reducer (GB)", "recovery time (s)");
-        let mut sfm_s = Series::new(format!("sfm-{concurrent}f"), "data per reducer (GB)", "recovery time (s)");
+        let mut sfm_s =
+            Series::new(format!("sfm-{concurrent}f"), "data per reducer (GB)", "recovery time (s)");
         let mut gains = Vec::new();
         for &per_red_gb in &[1u64, 4, 16, 32] {
-            let spec = SimJobSpec::new(WorkloadKind::Terasort, per_red_gb * reduces as u64 * GB, reduces, seed);
+            let spec =
+                SimJobSpec::new(WorkloadKind::Terasort, per_red_gb * reduces as u64 * GB, reduces, seed);
             // Crash `concurrent` nodes once reduce 0 is mid-reduce.
             let faults: Vec<SimFault> = (0..concurrent)
                 .map(|i| SimFault::CrashNodeAtReduceProgress {
@@ -411,12 +422,16 @@ pub fn fig14(seed: u64, fcm_cap: Option<usize>) -> ExperimentReport {
 pub fn fig15(seed: u64) -> ExperimentReport {
     let mut rep = ExperimentReport::new("fig15", "Benefits of enabling both ALG and SFM");
     rep.param("seed", seed);
-    let mut t = TextTable::new("recovery with/without logged analytics", &["Workload", "SFM (s)", "SFM+ALG (s)", "Improvement"]);
+    let mut t = TextTable::new(
+        "recovery with/without logged analytics",
+        &["Workload", "SFM (s)", "SFM+ALG (s)", "Improvement"],
+    );
     for kind in WorkloadKind::ALL {
         let spec = SimJobSpec::paper(kind, seed);
         let victim = node_of_reduce(&spec, &env(RecoveryMode::Sfm), 0);
         // Crash mid-reduce so reduce-stage logs exist on the DFS.
-        let fault = vec![SimFault::CrashNodeAtReduceProgress { node: victim, reduce_index: 0, at_progress: 0.8 }];
+        let fault =
+            vec![SimFault::CrashNodeAtReduceProgress { node: victim, reduce_index: 0, at_progress: 0.8 }];
         let sfm = run_one(&spec, &env(RecoveryMode::Sfm), fault.clone());
         let both = run_one(&spec, &env(RecoveryMode::SfmAlg), fault);
         let gain = improvement_pct(sfm.job_secs, both.job_secs);
@@ -466,8 +481,11 @@ mod tests {
     #[test]
     fn fig3_temporal_amplification_exists_in_baseline() {
         let rep = fig3(3);
-        assert!(rep.notes[0].contains("became 2 failures") || rep.notes[0].contains("became 3 failures"),
-            "baseline must amplify the single crash into repeated reducer failures: {}", rep.notes[0]);
+        assert!(
+            rep.notes[0].contains("became 2 failures") || rep.notes[0].contains("became 3 failures"),
+            "baseline must amplify the single crash into repeated reducer failures: {}",
+            rep.notes[0]
+        );
         let tl = &rep.timelines[0];
         assert!(tl.longest_stall_secs() >= 70.0, "the stall must cover the 70s detection timeout");
     }
@@ -478,8 +496,11 @@ mod tests {
         assert!(rep.notes[0].starts_with("repeated failures of the reducer: 0"), "{}", rep.notes[0]);
         // Ablation: disabling proactive regeneration brings it back.
         let ablated = fig10(3, false);
-        assert!(!ablated.notes[0].starts_with("repeated failures of the reducer: 0"),
-            "without proactive map regeneration the recovered reducer must fail again: {}", ablated.notes[0]);
+        assert!(
+            !ablated.notes[0].starts_with("repeated failures of the reducer: 0"),
+            "without proactive map regeneration the recovered reducer must fail again: {}",
+            ablated.notes[0]
+        );
     }
 
     #[test]

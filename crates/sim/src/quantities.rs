@@ -54,7 +54,8 @@ impl Quantities {
         // runs; chunks larger than a quarter of the budget go to disk
         // directly (mirrors `alm-shuffle`'s fetcher policy).
         let seg_size = if chunk_bytes * 4 > mem_budget { chunk_bytes } else { resident.max(1) };
-        let on_disk_segments = if spilled_bytes == 0 { 0 } else { (spilled_bytes / seg_size.max(1)).max(1) as usize };
+        let on_disk_segments =
+            if spilled_bytes == 0 { 0 } else { (spilled_bytes / seg_size.max(1)).max(1) as usize };
         let merge_rounds = alm_shuffle::merger::merge_rounds(on_disk_segments, yarn.io_sort_factor) as u32;
         let reduce_out_bytes = model.reduce_output_bytes(partition_bytes);
         let gb = 1u64 << 30;

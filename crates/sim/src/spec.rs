@@ -1,6 +1,6 @@
 //! Experiment inputs.
 
-use alm_types::{AlmConfig, ClusterSpec, RecoveryMode, YarnConfig};
+use alm_types::{AlmConfig, ClusterSpec, Fault, FaultPlan, RecoveryMode, YarnConfig};
 use alm_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +43,49 @@ pub enum SimFault {
     /// Crash a node once the given reduce task's reduce-phase progress
     /// reaches the fraction (how §V places node failures).
     CrashNodeAtReduceProgress { node: u32, reduce_index: u32, at_progress: f64 },
+    /// Degrade a node's compute speed by `factor` (>= 1) from `at_secs` on;
+    /// the node keeps heartbeating (faulty-but-alive slow node, §IV-B).
+    /// Applies to CPU phases started after activation.
+    SlowNodeAtSecs { node: u32, at_secs: f64, factor: f64 },
+}
+
+impl SimFault {
+    /// Lower one engine-neutral [`Fault`] onto this engine's trigger
+    /// vocabulary. Map/reduce kills split by task kind; absolute
+    /// millisecond triggers become virtual seconds. Kills of attempts
+    /// other than 0 have no simulator equivalent (the simulator's kill
+    /// triggers fire once, on the first attempt) and lower to `None`.
+    pub fn lower(fault: &Fault) -> Option<SimFault> {
+        match fault {
+            Fault::KillTask { task, attempt_number: 0, at_progress } => Some(if task.is_reduce() {
+                SimFault::KillReduceAtProgress { reduce_index: task.index, at_progress: *at_progress }
+            } else {
+                SimFault::KillMapAtProgress { map_index: task.index, at_progress: *at_progress }
+            }),
+            Fault::KillTask { .. } => None,
+            Fault::CrashNodeAtMs { node, at_ms } => {
+                Some(SimFault::CrashNodeAtSecs { node: node.0, at_secs: *at_ms as f64 / 1000.0 })
+            }
+            Fault::CrashNodeAtReduceProgress { node, reduce_index, at_progress } => {
+                Some(SimFault::CrashNodeAtReduceProgress {
+                    node: node.0,
+                    reduce_index: *reduce_index,
+                    at_progress: *at_progress,
+                })
+            }
+            Fault::SlowNode { node, at_ms, factor } => Some(SimFault::SlowNodeAtSecs {
+                node: node.0,
+                at_secs: *at_ms as f64 / 1000.0,
+                factor: *factor,
+            }),
+        }
+    }
+
+    /// Lower a whole shared [`FaultPlan`] (dropping faults with no
+    /// simulator equivalent — see [`SimFault::lower`]).
+    pub fn lower_plan(plan: &FaultPlan) -> Vec<SimFault> {
+        plan.faults.iter().filter_map(SimFault::lower).collect()
+    }
 }
 
 /// The full environment of one simulated run.
@@ -81,5 +124,34 @@ mod tests {
         let e = ExperimentEnv::paper(RecoveryMode::Baseline);
         assert_eq!(e.cluster.nodes, 21);
         assert!(!e.alm.mode.sfm_enabled());
+    }
+
+    #[test]
+    fn lowering_the_shared_plan() {
+        use alm_types::{JobId, NodeId, TaskId};
+        let job = JobId(0);
+        let plan = FaultPlan::kill_task(TaskId::reduce(job, 3), 0.8)
+            .and(FaultPlan::kill_task(TaskId::map(job, 1), 0.5))
+            .and(FaultPlan::crash_node_at_ms(NodeId(2), 30_000))
+            .and(FaultPlan::crash_node_at_reduce_progress(NodeId(4), 0, 0.3))
+            .and(FaultPlan::slow_node(NodeId(5), 10_000, 2.0));
+        let lowered = SimFault::lower_plan(&plan);
+        assert_eq!(
+            lowered,
+            vec![
+                SimFault::KillReduceAtProgress { reduce_index: 3, at_progress: 0.8 },
+                SimFault::KillMapAtProgress { map_index: 1, at_progress: 0.5 },
+                SimFault::CrashNodeAtSecs { node: 2, at_secs: 30.0 },
+                SimFault::CrashNodeAtReduceProgress { node: 4, reduce_index: 0, at_progress: 0.3 },
+                SimFault::SlowNodeAtSecs { node: 5, at_secs: 10.0, factor: 2.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn later_attempt_kills_have_no_sim_equivalent() {
+        use alm_types::{JobId, TaskId};
+        let f = Fault::KillTask { task: TaskId::reduce(JobId(0), 0), attempt_number: 1, at_progress: 0.5 };
+        assert_eq!(SimFault::lower(&f), None);
     }
 }

@@ -92,8 +92,18 @@ mod tests {
         let rep = SimReport {
             failures: vec![
                 SimFailure { at_secs: 1.0, task: r0, attempt_number: 0, kind: FailureKind::NodeCrash },
-                SimFailure { at_secs: 2.0, task: r0, attempt_number: 1, kind: FailureKind::FetchFailureLimit },
-                SimFailure { at_secs: 3.0, task: r1, attempt_number: 0, kind: FailureKind::FetchFailureLimit },
+                SimFailure {
+                    at_secs: 2.0,
+                    task: r0,
+                    attempt_number: 1,
+                    kind: FailureKind::FetchFailureLimit,
+                },
+                SimFailure {
+                    at_secs: 3.0,
+                    task: r1,
+                    attempt_number: 0,
+                    kind: FailureKind::FetchFailureLimit,
+                },
             ],
             ..SimReport::default()
         };

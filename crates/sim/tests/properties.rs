@@ -28,14 +28,10 @@ fn arb_workload() -> impl Strategy<Value = WorkloadKind> {
 
 fn arb_fault(reduces: u32) -> impl Strategy<Value = SimFault> {
     prop_oneof![
-        (0..reduces, 0.01f64..0.99).prop_map(|(r, p)| SimFault::KillReduceAtProgress {
-            reduce_index: r,
-            at_progress: p
-        }),
-        (0u32..40, 0.01f64..0.99).prop_map(|(m, p)| SimFault::KillMapAtProgress {
-            map_index: m,
-            at_progress: p
-        }),
+        (0..reduces, 0.01f64..0.99)
+            .prop_map(|(r, p)| SimFault::KillReduceAtProgress { reduce_index: r, at_progress: p }),
+        (0u32..40, 0.01f64..0.99)
+            .prop_map(|(m, p)| SimFault::KillMapAtProgress { map_index: m, at_progress: p }),
         (0u32..20, 1.0f64..300.0).prop_map(|(n, t)| SimFault::CrashNodeAtSecs { node: n, at_secs: t }),
         (0u32..20, 0..reduces, 0.01f64..0.99).prop_map(|(n, r, p)| SimFault::CrashNodeAtReduceProgress {
             node: n,

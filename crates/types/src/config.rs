@@ -288,8 +288,8 @@ impl Default for ClusterSpec {
         ClusterSpec {
             nodes: 21,
             racks: 2,
-            nic_bandwidth: (10 * GB) / 8,      // 10 Gb/s => 1.25 GB/s
-            disk_read_bandwidth: 480 * MB,     // SATA SSD
+            nic_bandwidth: (10 * GB) / 8,  // 10 Gb/s => 1.25 GB/s
+            disk_read_bandwidth: 480 * MB, // SATA SSD
             disk_write_bandwidth: 400 * MB,
             map_slots_per_node: 8,
             reduce_slots_per_node: 4,
@@ -337,8 +337,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = YarnConfig::default();
-        c.io_sort_factor = 1;
+        let c = YarnConfig { io_sort_factor: 1, ..YarnConfig::default() };
         assert!(c.validate().is_err());
 
         let mut c = YarnConfig::default();
@@ -383,14 +382,12 @@ mod tests {
 
     #[test]
     fn alm_validation() {
-        let mut a = AlmConfig::default();
-        a.fcm_cap = 0;
+        let mut a = AlmConfig { fcm_cap: 0, ..AlmConfig::default() };
         assert!(a.validate().is_err());
         a.mode = RecoveryMode::Baseline;
         assert!(a.validate().is_ok(), "fcm_cap irrelevant without SFM");
 
-        let mut a = AlmConfig::default();
-        a.logging_interval_ms = 0;
+        let a = AlmConfig { logging_interval_ms: 0, ..AlmConfig::default() };
         assert!(a.validate().is_err());
     }
 

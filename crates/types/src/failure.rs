@@ -1,10 +1,17 @@
-//! Failure descriptions.
+//! Failure descriptions and the engine-neutral fault-injection vocabulary.
 //!
 //! [`FailureReport`] is exactly the input of the paper's Algorithm 1
 //! ("Enhanced Failure Recovery Scheduling Policy"): the set of failed
 //! ReduceTasks, the set of failed MapTasks *plus* MapTasks whose output
 //! files (MOFs) were lost, and the source node of the report with its
 //! liveness. Both the baseline scheduler and the SFM policy consume it.
+//!
+//! [`Fault`] and [`FaultPlan`] are the *input* side of the same story: one
+//! declarative description of the faults to inject into a run, shared by
+//! the threaded runtime (which consumes it directly, on its real-time
+//! millisecond clock) and the discrete-event simulator (which lowers it to
+//! per-task/per-node triggers in virtual seconds). Scenario tooling such as
+//! `alm-chaos` speaks only this vocabulary and stays engine-agnostic.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -137,6 +144,116 @@ impl FailureReport {
     }
 }
 
+/// One planned fault, in engine-neutral terms (§V-A's injection
+/// methodology: "We inject out-of-memory exceptions to crash a task to
+/// emulate the transient task failures and stop the network services on a
+/// node for node failures").
+///
+/// Progress triggers (`at_progress`) are fractions in `[0, 1]` and mean the
+/// same thing in both engines. Absolute-time triggers (`at_ms`) are in the
+/// consuming engine's native milliseconds: the threaded runtime reads them
+/// against its real-time clock, the simulator divides by 1000 into virtual
+/// seconds. Cross-engine tooling that needs one wall-clock meaning for both
+/// engines must rescale times before lowering (see `alm-chaos`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Inject an OOM into a specific attempt of `task` once it reaches
+    /// `at_progress` of its own work.
+    KillTask { task: TaskId, attempt_number: u32, at_progress: f64 },
+    /// Crash a node at an absolute time since job start.
+    CrashNodeAtMs { node: NodeId, at_ms: u64 },
+    /// Crash a node once reduce `reduce_index` reaches `at_progress` of its
+    /// reduce-phase work (how Figs. 9/10 and Table II place node failures
+    /// "at X% of the reduce phase").
+    CrashNodeAtReduceProgress { node: NodeId, reduce_index: u32, at_progress: f64 },
+    /// Degrade a node's compute speed by `factor` (>= 1; 2.0 = half speed)
+    /// from `at_ms` on. The node keeps heartbeating — the paper's
+    /// faulty-but-alive "slow node" (§IV-B), which produces stragglers
+    /// rather than failure reports.
+    SlowNode { node: NodeId, at_ms: u64, factor: f64 },
+}
+
+impl Fault {
+    /// Whether this fault directly produces task-failure events (used for
+    /// the paper's "additional failures" amplification accounting). A slow
+    /// node only degrades, it does not fail anything by itself.
+    pub fn produces_failures(&self) -> bool {
+        !matches!(self, Fault::SlowNode { .. })
+    }
+}
+
+/// The set of faults to inject into one job run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn kill_task(task: TaskId, at_progress: f64) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::KillTask { task, attempt_number: 0, at_progress }] }
+    }
+
+    pub fn crash_node_at_ms(node: NodeId, at_ms: u64) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::CrashNodeAtMs { node, at_ms }] }
+    }
+
+    pub fn crash_node_at_reduce_progress(node: NodeId, reduce_index: u32, at_progress: f64) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::CrashNodeAtReduceProgress { node, reduce_index, at_progress }] }
+    }
+
+    pub fn slow_node(node: NodeId, at_ms: u64, factor: f64) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::SlowNode { node, at_ms, factor }] }
+    }
+
+    pub fn and(mut self, other: FaultPlan) -> FaultPlan {
+        self.faults.extend(other.faults);
+        self
+    }
+
+    /// The self-kill progress point for a given attempt, if planned.
+    pub fn kill_point(&self, task: TaskId, attempt_number: u32) -> Option<f64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::KillTask { task: t, attempt_number: a, at_progress }
+                if *t == task && *a == attempt_number =>
+            {
+                Some(*at_progress)
+            }
+            _ => None,
+        })
+    }
+
+    /// Planned slow-node degradations as `(node, at_ms, factor)` triples.
+    pub fn slow_nodes(&self) -> impl Iterator<Item = (NodeId, u64, f64)> + '_ {
+        self.faults.iter().filter_map(|f| match f {
+            Fault::SlowNode { node, at_ms, factor } => Some((*node, *at_ms, *factor)),
+            _ => None,
+        })
+    }
+
+    /// Tasks directly targeted by kill faults (the injected victims for
+    /// spatial-amplification accounting).
+    pub fn kill_targets(&self) -> Vec<TaskId> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::KillTask { task, .. } => Some(*task),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of directly injected failure-producing faults (the divisor in
+    /// the paper's "additional failures" amplification accounting). Slow
+    /// nodes are perturbations, not failures, and are excluded.
+    pub fn injected_count(&self) -> usize {
+        self.faults.iter().filter(|f| f.produces_failures()).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +316,41 @@ mod tests {
             failed_maps: vec![],
         };
         assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn kill_point_matches_task_and_attempt() {
+        let t = TaskId::reduce(JobId(0), 1);
+        let plan = FaultPlan::kill_task(t, 0.5);
+        assert_eq!(plan.kill_point(t, 0), Some(0.5));
+        assert_eq!(plan.kill_point(t, 1), None, "recovery attempts are not re-killed");
+        assert_eq!(plan.kill_point(TaskId::reduce(JobId(0), 2), 0), None);
+    }
+
+    #[test]
+    fn plans_compose() {
+        let t = TaskId::map(JobId(0), 0);
+        let plan = FaultPlan::kill_task(t, 0.1).and(FaultPlan::crash_node_at_ms(NodeId(2), 100));
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.injected_count(), 2);
+        assert_eq!(plan.kill_targets(), vec![t]);
+    }
+
+    #[test]
+    fn slow_nodes_perturb_but_do_not_count_as_failures() {
+        let plan = FaultPlan::slow_node(NodeId(1), 50, 3.0).and(FaultPlan::crash_node_at_ms(NodeId(2), 100));
+        assert_eq!(plan.injected_count(), 1, "only the crash produces failures");
+        let slows: Vec<_> = plan.slow_nodes().collect();
+        assert_eq!(slows, vec![(NodeId(1), 50, 3.0)]);
+    }
+
+    #[test]
+    fn fault_plan_serde_round_trip() {
+        let plan = FaultPlan::kill_task(TaskId::reduce(JobId(2), 0), 0.7)
+            .and(FaultPlan::crash_node_at_reduce_progress(NodeId(3), 1, 0.4))
+            .and(FaultPlan::slow_node(NodeId(0), 10, 2.5));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
     }
 }

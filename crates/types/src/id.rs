@@ -102,6 +102,26 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RackId(pub u32);
 
+// Maps keyed by id types serialise with the numeric id as the JSON object
+// key, the same shape real serde_json gives integer-keyed maps.
+macro_rules! impl_json_key_id {
+    ($($t:ident),+) => {$(
+        impl serde::JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.0.to_string()
+            }
+
+            fn from_key(s: &str) -> Result<$t, serde::DeError> {
+                s.parse().map($t).map_err(|_| {
+                    serde::DeError::new(format!(concat!("invalid ", stringify!($t), " key: {:?}"), s))
+                })
+            }
+        }
+    )+};
+}
+
+impl_json_key_id!(JobId, NodeId, RackId);
+
 impl fmt::Display for RackId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "rack{:02}", self.0)

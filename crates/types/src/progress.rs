@@ -88,11 +88,8 @@ mod tests {
     #[test]
     fn weighted_combination() {
         // Reduce task: shuffle/merge/reduce weighted 1/3 each in Hadoop.
-        let p = Progress::weighted(&[
-            (Progress::DONE, 1.0),
-            (Progress::new(0.5), 1.0),
-            (Progress::ZERO, 1.0),
-        ]);
+        let p =
+            Progress::weighted(&[(Progress::DONE, 1.0), (Progress::new(0.5), 1.0), (Progress::ZERO, 1.0)]);
         assert!((p.value() - 0.5).abs() < 1e-12);
         assert!(Progress::weighted(&[]).is_done());
     }

@@ -107,8 +107,14 @@ mod tests {
 
     #[test]
     fn canonicalize_is_order_insensitive() {
-        let a = vec![vec![Record::new(b"b".to_vec(), b"2".to_vec())], vec![Record::new(b"a".to_vec(), b"1".to_vec())]];
-        let b = vec![vec![Record::new(b"a".to_vec(), b"1".to_vec()), Record::new(b"b".to_vec(), b"2".to_vec())], vec![]];
+        let a = vec![
+            vec![Record::new(b"b".to_vec(), b"2".to_vec())],
+            vec![Record::new(b"a".to_vec(), b"1".to_vec())],
+        ];
+        let b = vec![
+            vec![Record::new(b"a".to_vec(), b"1".to_vec()), Record::new(b"b".to_vec(), b"2".to_vec())],
+            vec![],
+        ];
         assert_eq!(canonicalize(&a), canonicalize(&b));
     }
 

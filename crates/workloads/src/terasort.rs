@@ -124,7 +124,7 @@ mod tests {
         w.map(&r, &mut |x| out.push(x));
         assert_eq!(out, vec![r.clone()]);
         let mut red = Vec::new();
-        w.reduce(&r.key, &[r.value.clone()], &mut |x| red.push(x));
+        w.reduce(&r.key, std::slice::from_ref(&r.value), &mut |x| red.push(x));
         assert_eq!(red, vec![r]);
     }
 
@@ -148,7 +148,10 @@ mod tests {
         }
         let mean = recs.len() as f64 / n_red as f64;
         for c in counts {
-            assert!((c as f64) > mean * 0.8 && (c as f64) < mean * 1.2, "partition count {c} too far from mean {mean}");
+            assert!(
+                (c as f64) > mean * 0.8 && (c as f64) < mean * 1.2,
+                "partition count {c} too far from mean {mean}"
+            );
         }
     }
 

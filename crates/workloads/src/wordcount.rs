@@ -58,7 +58,8 @@ impl Workload for Wordcount {
         let lines = self.words_per_split.div_ceil(self.words_per_line);
         (0..lines)
             .map(|i| {
-                let mut line = Vec::with_capacity((self.words_per_line as usize) * (WORDCOUNT_MEAN_WORD_LEN + 1));
+                let mut line =
+                    Vec::with_capacity((self.words_per_line as usize) * (WORDCOUNT_MEAN_WORD_LEN + 1));
                 for j in 0..self.words_per_line {
                     if i * self.words_per_line + j >= self.words_per_split {
                         break;
@@ -127,10 +128,8 @@ mod tests {
         let a = w.gen_split(0, 9);
         assert_eq!(a, w.gen_split(0, 9));
         assert!(!a.is_empty());
-        let words: usize = a
-            .iter()
-            .map(|r| r.value.split(|&b| b == b' ').filter(|w| !w.is_empty()).count())
-            .sum();
+        let words: usize =
+            a.iter().map(|r| r.value.split(|&b| b == b' ').filter(|w| !w.is_empty()).count()).sum();
         assert_eq!(words, 5_000);
     }
 

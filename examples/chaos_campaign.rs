@@ -1,0 +1,71 @@
+//! A seeded randomized chaos campaign at paper scale, plus one scenario
+//! differentially validated on both engines.
+//!
+//! ```text
+//! cargo run --release --example chaos_campaign [seed]
+//! ```
+//!
+//! Samples a dozen scenarios from a fault space shaped like the paper's §V
+//! experiments (task kills, timed/progress-triggered node crashes, slow
+//! nodes, correlated rack failures), runs each under baseline YARN and
+//! SFM+ALG on the discrete-event simulator, and reports temporal/spatial
+//! amplification per mode — the Table II claim: wherever baseline YARN
+//! suffers spatial amplification, SFM+ALG suffers none. One scenario is
+//! then re-run on *both* engines at matched small scale and checked for
+//! invariant agreement.
+
+use alm_mapreduce::chaos::{self, ChaosFault, ChaosScenario, EngineKind, FaultSpace, FaultWeights};
+use alm_mapreduce::prelude::*;
+use alm_mapreduce::sim::experiment::node_of_reduce;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let spec = SimJobSpec::paper(WorkloadKind::Terasort, seed);
+    let modes = vec![RecoveryMode::Baseline, RecoveryMode::SfmAlg];
+    let campaign = chaos::SimCampaign::paper(spec.clone(), modes.clone());
+
+    // 12 randomized scenarios from a §V-shaped fault space…
+    let mut space = FaultSpace::paper_like(20, 2, 80, spec.num_reduces);
+    space.weights = FaultWeights { crash_node_at_reduce_progress: 4, ..FaultWeights::default() };
+    let mut scenarios = space.sample(12, seed);
+
+    // …plus the paper's own Table II placement, pinned: crash the node
+    // hosting reducer 5 early in its shuffle.
+    let baseline_env = ExperimentEnv::paper(RecoveryMode::Baseline);
+    let victim = node_of_reduce(&spec, &baseline_env, 5);
+    scenarios.push(ChaosScenario::new("pinned-table2").with(ChaosFault::CrashNodeAtReduceProgress {
+        node: victim,
+        reduce_index: 5,
+        at_progress: 0.10,
+    }));
+
+    println!(
+        "running {} scenarios x {} modes on the simulator (seed {seed})...\n",
+        scenarios.len(),
+        modes.len()
+    );
+    let mut report = chaos::CampaignReport::new("chaos-campaign", seed);
+    report.extend(campaign.run(&scenarios));
+    println!("{}", report.render_text());
+
+    let contrast =
+        report.spatial_contrast(EngineKind::Simulator, RecoveryMode::Baseline, RecoveryMode::SfmAlg);
+    println!("scenarios where baseline YARN amplifies spatially:");
+    for (name, yarn, alm) in &contrast {
+        println!("  {name}: YARN infected {yarn} healthy reducer(s), SFM+ALG {alm}");
+    }
+    assert!(!contrast.is_empty(), "campaign must include at least one spatially-amplifying scenario");
+    assert!(
+        contrast.iter().all(|(_, _, alm)| *alm == 0),
+        "Table II shape: SFM+ALG shows zero spatial amplification wherever YARN shows some"
+    );
+    println!("\n=> Table II shape holds: SFM+ALG amplified on 0/{} such scenarios\n", contrast.len());
+
+    // Differential validation: same declarative scenario, both engines,
+    // matched small scale, invariant agreement.
+    let diff_scenario =
+        ChaosScenario::new("diff-kill-reduce").with(ChaosFault::KillReduce { index: 1, at_progress: 0.5 });
+    let verdict = chaos::validate_scenario(&diff_scenario, &modes);
+    println!("{}", verdict.render_text());
+    assert!(verdict.ok(), "differential validation must pass");
+}

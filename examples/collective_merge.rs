@@ -80,7 +80,10 @@ fn main() {
     })
     .unwrap();
     let fcm_t = t0.elapsed();
-    println!("collective merge  : {} records in {fcm_t:?} ({} participants)", stats.records, stats.participants);
+    println!(
+        "collective merge  : {} records in {fcm_t:?} ({} participants)",
+        stats.records, stats.participants
+    );
     assert_eq!(stats.records, single);
     println!(
         "\nidentical record counts, globally sorted — collective/single time ratio {:.2}x",

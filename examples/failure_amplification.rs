@@ -29,7 +29,12 @@ fn main() {
         );
 
         println!("===== {mode:?} =====");
-        println!("job time: {:.1}s   reduce attempts: {}   failures: {}", report.job_secs, report.reduce_attempts, report.failures.len());
+        println!(
+            "job time: {:.1}s   reduce attempts: {}   failures: {}",
+            report.job_secs,
+            report.reduce_attempts,
+            report.failures.len()
+        );
         for f in &report.failures {
             println!("  {:6.1}s  {} attempt {} failed: {}", f.at_secs, f.task, f.attempt_number, f.kind);
         }

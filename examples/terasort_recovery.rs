@@ -48,10 +48,18 @@ fn main() {
     let (alm, alm_out) = run_mode(RecoveryMode::SfmAlg);
 
     let describe = |name: &str, r: &JobReport| {
-        println!("{name:8}  time {:5} ms  failures {:2}  reduce attempts {}  fcm attempts {}",
-            r.job_time_ms, r.failures.len(), r.reduce_attempts, r.fcm_attempts);
+        println!(
+            "{name:8}  time {:5} ms  failures {:2}  reduce attempts {}  fcm attempts {}",
+            r.job_time_ms,
+            r.failures.len(),
+            r.reduce_attempts,
+            r.fcm_attempts
+        );
         for f in &r.failures {
-            println!("          failure at {:4} ms: {} attempt {} — {}", f.at_ms, f.task, f.attempt_number, f.kind);
+            println!(
+                "          failure at {:4} ms: {} attempt {} — {}",
+                f.at_ms, f.task, f.attempt_number, f.kind
+            );
         }
     };
     describe("baseline", &yarn);
@@ -61,5 +69,8 @@ fn main() {
     assert_eq!(yarn_out, alm_out, "recovery regime must not change the result");
     let expected = canonicalize(&reference_output(&Terasort::new(30_000), 6, 3, 42));
     assert_eq!(yarn_out, expected, "output must match the reference oracle");
-    println!("\nboth regimes produced byte-identical, oracle-verified sorted output ({} records)", alm_out.len());
+    println!(
+        "\nboth regimes produced byte-identical, oracle-verified sorted output ({} records)",
+        alm_out.len()
+    );
 }

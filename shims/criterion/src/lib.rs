@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench-definition API (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`, `Throughput`,
+//! `BenchmarkId`) so `cargo bench` runs the workspace benches unmodified,
+//! but measures with a simple fixed-budget wall-clock loop and prints one
+//! line per bench instead of doing statistical analysis.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export kept API-compatible; routes to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    /// Total measurement budget per bench.
+    measurement: Option<Duration>,
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = Some(d);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            budget: self.measurement.unwrap_or(Duration::from_millis(200)),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.measurement.unwrap_or(Duration::from_millis(200));
+        run_one(name, budget, None, |b| f(b));
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.budget, self.throughput, |b| f(b, input));
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.budget, self.throughput, |b| f(b));
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, budget: Duration, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0, budget };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {label}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| {
+        let per_sec = 1e9 / per_iter;
+        match t {
+            Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 * per_sec / (1024.0 * 1024.0)),
+            Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 * per_sec),
+        }
+    });
+    println!("  {label}: {} ({} iters{})", format_ns(per_iter), b.iters, rate.unwrap_or_default());
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns/iter")
+    }
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run the routine until the measurement budget is spent (at least
+    /// once), accumulating total time and iteration count.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up iteration, not measured.
+        std_black_box(routine());
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() >= self.budget || self.iters >= 10_000 {
+                break;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| b.iter(|| (0..n).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn group_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        bench_demo(&mut c);
+        let _ = benches as fn();
+    }
+}

@@ -1,0 +1,562 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace uses: the [`proptest!`] test macro,
+//! `prop_assert*` macros, `prop_oneof!`, `Just`, range / tuple / collection
+//! / string-pattern strategies with `prop_map` / `prop_flat_map`, and
+//! `ProptestConfig { cases }`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * no shrinking — a failing case reports its seed and values, but is not
+//!   minimised;
+//! * cases are seeded deterministically from the test's module path and
+//!   case index, so failures reproduce without a persistence file
+//!   (`.proptest-regressions` files are ignored);
+//! * string patterns support exactly the `[class]{m,n}` shape used here,
+//!   not full regex.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`. Unlike the real crate there
+    /// is no value tree: `sample` draws a concrete value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// `prop_oneof!` support: pick one of the options uniformly.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// A constant strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut SmallRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    );
+
+    /// String-pattern strategy: `"[class]{m,n}"` (char class with `a-z`
+    /// ranges and literal members) or a plain literal string.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut SmallRng) -> String {
+            let (alphabet, lo, hi) = parse_pattern(self);
+            let len = if lo == hi { lo } else { rng.random_range(lo..=hi) };
+            (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let bytes: Vec<char> = pat.chars().collect();
+        assert!(
+            bytes.first() == Some(&'['),
+            "the proptest shim only supports \"[class]{{m,n}}\" string patterns, got {pat:?}"
+        );
+        let close = bytes
+            .iter()
+            .position(|&c| c == ']')
+            .unwrap_or_else(|| panic!("unterminated char class in pattern {pat:?}"));
+        let mut alphabet = Vec::new();
+        let class = &bytes[1..close];
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i], class[i + 2]);
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty char class in pattern {pat:?}");
+        let rest: String = bytes[close + 1..].iter().collect();
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("pattern {pat:?} must end with {{m,n}} or {{m}}"));
+        let (lo, hi) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+            None => {
+                let n = counts.parse().unwrap();
+                (n, n)
+            }
+        };
+        (alphabet, lo, hi)
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut SmallRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+pub mod num {
+    // Inside `mod u8` etc. the module name shadows the primitive, so the
+    // generated code spells types via `::core::primitive`.
+    macro_rules! int_any {
+        ($($m:ident),+ $(,)?) => {$(
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use rand::rngs::SmallRng;
+                use rand::RngCore;
+
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = ::core::primitive::$m;
+                    fn sample(&self, rng: &mut SmallRng) -> ::core::primitive::$m {
+                        rng.next_u64() as ::core::primitive::$m
+                    }
+                }
+            }
+        )+};
+    }
+    int_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use core::primitive::f64 as F64;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, RngCore};
+
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = F64;
+            fn sample(&self, rng: &mut SmallRng) -> F64 {
+                // Cover all float classes: raw bit patterns reach NaN,
+                // infinities and subnormals; the other arms keep ordinary
+                // magnitudes well represented.
+                match rng.random_range(0u32..4) {
+                    0 => F64::from_bits(rng.next_u64()),
+                    1 => rng.random_range(-1e12..1e12),
+                    2 => rng.random_range(-2.0..2.0),
+                    _ => {
+                        const SPECIALS: [F64; 7] =
+                            [0.0, -0.0, 1.0, -1.0, F64::INFINITY, F64::NEG_INFINITY, F64::NAN];
+                        SPECIALS[rng.random_range(0..SPECIALS.len())]
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Element-count specification: an exact size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut SmallRng) -> usize {
+            if self.lo + 1 >= self.hi_exclusive {
+                self.lo
+            } else {
+                rng.random_range(self.lo..self.hi_exclusive)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange { lo: r.start, hi_exclusive: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi_exclusive: r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+            // Duplicates collapse, so the set may come out smaller than the
+            // drawn size — same as the real crate's behaviour.
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration. Only `cases` matters to this shim; the
+    /// remaining field keeps `..ProptestConfig::default()` struct-update
+    /// syntax meaningful.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    /// FNV-1a over a test's path: a stable per-test base seed.
+    pub fn fnv(s: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Deterministic per-case RNG: reruns of the same test reproduce the
+    /// same case sequence, so failures are replayable by case index.
+    pub fn case_rng(base: u64, case: u32) -> SmallRng {
+        SmallRng::seed_from_u64(base.wrapping_add((case as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let base = $crate::test_runner::fnv(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::case_rng(base, case);
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{} (base seed {:#x}): {}",
+                        stringify!($name), case + 1, config.cases, base, msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u32..10, b in 0.5f64..=1.5, c in 0u8..=255) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((0.5..=1.5).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn tuples_and_map(v in (0u32..5, 10u32..20).prop_map(|(x, y)| x + y)) {
+            prop_assert!((10..25).contains(&v));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u32), Just(2), 5u32..8]) {
+            prop_assert!(x == 1 || x == 2 || (5..8).contains(&x));
+        }
+
+        #[test]
+        fn collections(v in crate::collection::vec(0u8..4, 2..6),
+                       s in crate::collection::btree_set(0u32..100, 0..10)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-c0-1._-]{1,5}") {
+            prop_assert!((1..=5).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| "abc01._-".contains(c)), "bad char in {s:?}");
+        }
+
+        #[test]
+        fn flat_map(pair in (1u32..5).prop_flat_map(|n| (Just(n), 0u32..n))) {
+            prop_assert!(pair.1 < pair.0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::case_rng(7, 3);
+        let b = crate::test_runner::case_rng(7, 3);
+        let mut a = a;
+        let mut b = b;
+        use rand::RngCore;
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `rand_distr`, providing the Zipf distribution
+//! used by the Wordcount workload generator.
+//!
+//! Sampling is by inverse transform over a precomputed cumulative table:
+//! exact (no rejection-sampling approximation), deterministic given the
+//! RNG stream, and O(log n) per sample. Vocabulary sizes in this repo are
+//! tens of thousands, so the table is a few hundred KB at most.
+
+use rand::distr::Distribution;
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// `n` must be a positive integer-valued float.
+    InvalidN,
+    /// The exponent must be finite and non-negative.
+    InvalidExponent,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidN => f.write_str("zipf: n must be a positive integer"),
+            Error::InvalidExponent => f.write_str("zipf: exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`. Samples are returned as `f64` ranks, matching the
+/// real crate's `Zipf` (callers cast to integer ranks).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[k-1]` = P(rank <= k), normalised; strictly increasing.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: f64, s: f64) -> Result<Zipf, Error> {
+        if !(n.is_finite() && n >= 1.0 && n.fract() == 0.0 && n <= 10_000_000.0) {
+            return Err(Error::InvalidN);
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(Error::InvalidExponent);
+        }
+        let n = n as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        // First rank whose cumulative probability covers u.
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Zipf::new(0.0, 1.0).is_err());
+        assert!(Zipf::new(10.5, 1.0).is_err());
+        assert!(Zipf::new(10.0, f64::NAN).is_err());
+        assert!(Zipf::new(10.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(1000.0, 1.1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut ones = 0u32;
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        // Rank 1 carries far more mass than uniform (10/10_000).
+        assert!(ones > 500, "zipf head too light: {ones}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50_000.0, 1.1).unwrap();
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -55,7 +55,9 @@
 //! | [`des`] | `alm-des` | DES kernel (clock, events, flow pools) |
 //! | [`types`] | `alm-types` | ids, configs (Table I), failure vocabulary |
 //! | [`metrics`] | `alm-metrics` | series, timelines, experiment reports |
+//! | [`chaos`] | `alm-chaos` | declarative fault campaigns + differential cross-engine validation |
 
+pub use alm_chaos as chaos;
 pub use alm_core as core;
 pub use alm_des as des;
 pub use alm_dfs as dfs;
@@ -68,18 +70,19 @@ pub use alm_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use alm_chaos::{
+        CampaignReport, ChaosFault, ChaosScenario, FaultSpace, RuntimeCampaign, SimCampaign,
+    };
     pub use alm_core::{
-        collective_merge, recover_state, schedule_recovery, AnalyticsLogger, ExecMode, LogPaths,
-        LogRecord, Participant, PartialOutput, PolicyCtx, RecoveredState, SchedAction, StageLog,
+        collective_merge, recover_state, schedule_recovery, AnalyticsLogger, ExecMode, LogPaths, LogRecord,
+        PartialOutput, Participant, PolicyCtx, RecoveredState, SchedAction, StageLog,
     };
     pub use alm_runtime::am::run_job;
     pub use alm_runtime::{FaultPlan, JobDef, JobReport, MiniCluster};
     pub use alm_sim::{ExperimentEnv, SimFault, SimJobSpec, Simulation};
     pub use alm_types::{
-        AlmConfig, AttemptId, ClusterSpec, FailureKind, JobId, NodeId, RecoveryMode,
-        ReplicationLevel, TaskId, YarnConfig,
+        AlmConfig, AttemptId, ClusterSpec, FailureKind, JobId, NodeId, RecoveryMode, ReplicationLevel,
+        TaskId, YarnConfig,
     };
-    pub use alm_workloads::{
-        JobSpec, Record, SecondarySort, Terasort, Wordcount, Workload, WorkloadKind,
-    };
+    pub use alm_workloads::{JobSpec, Record, SecondarySort, Terasort, Wordcount, Workload, WorkloadKind};
 }

@@ -1,0 +1,82 @@
+//! Cross-crate integration of the chaos subsystem through the facade:
+//! a seeded campaign on the simulator, a real-bytes campaign on the
+//! threaded runtime, and a differential validation tying them together.
+
+use std::sync::Arc;
+
+use alm_mapreduce::chaos::{
+    validate_scenario, ChaosFault, ChaosScenario, EngineKind, FaultSpace, SimCampaign,
+};
+use alm_mapreduce::prelude::*;
+use alm_mapreduce::types::units::GB;
+
+/// A seeded sim campaign is reproducible end-to-end and preserves the
+/// paper's headline contrast on the pinned Table II scenario.
+#[test]
+fn seeded_sim_campaign_reproduces_and_contrasts() {
+    let spec = SimJobSpec::new(WorkloadKind::Terasort, 4 * GB, 8, 13);
+    let campaign = SimCampaign::paper(spec, vec![RecoveryMode::Baseline, RecoveryMode::SfmAlg]);
+    let mut scenarios = FaultSpace::paper_like(20, 2, 32, 8).sample(4, 13);
+    let victim = alm_mapreduce::sim::experiment::node_of_reduce(
+        &campaign.spec,
+        &ExperimentEnv::paper(RecoveryMode::Baseline),
+        2,
+    );
+    scenarios.push(ChaosScenario::new("pinned").with(ChaosFault::CrashNodeAtReduceProgress {
+        node: victim,
+        reduce_index: 2,
+        at_progress: 0.1,
+    }));
+
+    let a = campaign.run(&scenarios);
+    let b = campaign.run(&scenarios);
+    assert_eq!(a, b, "campaigns are pure functions of (spec, scenarios, modes)");
+
+    let mut report = CampaignReport::new("it", 13);
+    report.extend(a);
+    let contrast =
+        report.spatial_contrast(EngineKind::Simulator, RecoveryMode::Baseline, RecoveryMode::SfmAlg);
+    assert!(
+        contrast.iter().any(|(name, yarn, _)| name == "pinned" && *yarn >= 1),
+        "the pinned Table II scenario must amplify under baseline YARN: {contrast:?}"
+    );
+    assert!(
+        contrast.iter().all(|(_, _, alm)| *alm == 0),
+        "SFM+ALG must never amplify spatially: {contrast:?}"
+    );
+}
+
+/// The runtime campaign executes real bytes and verifies every committed
+/// output against the reference oracle, under every recovery mode.
+#[test]
+fn runtime_campaign_all_modes_oracle_clean() {
+    let campaign = RuntimeCampaign {
+        workload: Arc::new(Terasort::new(700)),
+        num_maps: 3,
+        num_reduces: 2,
+        seed: 42,
+        nodes: 4,
+        ms_per_scenario_sec: 5.0,
+        modes: vec![RecoveryMode::Baseline, RecoveryMode::Alg, RecoveryMode::Sfm, RecoveryMode::SfmAlg],
+    };
+    let scenarios = vec![
+        ChaosScenario::new("kill-late").with(ChaosFault::KillReduce { index: 0, at_progress: 0.8 }),
+        ChaosScenario::new("slow-straggler")
+            .with(ChaosFault::SlowNode { node: 1, at_secs: 0.0, factor: 4.0 })
+            .with(ChaosFault::KillReduce { index: 1, at_progress: 0.4 }),
+    ];
+    for o in campaign.run(&scenarios) {
+        assert!(o.succeeded, "{o:?}");
+        assert_eq!(o.output_verified, Some(true), "oracle mismatch: {o:?}");
+        assert_eq!(o.partitions_committed, Some(2), "{o:?}");
+    }
+}
+
+/// One scenario differentially validated in both engines.
+#[test]
+fn differential_validation_through_facade() {
+    let scenario =
+        ChaosScenario::new("facade-diff").with(ChaosFault::KillReduce { index: 0, at_progress: 0.6 });
+    let verdict = validate_scenario(&scenario, &[RecoveryMode::Baseline, RecoveryMode::SfmAlg]);
+    assert!(verdict.ok(), "{}", verdict.render_text());
+}

@@ -76,9 +76,11 @@ fn engines_agree_reduce_failures_dominate() {
     let spec = SimJobSpec::paper(WorkloadKind::Terasort, 5);
     let e = ExperimentEnv::paper(RecoveryMode::Baseline);
     let clean = run_one(&spec, &e, vec![]).job_secs;
-    let map_f = run_one(&spec, &e, vec![SimFault::KillMapAtProgress { map_index: 0, at_progress: 0.5 }]).job_secs;
+    let map_f =
+        run_one(&spec, &e, vec![SimFault::KillMapAtProgress { map_index: 0, at_progress: 0.5 }]).job_secs;
     let red_f =
-        run_one(&spec, &e, vec![SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: 0.9 }]).job_secs;
+        run_one(&spec, &e, vec![SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: 0.9 }])
+            .job_secs;
     assert!(red_f - clean > (map_f - clean).max(1.0) * 2.0, "sim: {clean:.0}/{map_f:.0}/{red_f:.0}");
 
     // Threaded engine, test scale. Wall-clock deltas at this scale are
@@ -124,10 +126,7 @@ fn alg_logs_survive_node_loss_and_resume() {
     let mut logger = alm_mapreduce::core::AnalyticsLogger::new(&config, attempt);
     let mut output = alm_mapreduce::core::PartialOutput::new(&paths);
     output.append(b"key", b"value");
-    logger
-        .maybe_log_reduce(10, &dfs, NodeId(2), &[], 1, &mut output)
-        .unwrap()
-        .expect("due");
+    logger.maybe_log_reduce(10, &dfs, NodeId(2), &[], 1, &mut output).unwrap().expect("due");
 
     // The writer's node dies; rack replication keeps the log readable.
     dfs.set_node_alive(NodeId(2), false);
