@@ -1,0 +1,86 @@
+//! Golden-report regression gate over a fixed-seed simulator campaign.
+//!
+//! Runs [`alm_chaos::SimCampaign::golden_gate`] — 20 scenarios sampled
+//! from the §V-shaped fault space at seed 42, each under all four
+//! recovery modes at paper scale — canonicalizes the resulting
+//! [`alm_chaos::CampaignReport`] (wall-clock-sensitive fields stripped,
+//! fixed key order) and diffs it against the checked-in golden file.
+//!
+//! ```sh
+//! cargo run --release -p alm-bench --bin campaign_gate            # check
+//! cargo run --release -p alm-bench --bin campaign_gate -- --bless # regenerate
+//! ```
+//!
+//! Any recovery-policy change that shifts success, failure counts,
+//! spatial/temporal amplification or FCM attempts on any of the 80 runs
+//! fails the gate with a line-level diff; re-bless deliberately and
+//! review the golden diff in the PR.
+
+use alm_chaos::{CampaignReport, SimCampaign};
+
+const SEED: u64 = 42;
+const SCENARIOS: usize = 20;
+
+/// The checked-in golden report, resolved relative to the crate so the
+/// gate works from any working directory.
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/campaign_gate.json")
+}
+
+fn run_campaign() -> String {
+    let (campaign, scenarios) = SimCampaign::golden_gate(SEED, SCENARIOS);
+    let mut report = CampaignReport::new("campaign-gate", SEED);
+    report.extend(campaign.run(&scenarios));
+    let mut json = report.canonical_json();
+    json.push('\n');
+    json
+}
+
+/// First differing line between expected and actual, for a focused diff.
+fn first_divergence(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("line {}:\n  golden: {e}\n  actual: {a}", i + 1);
+        }
+    }
+    format!("line count differs: golden {} vs actual {}", expected.lines().count(), actual.lines().count())
+}
+
+fn main() {
+    let bless = std::env::args().any(|a| a == "--bless");
+    let path = golden_path();
+    let actual = run_campaign();
+
+    if bless {
+        std::fs::create_dir_all(path.parent().expect("golden path has a parent")).expect("create golden dir");
+        std::fs::write(&path, &actual).expect("write golden file");
+        println!("campaign_gate: blessed {} ({} bytes)", path.display(), actual.len());
+        return;
+    }
+
+    let expected = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "campaign_gate: cannot read golden file {} ({e});\nrun with --bless to generate it",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if actual == expected {
+        println!(
+            "campaign_gate: OK — {SCENARIOS} scenarios x 4 modes at seed {SEED} match {}",
+            path.display()
+        );
+    } else {
+        eprintln!(
+            "campaign_gate: DRIFT against {} — a recovery-policy change shifted campaign outcomes.\n{}\n\
+             If the change is intentional, regenerate with --bless and commit the golden diff.",
+            path.display(),
+            first_divergence(&expected, &actual)
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! The campaign gate's canonical report must be run-to-run deterministic
+//! (same seed → byte-identical JSON), seed-sensitive, and free of
+//! wall-clock fields — otherwise the golden diff would flap in CI.
+
+use alm_chaos::{CampaignReport, SimCampaign};
+
+fn canonical(seed: u64, n: usize) -> String {
+    let (campaign, scenarios) = SimCampaign::golden_gate(seed, n);
+    assert_eq!(scenarios.len(), n);
+    let mut report = CampaignReport::new("campaign-gate", seed);
+    report.extend(campaign.run(&scenarios));
+    report.canonical_json()
+}
+
+#[test]
+fn canonical_gate_report_is_deterministic_and_wall_clock_free() {
+    let a = canonical(42, 2);
+    assert_eq!(a, canonical(42, 2), "same seed must give a byte-identical canonical report");
+    assert_ne!(a, canonical(7, 2), "a different seed must sample a different campaign");
+    assert!(!a.contains("duration_secs"), "wall-clock fields must be stripped:\n{a}");
+    for key in [
+        "scenario",
+        "engine",
+        "mode",
+        "succeeded",
+        "injected_faults",
+        "total_failures",
+        "spatial_amplification",
+        "temporal_amplification",
+        "fcm_attempts",
+    ] {
+        assert!(a.contains(&format!("\"{key}\"")), "canonical report lost {key}:\n{a}");
+    }
+}

@@ -15,7 +15,7 @@ use alm_types::{FailureKind, RecoveryMode, TaskId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use crate::scenario::ChaosScenario;
+use crate::scenario::{ChaosScenario, LoweringProfile};
 
 /// Which engine produced an outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -42,7 +42,8 @@ pub struct ScenarioOutcome {
     pub succeeded: bool,
     /// Virtual seconds (simulator) or wall seconds (runtime).
     pub duration_secs: f64,
-    /// Faults the scenario injected that surface as failures.
+    /// Faults the scenario injected that surface as failures, counted on
+    /// the lowered plan (a rack crash contributes one per member node).
     pub injected_faults: usize,
     pub total_failures: usize,
     /// Distinct reduce tasks preempted via `FetchFailureLimit`.
@@ -52,8 +53,11 @@ pub struct ScenarioOutcome {
     pub fcm_attempts: u32,
     /// Runtime only: committed output byte-identical to the oracle.
     pub output_verified: Option<bool>,
-    /// Runtime only: reduce partitions with committed output records —
-    /// `num_reduces` here means no MOF loss went unrecovered.
+    /// Runtime only: reduce partitions whose committed output file is
+    /// present *and readable* on the DFS (commit status, not record
+    /// presence: a legitimately empty partition counts, a committed file
+    /// whose blocks were later lost does not) — `num_reduces` here means
+    /// no MOF loss went unrecovered.
     pub partitions_committed: Option<u32>,
 }
 
@@ -75,15 +79,22 @@ fn temporal_of(failures: impl Iterator<Item = TaskId>) -> usize {
     per_task.values().map(|n| n.saturating_sub(1)).max().unwrap_or(0)
 }
 
-/// Analyze a simulator run of `scenario` under `mode`.
-pub fn analyze_sim(scenario: &ChaosScenario, mode: RecoveryMode, report: &SimReport) -> ScenarioOutcome {
+/// Analyze a simulator run of `scenario` under `mode`. `profile` is the
+/// lowering profile the run used; the injected-fault denominator is
+/// counted on the lowered plan so rack crashes weigh one per member node.
+pub fn analyze_sim(
+    scenario: &ChaosScenario,
+    mode: RecoveryMode,
+    report: &SimReport,
+    profile: &LoweringProfile,
+) -> ScenarioOutcome {
     ScenarioOutcome {
         scenario: scenario.name.clone(),
         engine: EngineKind::Simulator,
         mode,
         succeeded: report.succeeded,
         duration_secs: report.job_secs,
-        injected_faults: scenario.injected_failure_faults(),
+        injected_faults: scenario.injected_failure_faults(profile),
         total_failures: report.failures.len(),
         spatial_amplification: spatial_of(report.failures.iter().map(|f| (f.task, f.kind))),
         temporal_amplification: temporal_of(report.failures.iter().map(|f| f.task)),
@@ -94,12 +105,18 @@ pub fn analyze_sim(scenario: &ChaosScenario, mode: RecoveryMode, report: &SimRep
 }
 
 /// Analyze a threaded-runtime run of `scenario` under `mode`.
-/// `output_verified` carries the caller's oracle comparison.
+/// `output_verified` carries the caller's oracle comparison and
+/// `partitions_committed` the caller's DFS commit-status count (see
+/// `RuntimeCampaign::committed_partitions`) — the report's own
+/// `output_records` map tracks record counts, not commit durability, and
+/// cannot see a committed file whose blocks were lost afterwards.
 pub fn analyze_runtime(
     scenario: &ChaosScenario,
     mode: RecoveryMode,
     report: &JobReport,
+    profile: &LoweringProfile,
     output_verified: bool,
+    partitions_committed: u32,
 ) -> ScenarioOutcome {
     ScenarioOutcome {
         scenario: scenario.name.clone(),
@@ -107,13 +124,13 @@ pub fn analyze_runtime(
         mode,
         succeeded: report.succeeded,
         duration_secs: report.job_time_ms as f64 / 1000.0,
-        injected_faults: scenario.injected_failure_faults(),
+        injected_faults: scenario.injected_failure_faults(profile),
         total_failures: report.failures.len(),
         spatial_amplification: spatial_of(report.failures.iter().map(|f| (f.task, f.kind))),
         temporal_amplification: temporal_of(report.failures.iter().map(|f| f.task)),
         fcm_attempts: report.fcm_attempts,
         output_verified: Some(output_verified),
-        partitions_committed: Some(report.output_records.len() as u32),
+        partitions_committed: Some(partitions_committed),
     }
 }
 

@@ -1,0 +1,347 @@
+//! Cross-engine **magnitude** calibration.
+//!
+//! The differential validator (`crate::differential`) checks *ordinal*
+//! agreement: both engines complete, order recovery modes the same way,
+//! lose no output. This module checks the stronger *cardinal* claim: when
+//! the same fault hits both engines at matched scale, the **normalized
+//! slowdown** — scenario duration over that engine's own fault-free
+//! baseline, each in its native clock (virtual seconds for the simulator,
+//! wall time for the runtime) — agrees within a recorded tolerance band.
+//!
+//! Two deliberate restrictions keep the comparison meaningful:
+//!
+//! * The calibration suite ([`calibration_suite`]) uses only
+//!   *progress-triggered task kills*. Node crashes are excluded: crash
+//!   **detection** costs a fixed `node_liveness_timeout` that the
+//!   test-scaled runtime compresses to hundreds of wall-ms against ~ms
+//!   jobs while the simulator charges at paper scale against
+//!   ~100-virtual-second jobs. Slow nodes are excluded for the dual
+//!   reason: the runtime throttle sleeps a fixed real duration per record
+//!   while the simulator stretches task time proportionally, so at
+//!   matched (compressed) scale the runtime's slowdown is magnified
+//!   ~3–5x relative to the simulator's (measured: 4.6–7.2x vs 1.5x).
+//!   Both fault classes stay covered by the ordinal invariants and the
+//!   golden campaign gate.
+//! * Runtime durations take the **minimum over repeats**: wall time has
+//!   additive scheduler noise, and the minimum is the standard estimator
+//!   for the noise-free cost.
+//!
+//! The measured per-mode bands live in [`ToleranceBands::measured`] and
+//! are documented with the raw measurements in `EXPERIMENTS.md`.
+
+use alm_types::RecoveryMode;
+use serde::{Deserialize, Serialize};
+
+use crate::differential::{matched_campaigns, DifferentialReport, Invariant, MatchedScale};
+use crate::scenario::{ChaosFault, ChaosScenario};
+
+/// Per-mode tolerance on the normalized-slowdown gap between engines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceBands {
+    /// Mode-specific bands; modes not listed fall back to `default_band`.
+    pub bands: Vec<(RecoveryMode, f64)>,
+    pub default_band: f64,
+}
+
+impl ToleranceBands {
+    /// One band for every mode.
+    pub fn uniform(band: f64) -> ToleranceBands {
+        ToleranceBands { bands: Vec::new(), default_band: band }
+    }
+
+    /// The bands measured at [`MatchedScale::default`] over
+    /// [`calibration_suite`] (see `EXPERIMENTS.md`, "Cross-engine
+    /// calibration"). Worst per-mode gap observed across 6 calibration
+    /// runs (min over 3 runtime repeats each): Baseline 0.71, Alg 0.57,
+    /// Sfm 0.72, SfmAlg 0.66. Bands add ~0.8 margin for wall-clock
+    /// quantisation — runtime jobs at this scale run 4–6 ms against a
+    /// 1 ms report resolution, so one tick moves a normalized slowdown
+    /// by ~0.2–0.35 and slower CI hosts widen that further.
+    pub fn measured() -> ToleranceBands {
+        ToleranceBands {
+            bands: vec![
+                (RecoveryMode::Baseline, 1.5),
+                (RecoveryMode::Alg, 1.4),
+                (RecoveryMode::Sfm, 1.5),
+                (RecoveryMode::SfmAlg, 1.5),
+            ],
+            default_band: 1.5,
+        }
+    }
+
+    /// The band for `mode`.
+    pub fn band(&self, mode: RecoveryMode) -> f64 {
+        self.bands.iter().find(|(m, _)| *m == mode).map(|(_, b)| *b).unwrap_or(self.default_band)
+    }
+}
+
+/// One scenario's normalized slowdown on each engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownPoint {
+    pub scenario: String,
+    /// Simulator: scenario virtual-secs / fault-free virtual-secs.
+    pub sim: f64,
+    /// Runtime: min-over-repeats wall-secs / fault-free wall-secs.
+    pub runtime: f64,
+}
+
+impl SlowdownPoint {
+    /// Absolute cross-engine gap in normalized slowdown.
+    pub fn gap(&self) -> f64 {
+        (self.sim - self.runtime).abs()
+    }
+}
+
+/// One recovery mode's slowdown curve across the calibration suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeCurve {
+    pub mode: RecoveryMode,
+    /// Fault-free baseline durations in each engine's native clock.
+    pub sim_baseline_secs: f64,
+    pub runtime_baseline_secs: f64,
+    pub points: Vec<SlowdownPoint>,
+}
+
+impl ModeCurve {
+    pub fn max_gap(&self) -> f64 {
+        self.points.iter().map(SlowdownPoint::gap).fold(0.0, f64::max)
+    }
+
+    pub fn mean_gap(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(SlowdownPoint::gap).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// The full calibration: per-mode curves at one matched scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    pub scale: MatchedScale,
+    /// Runtime repeats per scenario (min taken over them).
+    pub repeats: u32,
+    pub curves: Vec<ModeCurve>,
+}
+
+impl CalibrationReport {
+    /// Per-mode magnitude invariants: the worst cross-engine slowdown gap
+    /// in each mode's curve stays inside that mode's tolerance band.
+    pub fn check(&self, bands: &ToleranceBands) -> Vec<Invariant> {
+        self.curves
+            .iter()
+            .map(|c| {
+                let band = bands.band(c.mode);
+                let max_gap = c.max_gap();
+                let worst = c
+                    .points
+                    .iter()
+                    .max_by(|a, b| a.gap().total_cmp(&b.gap()))
+                    .map(|p| format!("{} (sim {:.2}x vs runtime {:.2}x)", p.scenario, p.sim, p.runtime))
+                    .unwrap_or_else(|| "no calibration points".into());
+                Invariant {
+                    name: format!("magnitude-{:?}", c.mode),
+                    passed: max_gap <= band,
+                    detail: format!(
+                        "max normalized-slowdown gap {max_gap:.2} (band {band:.2}), worst: {worst}"
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "cross-engine calibration at workers={} maps={} reduces={} (runtime min over {} repeats)\n",
+            self.scale.workers, self.scale.num_maps, self.scale.num_reduces, self.repeats
+        );
+        for c in &self.curves {
+            out.push_str(&format!(
+                "  {:?}: sim baseline {:.1}s, runtime baseline {:.4}s, mean gap {:.2}, max gap {:.2}\n",
+                c.mode,
+                c.sim_baseline_secs,
+                c.runtime_baseline_secs,
+                c.mean_gap(),
+                c.max_gap()
+            ));
+            for p in &c.points {
+                out.push_str(&format!(
+                    "    {:<24} sim {:>6.2}x  runtime {:>6.2}x  gap {:.2}\n",
+                    p.scenario,
+                    p.sim,
+                    p.runtime,
+                    p.gap()
+                ));
+            }
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("calibration report serialisation cannot fail")
+    }
+}
+
+/// The shared calibration suite: progress-triggered task kills only (see
+/// the module docs for why node crashes and slow nodes are excluded from
+/// magnitude comparison).
+pub fn calibration_suite() -> Vec<ChaosScenario> {
+    vec![
+        ChaosScenario::new("cal-kill-reduce-early")
+            .with(ChaosFault::KillReduce { index: 0, at_progress: 0.2 }),
+        ChaosScenario::new("cal-kill-reduce-late")
+            .with(ChaosFault::KillReduce { index: 1, at_progress: 0.8 }),
+        ChaosScenario::new("cal-kill-map-mid").with(ChaosFault::KillMap { index: 0, at_progress: 0.5 }),
+        ChaosScenario::new("cal-double-kill")
+            .with(ChaosFault::KillReduce { index: 0, at_progress: 0.3 })
+            .with(ChaosFault::KillMap { index: 1, at_progress: 0.6 }),
+    ]
+}
+
+/// Floor for wall-clock durations: the runtime reports whole milliseconds,
+/// so a sub-ms job must not divide by zero.
+const MIN_WALL_SECS: f64 = 0.001;
+
+/// Run `suite` on both engines at `scale` under each mode and build the
+/// per-mode normalized slowdown curves. The fault-free baseline is an
+/// empty scenario run through the identical path; runtime durations take
+/// the minimum over `repeats` runs.
+pub fn calibrate(
+    suite: &[ChaosScenario],
+    modes: &[RecoveryMode],
+    scale: &MatchedScale,
+    repeats: u32,
+) -> CalibrationReport {
+    let repeats = repeats.max(1);
+    let (sim, runtime) = matched_campaigns(modes, scale);
+    let fault_free = ChaosScenario::new("cal-fault-free");
+
+    let runtime_secs = |scenario: &ChaosScenario, mode: RecoveryMode| -> f64 {
+        (0..repeats)
+            .map(|_| runtime.run_scenario(scenario, mode).duration_secs)
+            .fold(f64::INFINITY, f64::min)
+            .max(MIN_WALL_SECS)
+    };
+
+    let curves = modes
+        .iter()
+        .map(|&mode| {
+            let sim_baseline = sim.run_scenario(&fault_free, mode).duration_secs;
+            let runtime_baseline = runtime_secs(&fault_free, mode);
+            let points = suite
+                .iter()
+                .map(|s| SlowdownPoint {
+                    scenario: s.name.clone(),
+                    sim: sim.run_scenario(s, mode).duration_secs / sim_baseline.max(f64::EPSILON),
+                    runtime: runtime_secs(s, mode) / runtime_baseline,
+                })
+                .collect();
+            ModeCurve {
+                mode,
+                sim_baseline_secs: sim_baseline,
+                runtime_baseline_secs: runtime_baseline,
+                points,
+            }
+        })
+        .collect();
+
+    CalibrationReport { scale: scale.clone(), repeats, curves }
+}
+
+/// Calibrated differential validation: run [`calibration_suite`] at
+/// `scale` and fold the per-mode magnitude invariants into a
+/// [`DifferentialReport`] — the cardinal companion to
+/// `crate::differential::validate_at`'s ordinal checks.
+pub fn validate_calibrated(
+    modes: &[RecoveryMode],
+    scale: &MatchedScale,
+    bands: &ToleranceBands,
+    repeats: u32,
+) -> (DifferentialReport, CalibrationReport) {
+    let calibration = calibrate(&calibration_suite(), modes, scale, repeats);
+    let report = DifferentialReport {
+        scenario: "calibration-suite".into(),
+        modes: modes.to_vec(),
+        invariants: calibration.check(bands),
+        outcomes: Vec::new(),
+    };
+    (report, calibration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(mode: RecoveryMode, gaps: &[(f64, f64)]) -> ModeCurve {
+        ModeCurve {
+            mode,
+            sim_baseline_secs: 100.0,
+            runtime_baseline_secs: 0.01,
+            points: gaps
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, r))| SlowdownPoint { scenario: format!("p{i}"), sim: s, runtime: r })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bands_fall_back_to_default() {
+        let b = ToleranceBands { bands: vec![(RecoveryMode::Alg, 0.5)], default_band: 1.5 };
+        assert_eq!(b.band(RecoveryMode::Alg), 0.5);
+        assert_eq!(b.band(RecoveryMode::Baseline), 1.5);
+        assert_eq!(ToleranceBands::uniform(0.7).band(RecoveryMode::Sfm), 0.7);
+    }
+
+    #[test]
+    fn gap_statistics_are_absolute() {
+        let c = curve(RecoveryMode::Baseline, &[(1.2, 1.0), (1.0, 1.6), (2.0, 2.0)]);
+        assert!((c.max_gap() - 0.6).abs() < 1e-9);
+        assert!((c.mean_gap() - (0.2 + 0.6 + 0.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_flags_out_of_band_modes() {
+        let report = CalibrationReport {
+            scale: MatchedScale::default(),
+            repeats: 3,
+            curves: vec![
+                curve(RecoveryMode::Baseline, &[(1.1, 1.2)]),
+                curve(RecoveryMode::SfmAlg, &[(1.0, 3.5)]),
+            ],
+        };
+        let inv = report.check(&ToleranceBands::uniform(0.5));
+        assert_eq!(inv.len(), 2);
+        assert!(inv[0].passed, "{:?}", inv[0]);
+        assert_eq!(inv[0].name, "magnitude-Baseline");
+        assert!(!inv[1].passed, "{:?}", inv[1]);
+        assert_eq!(inv[1].name, "magnitude-SfmAlg");
+        assert!(inv[1].detail.contains("band 0.50"), "{}", inv[1].detail);
+        let text = report.render_text();
+        assert!(text.contains("magnitude") || text.contains("gap"), "{text}");
+    }
+
+    #[test]
+    fn calibration_report_serde_round_trips() {
+        let report = CalibrationReport {
+            scale: MatchedScale::default(),
+            repeats: 2,
+            curves: vec![curve(RecoveryMode::Sfm, &[(1.3, 1.4)])],
+        };
+        let back: CalibrationReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn suite_contains_only_progress_triggered_kills() {
+        for s in calibration_suite() {
+            assert!(!s.faults.is_empty(), "{} is fault-free", s.name);
+            for f in &s.faults {
+                assert!(
+                    matches!(f, ChaosFault::KillMap { .. } | ChaosFault::KillReduce { .. }),
+                    "calibration suite must not contain clock-incommensurable faults: {f:?}"
+                );
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::analyze::{analyze_runtime, analyze_sim, EngineKind, ScenarioOutcome};
 use crate::scenario::{ChaosScenario, LoweringProfile};
+use crate::space::FaultSpace;
 
 /// Simulator-side campaign configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,6 +43,27 @@ impl SimCampaign {
         LoweringProfile::simulator(&self.cluster)
     }
 
+    /// The fixed-seed golden-gate campaign behind the `campaign_gate` CI
+    /// regression gate: `n` scenarios sampled from a §V-shaped
+    /// [`FaultSpace`] at `seed`, to be run at paper scale under all four
+    /// recovery modes. Deterministic in `(seed, n)`; any policy change
+    /// that shifts amplification/failure counts shows up as a diff
+    /// against the checked-in golden report.
+    pub fn golden_gate(seed: u64, n: usize) -> (SimCampaign, Vec<ChaosScenario>) {
+        let spec = SimJobSpec::paper(alm_workloads::WorkloadKind::Terasort, seed);
+        let campaign = SimCampaign::paper(
+            spec.clone(),
+            vec![RecoveryMode::Baseline, RecoveryMode::Alg, RecoveryMode::Sfm, RecoveryMode::SfmAlg],
+        );
+        let profile = campaign.profile();
+        // Same map-count derivation as the simulator's quantity model:
+        // one map per DFS block of input.
+        let num_maps = spec.input_bytes.div_ceil(campaign.yarn.dfs_block_size).max(1) as u32;
+        let scenarios = FaultSpace::paper_like(profile.workers, profile.racks, num_maps, spec.num_reduces)
+            .sample(n, seed);
+        (campaign, scenarios)
+    }
+
     /// Run one scenario under one mode.
     pub fn run_scenario(&self, scenario: &ChaosScenario, mode: RecoveryMode) -> ScenarioOutcome {
         let env = ExperimentEnv {
@@ -49,9 +71,10 @@ impl SimCampaign {
             yarn: self.yarn.clone(),
             alm: AlmConfig::with_mode(mode),
         };
-        let plan = scenario.lower(JobId(0), &self.profile());
+        let profile = self.profile();
+        let plan = scenario.lower(JobId(0), &profile);
         let report = run_one(&self.spec, &env, SimFault::lower_plan(&plan));
-        analyze_sim(scenario, mode, &report)
+        analyze_sim(scenario, mode, &report, &profile)
     }
 
     /// Every scenario under every mode.
@@ -82,8 +105,12 @@ pub struct RuntimeCampaign {
 }
 
 impl RuntimeCampaign {
+    /// The lowering profile for this campaign's cluster. The rack count is
+    /// single-sourced from [`MiniCluster::test_racks`] — the same policy
+    /// [`MiniCluster::for_tests`] builds its topology with — so rack-fault
+    /// lowering and the actual cluster can never disagree on membership.
     pub fn profile(&self) -> LoweringProfile {
-        LoweringProfile::runtime(self.nodes, 2.min(self.nodes), self.ms_per_scenario_sec)
+        LoweringProfile::runtime(self.nodes, MiniCluster::test_racks(self.nodes), self.ms_per_scenario_sec)
     }
 
     fn oracle(&self) -> Vec<Record> {
@@ -104,6 +131,15 @@ impl RuntimeCampaign {
         Some(all)
     }
 
+    /// Reduce partitions whose committed output file is present and fully
+    /// readable on the DFS. This is *commit status*, not record presence:
+    /// a legitimately empty partition (its key range got no records)
+    /// counts as committed, while a committed file whose blocks all lost
+    /// their live replicas does not.
+    pub fn committed_partitions(cluster: &MiniCluster, job: &JobDef) -> u32 {
+        (0..job.num_reduces).filter(|r| cluster.dfs.is_available(&job.output_path(*r))).count() as u32
+    }
+
     /// Run one scenario under one mode, verifying committed bytes against
     /// the reference oracle.
     pub fn run_scenario(&self, scenario: &ChaosScenario, mode: RecoveryMode) -> ScenarioOutcome {
@@ -112,11 +148,15 @@ impl RuntimeCampaign {
         alm.logging_interval_ms = 1; // log eagerly at test scale
         let job =
             JobDef::new(JobId(0), self.workload.clone(), self.num_maps, self.num_reduces, self.seed, alm);
-        let plan = scenario.lower(job.id, &self.profile());
+        // Lower against the topology the cluster actually has, not a
+        // parallel reconstruction of it.
+        let profile = LoweringProfile::runtime(self.nodes, cluster.racks(), self.ms_per_scenario_sec);
+        let plan = scenario.lower(job.id, &profile);
         let report = run_job(cluster.clone(), job.clone(), plan);
         let verified =
             report.succeeded && Self::committed(&cluster, &job).is_some_and(|got| got == self.oracle());
-        analyze_runtime(scenario, mode, &report, verified)
+        let partitions = Self::committed_partitions(&cluster, &job);
+        analyze_runtime(scenario, mode, &report, &profile, verified, partitions)
     }
 
     /// Every scenario under every mode.
@@ -214,6 +254,49 @@ impl CampaignReport {
 
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("campaign report serialisation cannot fail")
+    }
+
+    /// Canonical golden-file form: wall-clock-sensitive fields are
+    /// stripped (`duration_secs` varies with host load on the runtime
+    /// engine and with float formatting), keys render in a fixed order,
+    /// and every kept value is an integer, bool or string. What stays is
+    /// exactly the policy-sensitive surface — success, injected/total
+    /// failure counts, spatial/temporal amplification, FCM attempts and
+    /// (when present) oracle verdicts — so a recovery-policy regression
+    /// diffs against the checked-in golden report while a slow CI host
+    /// does not.
+    pub fn canonical_json(&self) -> String {
+        use serde_json::Value;
+        let outcomes: Vec<Value> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let mut fields = vec![
+                    ("scenario", Value::Str(o.scenario.clone())),
+                    ("engine", Value::Str(o.engine.to_string())),
+                    ("mode", Value::Str(format!("{:?}", o.mode))),
+                    ("succeeded", Value::Bool(o.succeeded)),
+                    ("injected_faults", Value::U64(o.injected_faults as u64)),
+                    ("total_failures", Value::U64(o.total_failures as u64)),
+                    ("spatial_amplification", Value::U64(o.spatial_amplification as u64)),
+                    ("temporal_amplification", Value::U64(o.temporal_amplification as u64)),
+                    ("fcm_attempts", Value::U64(o.fcm_attempts as u64)),
+                ];
+                if let Some(v) = o.output_verified {
+                    fields.push(("output_verified", Value::Bool(v)));
+                }
+                if let Some(p) = o.partitions_committed {
+                    fields.push(("partitions_committed", Value::U64(p as u64)));
+                }
+                Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            })
+            .collect();
+        let root = Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("seed".to_string(), Value::U64(self.seed)),
+            ("outcomes".to_string(), Value::Array(outcomes)),
+        ]);
+        serde_json::to_string_pretty(&root).expect("canonical report serialisation cannot fail")
     }
 }
 

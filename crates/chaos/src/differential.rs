@@ -109,12 +109,13 @@ pub fn validate_scenario(scenario: &ChaosScenario, modes: &[RecoveryMode]) -> Di
     validate_at(scenario, modes, &MatchedScale::default())
 }
 
-/// Validate `scenario` across both engines at an explicit matched scale.
-pub fn validate_at(
-    scenario: &ChaosScenario,
+/// The two campaigns — simulator and threaded runtime — that realise a
+/// [`MatchedScale`] for a given mode set. Shared by the invariant
+/// validator below and the magnitude calibrator (`crate::calibrate`).
+pub(crate) fn matched_campaigns(
     modes: &[RecoveryMode],
     scale: &MatchedScale,
-) -> DifferentialReport {
+) -> (SimCampaign, RuntimeCampaign) {
     let yarn = YarnConfig::default();
     let sim = SimCampaign {
         spec: SimJobSpec::new(
@@ -136,6 +137,16 @@ pub fn validate_at(
         ms_per_scenario_sec: scale.ms_per_scenario_sec,
         modes: modes.to_vec(),
     };
+    (sim, runtime)
+}
+
+/// Validate `scenario` across both engines at an explicit matched scale.
+pub fn validate_at(
+    scenario: &ChaosScenario,
+    modes: &[RecoveryMode],
+    scale: &MatchedScale,
+) -> DifferentialReport {
+    let (sim, runtime) = matched_campaigns(modes, scale);
 
     let mut outcomes = sim.run(std::slice::from_ref(scenario));
     outcomes.extend(runtime.run(std::slice::from_ref(scenario)));
@@ -216,6 +227,32 @@ pub fn validate_at(
             format!("unrecovered output loss under: {}", mof_loss.join(", "))
         },
     });
+
+    // Correlated rack loss is the paper's hardest recovery case: when the
+    // scenario takes out a whole rack, surviving replicas must carry the
+    // job to byte-identical committed output on the runtime, and the
+    // simulator must still complete under the full SfmAlg treatment.
+    if scenario.faults.iter().any(|f| matches!(f, crate::scenario::ChaosFault::CrashRack { .. })) {
+        let bad: Vec<String> = outcomes
+            .iter()
+            .filter(|o| match o.engine {
+                EngineKind::Runtime => {
+                    o.output_verified != Some(true) || o.partitions_committed != Some(scale.num_reduces)
+                }
+                EngineKind::Simulator => o.mode == RecoveryMode::SfmAlg && !o.succeeded,
+            })
+            .map(|o| format!("{}/{:?}", o.engine, o.mode))
+            .collect();
+        invariants.push(Invariant {
+            name: "correlated-crash-recovery".into(),
+            passed: bad.is_empty(),
+            detail: if bad.is_empty() {
+                "rack loss recovered: runtime output oracle-identical and fully committed, simulator completes under SfmAlg".into()
+            } else {
+                format!("rack loss not recovered under: {}", bad.join(", "))
+            },
+        });
+    }
 
     DifferentialReport { scenario: scenario.name.clone(), modes: modes.to_vec(), invariants, outcomes }
 }

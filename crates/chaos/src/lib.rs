@@ -12,14 +12,20 @@
 //! | [`campaign`] | campaign runner: scenarios × recovery modes on either engine, runtime outputs checked against the reference oracle |
 //! | [`analyze`]  | amplification analyzer: temporal (repeated-failure chains, Figs. 3/10) and spatial (fetch-failure-infected reducers, Fig. 4 / Table II) metrics, JSON + text reports |
 //! | [`differential`] | differential validator: the same scenario on both engines at matched scale, asserting invariant agreement |
+//! | [`calibrate`]    | magnitude calibration: per-mode normalized-slowdown curves across engines, checked against recorded tolerance bands |
 
 pub mod analyze;
+pub mod calibrate;
 pub mod campaign;
 pub mod differential;
 pub mod scenario;
 pub mod space;
 
 pub use analyze::{analyze_runtime, analyze_sim, EngineKind, ScenarioOutcome};
+pub use calibrate::{
+    calibrate, calibration_suite, validate_calibrated, CalibrationReport, ModeCurve, SlowdownPoint,
+    ToleranceBands,
+};
 pub use campaign::{CampaignReport, RuntimeCampaign, SimCampaign};
 pub use differential::{validate_at, validate_scenario, DifferentialReport, Invariant, MatchedScale};
 pub use scenario::{ChaosFault, ChaosScenario, LoweringProfile};

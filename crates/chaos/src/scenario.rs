@@ -100,10 +100,15 @@ impl ChaosScenario {
         self
     }
 
-    /// Faults expected to surface as recorded task failures (the
-    /// denominator for "additional failures" in amplification analysis).
-    pub fn injected_failure_faults(&self) -> usize {
-        self.faults.iter().filter(|f| f.produces_failures()).count()
+    /// Faults expected to surface as recorded task failures under
+    /// `profile` — the denominator for "additional failures" in
+    /// amplification analysis. Counted on the *lowered* plan so that a
+    /// correlated rack crash contributes one injected fault per member
+    /// node it expands to (and overlapping crash targets, deduplicated at
+    /// lowering, are not double-counted): a rack scenario and a node
+    /// scenario with the same blast radius get the same denominator.
+    pub fn injected_failure_faults(&self, profile: &LoweringProfile) -> usize {
+        self.lower(JobId(0), profile).injected_count()
     }
 
     /// Reduce indices this scenario kills *directly* (by task kill); node
@@ -121,11 +126,21 @@ impl ChaosScenario {
     /// Lower onto the shared [`FaultPlan`]: bind `job`, expand rack
     /// crashes, rescale scenario seconds via `profile`. Node/rack indices
     /// are clamped into the profile's worker range so randomly sampled
-    /// scenarios stay valid on any cluster size.
+    /// scenarios stay valid on any cluster size. Timed crash targets are
+    /// deduplicated on `(node, at_ms)`: overlapping rack crashes (two rack
+    /// indices congruent modulo the profile's rack count) or an explicit
+    /// node crash coinciding with a rack member would otherwise inject the
+    /// same crash twice and skew the amplification denominator.
     pub fn lower(&self, job: JobId, profile: &LoweringProfile) -> FaultPlan {
         let workers = profile.workers.max(1);
         let node = |n: u32| NodeId(n % workers);
+        let mut seen_crashes = std::collections::BTreeSet::new();
         let mut plan = FaultPlan::none();
+        let mut crash = |plan: &mut FaultPlan, node: NodeId, at_ms: u64| {
+            if seen_crashes.insert((node, at_ms)) {
+                plan.faults.push(Fault::CrashNodeAtMs { node, at_ms });
+            }
+        };
         for f in &self.faults {
             match f {
                 ChaosFault::KillMap { index, at_progress } => plan.faults.push(Fault::KillTask {
@@ -139,7 +154,7 @@ impl ChaosScenario {
                     at_progress: *at_progress,
                 }),
                 ChaosFault::CrashNode { node: n, at_secs } => {
-                    plan.faults.push(Fault::CrashNodeAtMs { node: node(*n), at_ms: profile.to_ms(*at_secs) })
+                    crash(&mut plan, node(*n), profile.to_ms(*at_secs));
                 }
                 ChaosFault::CrashNodeAtReduceProgress { node: n, reduce_index, at_progress } => {
                     plan.faults.push(Fault::CrashNodeAtReduceProgress {
@@ -155,8 +170,7 @@ impl ChaosScenario {
                 }),
                 ChaosFault::CrashRack { rack, at_secs } => {
                     for w in profile.rack_members(*rack) {
-                        plan.faults
-                            .push(Fault::CrashNodeAtMs { node: NodeId(w), at_ms: profile.to_ms(*at_secs) });
+                        crash(&mut plan, NodeId(w), profile.to_ms(*at_secs));
                     }
                 }
             }
@@ -217,12 +231,64 @@ mod tests {
             .with(ChaosFault::KillReduce { index: 3, at_progress: 0.8 })
             .with(ChaosFault::KillMap { index: 1, at_progress: 0.5 })
             .with(ChaosFault::SlowNode { node: 0, at_secs: 0.0, factor: 4.0 });
-        assert_eq!(s.injected_failure_faults(), 2);
+        assert_eq!(s.injected_failure_faults(&profile()), 2);
         assert_eq!(s.directly_killed_reduces(), vec![3]);
         let plan = s.lower(JobId(9), &profile());
         assert_eq!(plan.kill_point(TaskId::reduce(JobId(9), 3), 0), Some(0.8));
         assert_eq!(plan.kill_point(TaskId::map(JobId(9), 1), 0), Some(0.5));
         assert_eq!(plan.slow_nodes().count(), 1);
+    }
+
+    #[test]
+    fn overlapping_rack_crashes_dedupe_at_lowering() {
+        // rack 2 clamps onto rack 0 on a 2-rack profile: both faults name
+        // the same member set and must inject each crash exactly once.
+        let s = ChaosScenario::new("overlap")
+            .with(ChaosFault::CrashRack { rack: 0, at_secs: 10.0 })
+            .with(ChaosFault::CrashRack { rack: 2, at_secs: 10.0 });
+        let plan = s.lower(JobId(0), &profile());
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::CrashNodeAtMs { node: NodeId(0), at_ms: 10_000 },
+                Fault::CrashNodeAtMs { node: NodeId(2), at_ms: 10_000 },
+                Fault::CrashNodeAtMs { node: NodeId(4), at_ms: 10_000 },
+            ]
+        );
+        assert_eq!(s.injected_failure_faults(&profile()), 3);
+    }
+
+    #[test]
+    fn node_crash_coinciding_with_rack_member_dedupes() {
+        let s = ChaosScenario::new("coincide")
+            .with(ChaosFault::CrashNode { node: 3, at_secs: 5.0 })
+            .with(ChaosFault::CrashRack { rack: 1, at_secs: 5.0 });
+        let plan = s.lower(JobId(0), &profile());
+        let crashed: Vec<u32> = plan
+            .faults
+            .iter()
+            .map(|f| match f {
+                Fault::CrashNodeAtMs { node, at_ms: 5_000 } => node.0,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(crashed, vec![3, 1, 5], "node 3 injected once, not twice");
+        // Same node at a *different* time is a distinct fault and kept.
+        let s2 = ChaosScenario::new("two-times")
+            .with(ChaosFault::CrashNode { node: 1, at_secs: 5.0 })
+            .with(ChaosFault::CrashNode { node: 1, at_secs: 9.0 });
+        assert_eq!(s2.lower(JobId(0), &profile()).faults.len(), 2);
+    }
+
+    #[test]
+    fn injected_fault_count_is_profile_aware_for_rack_crashes() {
+        // One rack fault on a 6-worker/2-rack profile expands to 3 node
+        // crashes; the amplification denominator must count all 3, so rack
+        // scenarios are not judged against a node-scenario denominator.
+        let s = ChaosScenario::new("rack").with(ChaosFault::CrashRack { rack: 0, at_secs: 20.0 });
+        assert_eq!(s.injected_failure_faults(&profile()), 3);
+        let narrow = LoweringProfile { workers: 2, racks: 2, ms_per_scenario_sec: 1000.0 };
+        assert_eq!(s.injected_failure_faults(&narrow), 1, "1 member per rack on 2 workers");
     }
 
     #[test]

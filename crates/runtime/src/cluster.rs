@@ -91,7 +91,20 @@ impl MiniCluster {
 
     /// Test-scaled cluster (fast timeouts, small buffers).
     pub fn for_tests(n: u32) -> MiniCluster {
-        MiniCluster::new(n, 2.min(n), YarnConfig::scaled_for_tests())
+        MiniCluster::new(n, MiniCluster::test_racks(n), YarnConfig::scaled_for_tests())
+    }
+
+    /// Rack count [`MiniCluster::for_tests`] uses for an `n`-node cluster.
+    /// Single-sourced here so fault tooling that lowers rack faults (e.g.
+    /// `alm-chaos`) cannot drift from the topology the cluster actually
+    /// builds.
+    pub fn test_racks(n: u32) -> u32 {
+        2.min(n)
+    }
+
+    /// Number of distinct racks in this cluster's topology.
+    pub fn racks(&self) -> u32 {
+        self.dfs.topology().num_racks() as u32
     }
 
     pub fn node(&self, id: NodeId) -> &Arc<NodeHandle> {
@@ -139,6 +152,14 @@ mod tests {
         assert_eq!(n.slow_factor(), 3.5);
         n.set_slow(0.2); // cannot make a node faster than healthy
         assert_eq!(n.slow_factor(), 1.0);
+    }
+
+    #[test]
+    fn test_rack_policy_matches_built_topology() {
+        for n in 1..=6 {
+            let c = MiniCluster::for_tests(n);
+            assert_eq!(c.racks(), MiniCluster::test_racks(n), "n = {n}");
+        }
     }
 
     #[test]
