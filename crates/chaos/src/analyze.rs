@@ -51,6 +51,18 @@ pub struct ScenarioOutcome {
     /// Longest repeated-failure chain of one task (count beyond first).
     pub temporal_amplification: usize,
     pub fcm_attempts: u32,
+    /// Map attempts launched; equal to the job's map count exactly when no
+    /// map re-executed — the transient-fault "zero re-execution" signal.
+    pub map_attempts: u32,
+    /// Node-loss declarations (`NodeCrash` failure records). A partition
+    /// that heals inside the liveness window must leave this at zero.
+    pub node_loss_failures: usize,
+    /// Fetched chunks that failed arrival-checksum validation and were
+    /// transparently re-fetched (never charged to the retry budget).
+    pub corruption_refetches: u32,
+    /// Runtime only: every analytics-log recovery stayed within one
+    /// logging interval of work (vacuously true with no recoveries).
+    pub recoveries_bounded: Option<bool>,
     /// Runtime only: committed output byte-identical to the oracle.
     pub output_verified: Option<bool>,
     /// Runtime only: reduce partitions whose committed output file is
@@ -99,6 +111,10 @@ pub fn analyze_sim(
         spatial_amplification: spatial_of(report.failures.iter().map(|f| (f.task, f.kind))),
         temporal_amplification: temporal_of(report.failures.iter().map(|f| f.task)),
         fcm_attempts: report.fcm_attempts,
+        map_attempts: report.map_attempts,
+        node_loss_failures: report.failures.iter().filter(|f| f.kind == FailureKind::NodeCrash).count(),
+        corruption_refetches: report.corruption_refetches,
+        recoveries_bounded: None,
         output_verified: None,
         partitions_committed: None,
     }
@@ -129,6 +145,10 @@ pub fn analyze_runtime(
         spatial_amplification: spatial_of(report.failures.iter().map(|f| (f.task, f.kind))),
         temporal_amplification: temporal_of(report.failures.iter().map(|f| f.task)),
         fcm_attempts: report.fcm_attempts,
+        map_attempts: report.map_attempts,
+        node_loss_failures: report.failures_of_kind(FailureKind::NodeCrash),
+        corruption_refetches: report.corruption_refetches,
+        recoveries_bounded: Some(report.recoveries_bounded()),
         output_verified: Some(output_verified),
         partitions_committed: Some(partitions_committed),
     }

@@ -261,8 +261,9 @@ impl CampaignReport {
     /// engine and with float formatting), keys render in a fixed order,
     /// and every kept value is an integer, bool or string. What stays is
     /// exactly the policy-sensitive surface — success, injected/total
-    /// failure counts, spatial/temporal amplification, FCM attempts and
-    /// (when present) oracle verdicts — so a recovery-policy regression
+    /// failure counts, spatial/temporal amplification, FCM attempts,
+    /// map attempts, node-loss and corruption-refetch counts and (when
+    /// present) bounded-recovery / oracle verdicts — so a recovery-policy regression
     /// diffs against the checked-in golden report while a slow CI host
     /// does not.
     pub fn canonical_json(&self) -> String {
@@ -281,7 +282,13 @@ impl CampaignReport {
                     ("spatial_amplification", Value::U64(o.spatial_amplification as u64)),
                     ("temporal_amplification", Value::U64(o.temporal_amplification as u64)),
                     ("fcm_attempts", Value::U64(o.fcm_attempts as u64)),
+                    ("map_attempts", Value::U64(o.map_attempts as u64)),
+                    ("node_loss_failures", Value::U64(o.node_loss_failures as u64)),
+                    ("corruption_refetches", Value::U64(o.corruption_refetches as u64)),
                 ];
+                if let Some(b) = o.recoveries_bounded {
+                    fields.push(("recoveries_bounded", Value::Bool(b)));
+                }
                 if let Some(v) = o.output_verified {
                     fields.push(("output_verified", Value::Bool(v)));
                 }
@@ -360,6 +367,10 @@ mod tests {
             spatial_amplification: spatial,
             temporal_amplification: 0,
             fcm_attempts: 0,
+            map_attempts: 5,
+            node_loss_failures: 0,
+            corruption_refetches: 0,
+            recoveries_bounded: None,
             output_verified: None,
             partitions_committed: None,
         };

@@ -9,7 +9,7 @@
 //! [`FaultPlan`] both engines consume (the simulator via
 //! `alm_sim::SimFault::lower_plan`, the threaded runtime directly).
 
-use alm_types::{Fault, FaultPlan, JobId, NodeId, TaskId};
+use alm_types::{CorruptTarget, Fault, FaultPlan, JobId, NodeId, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// One declarative fault. Times are in scenario seconds; the lowering
@@ -33,13 +33,28 @@ pub enum ChaosFault {
     /// Expanded at lowering time using the shared `worker % racks`
     /// placement both engines inherit from `Topology::even`.
     CrashRack { rack: u32, at_secs: f64 },
+    /// Sever the data-plane link between two *alive, heartbeating* workers
+    /// from one scenario time until another. The transient half of §II-C:
+    /// a partition that heals inside the liveness window must not be
+    /// mistaken for node loss by either engine.
+    PartitionLink { a: u32, b: u32, from_secs: f64, heal_secs: f64 },
+    /// Rot one durable artifact (a MOF partition chunk or an analytics-log
+    /// record) on a node at a scenario time. Arrival checksums catch it;
+    /// recovery must stay bounded and never burn retry budget.
+    CorruptData { node: u32, target: CorruptTarget, at_secs: f64 },
 }
 
 impl ChaosFault {
     /// Whether this fault is expected to surface as at least one recorded
-    /// task failure (slow nodes only degrade; they never fail anything).
+    /// task failure. Slow nodes only degrade, and the transient faults
+    /// (healing partitions, checksummed corruption) are precisely the ones
+    /// recovery must absorb *without* a failure record — none of the three
+    /// count toward the amplification denominator.
     pub fn produces_failures(&self) -> bool {
-        !matches!(self, ChaosFault::SlowNode { .. })
+        !matches!(
+            self,
+            ChaosFault::SlowNode { .. } | ChaosFault::PartitionLink { .. } | ChaosFault::CorruptData { .. }
+        )
     }
 }
 
@@ -173,6 +188,24 @@ impl ChaosScenario {
                         crash(&mut plan, NodeId(w), profile.to_ms(*at_secs));
                     }
                 }
+                ChaosFault::PartitionLink { a, b, from_secs, heal_secs } => {
+                    let from_ms = profile.to_ms(*from_secs);
+                    plan.faults.push(Fault::PartitionLink {
+                        a: node(*a),
+                        b: node(*b),
+                        from_ms,
+                        // A heal can never precede its sever, even if
+                        // rounding to engine milliseconds collapses them.
+                        heal_ms: profile.to_ms(*heal_secs).max(from_ms),
+                    });
+                }
+                ChaosFault::CorruptData { node: n, target, at_secs } => {
+                    plan.faults.push(Fault::CorruptData {
+                        node: node(*n),
+                        target: *target,
+                        at_ms: profile.to_ms(*at_secs),
+                    });
+                }
             }
         }
         plan
@@ -296,9 +329,69 @@ mod tests {
         let s = ChaosScenario::new("mixed")
             .with(ChaosFault::CrashNodeAtReduceProgress { node: 1, reduce_index: 5, at_progress: 0.1 })
             .with(ChaosFault::CrashRack { rack: 0, at_secs: 12.5 })
-            .with(ChaosFault::SlowNode { node: 2, at_secs: 3.0, factor: 2.5 });
+            .with(ChaosFault::SlowNode { node: 2, at_secs: 3.0, factor: 2.5 })
+            .with(ChaosFault::PartitionLink { a: 0, b: 3, from_secs: 2.0, heal_secs: 9.0 })
+            .with(ChaosFault::CorruptData {
+                node: 4,
+                target: CorruptTarget::AlgRecord { reduce_index: 1, seq: 2 },
+                at_secs: 6.0,
+            });
         let json = serde_json::to_string(&s).unwrap();
         let back: ChaosScenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn transient_faults_lower_with_clamping_and_rescaling() {
+        let s = ChaosScenario::new("transient")
+            .with(ChaosFault::PartitionLink { a: 1, b: 8, from_secs: 4.0, heal_secs: 20.0 })
+            .with(ChaosFault::CorruptData {
+                node: 9,
+                target: CorruptTarget::MofPartition { map_index: 2, partition: 1 },
+                at_secs: 6.0,
+            });
+        let plan = s.lower(JobId(0), &LoweringProfile::runtime(6, 2, 5.0));
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::PartitionLink { a: NodeId(1), b: NodeId(2), from_ms: 20, heal_ms: 100 },
+                Fault::CorruptData {
+                    node: NodeId(3),
+                    target: CorruptTarget::MofPartition { map_index: 2, partition: 1 },
+                    at_ms: 30,
+                },
+            ],
+            "node indices clamp modulo workers, scenario seconds rescale to wall ms"
+        );
+    }
+
+    #[test]
+    fn transient_faults_do_not_count_as_injected_failures() {
+        let s = ChaosScenario::new("transient-only")
+            .with(ChaosFault::PartitionLink { a: 0, b: 1, from_secs: 1.0, heal_secs: 5.0 })
+            .with(ChaosFault::CorruptData {
+                node: 2,
+                target: CorruptTarget::AlgRecord { reduce_index: 0, seq: 0 },
+                at_secs: 3.0,
+            });
+        assert!(s.faults.iter().all(|f| !f.produces_failures()));
+        assert_eq!(s.injected_failure_faults(&profile()), 0);
+    }
+
+    #[test]
+    fn heal_never_precedes_sever_after_rounding() {
+        // 0.04 scenario-sec of partition at 5 ms/sec rounds both ends to
+        // the same millisecond; the lowered heal must not land earlier.
+        let s = ChaosScenario::new("tiny").with(ChaosFault::PartitionLink {
+            a: 0,
+            b: 1,
+            from_secs: 10.0,
+            heal_secs: 10.04,
+        });
+        let plan = s.lower(JobId(0), &LoweringProfile::runtime(6, 2, 5.0));
+        match plan.faults[0] {
+            Fault::PartitionLink { from_ms, heal_ms, .. } => assert!(heal_ms >= from_ms),
+            ref other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! (space, seed, n) always yields the same campaign, so a campaign is
 //! reproducible from three numbers and a spec.
 
+use alm_types::CorruptTarget;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,8 @@ pub struct FaultWeights {
     pub crash_node_at_reduce_progress: u32,
     pub slow_node: u32,
     pub crash_rack: u32,
+    pub partition_link: u32,
+    pub corrupt_data: u32,
 }
 
 impl Default for FaultWeights {
@@ -33,6 +36,8 @@ impl Default for FaultWeights {
             crash_node_at_reduce_progress: 3,
             slow_node: 1,
             crash_rack: 1,
+            partition_link: 2,
+            corrupt_data: 2,
         }
     }
 }
@@ -45,6 +50,8 @@ impl FaultWeights {
             + self.crash_node_at_reduce_progress
             + self.slow_node
             + self.crash_rack
+            + self.partition_link
+            + self.corrupt_data
     }
 }
 
@@ -64,6 +71,10 @@ pub struct FaultSpace {
     pub at_secs: (f64, f64),
     /// Slowdown-factor window for slow nodes.
     pub slow_factor: (f64, f64),
+    /// How long a sampled partition stays severed before healing, in
+    /// scenario seconds. Keep the upper bound under the engines' liveness
+    /// window so sampled partitions are genuinely transient.
+    pub partition_secs: (f64, f64),
     pub weights: FaultWeights,
 }
 
@@ -80,6 +91,7 @@ impl FaultSpace {
             progress: (0.05, 0.6),
             at_secs: (5.0, 60.0),
             slow_factor: (1.5, 6.0),
+            partition_secs: (10.0, 40.0),
             weights: FaultWeights::default(),
         }
     }
@@ -98,6 +110,8 @@ impl FaultSpace {
             (w.crash_node_at_reduce_progress, 3),
             (w.slow_node, 4),
             (w.crash_rack, 5),
+            (w.partition_link, 6),
+            (w.corrupt_data, 7),
         ] {
             if pick < weight {
                 return match kind {
@@ -120,7 +134,28 @@ impl FaultSpace {
                         at_secs,
                         factor: rng.random_range(self.slow_factor.0..=self.slow_factor.1),
                     },
-                    _ => ChaosFault::CrashRack { rack: rng.random_range(0..self.racks.max(1)), at_secs },
+                    5 => ChaosFault::CrashRack { rack: rng.random_range(0..self.racks.max(1)), at_secs },
+                    6 => ChaosFault::PartitionLink {
+                        a: node,
+                        b: rng.random_range(0..self.workers.max(1)),
+                        from_secs: at_secs,
+                        heal_secs: at_secs + rng.random_range(self.partition_secs.0..=self.partition_secs.1),
+                    },
+                    _ => ChaosFault::CorruptData {
+                        node,
+                        target: if rng.random_range(0..2u32) == 0 {
+                            CorruptTarget::MofPartition {
+                                map_index: rng.random_range(0..self.num_maps.max(1)),
+                                partition: rng.random_range(0..self.num_reduces.max(1)),
+                            }
+                        } else {
+                            CorruptTarget::AlgRecord {
+                                reduce_index: rng.random_range(0..self.num_reduces.max(1)),
+                                seq: rng.random_range(0..8),
+                            }
+                        },
+                        at_secs,
+                    },
                 };
             }
             pick -= weight;
@@ -185,9 +220,43 @@ mod tests {
                         assert!(*node < 20 && (1.5..=6.0).contains(factor));
                     }
                     ChaosFault::CrashRack { rack, .. } => assert!(*rack < 2),
+                    ChaosFault::PartitionLink { a, b, from_secs, heal_secs } => {
+                        assert!(*a < 20 && *b < 20);
+                        assert!((5.0..=60.0).contains(from_secs));
+                        let dur = heal_secs - from_secs;
+                        assert!((10.0..=40.0).contains(&dur), "partition must be transient: {dur}");
+                    }
+                    ChaosFault::CorruptData { node, target, at_secs } => {
+                        assert!(*node < 20 && (5.0..=60.0).contains(at_secs));
+                        match target {
+                            alm_types::CorruptTarget::MofPartition { map_index, partition } => {
+                                assert!(*map_index < 80 && *partition < 20);
+                            }
+                            alm_types::CorruptTarget::AlgRecord { reduce_index, .. } => {
+                                assert!(*reduce_index < 20);
+                            }
+                        }
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn golden_gate_sample_exercises_transient_faults() {
+        // The fixed-seed campaign behind the campaign_gate CI gate must
+        // cover the transient vocabulary: same space shape and (seed, n)
+        // as `SimCampaign::golden_gate(42, 20)`.
+        let faults: Vec<ChaosFault> =
+            FaultSpace::paper_like(20, 2, 80, 20).sample(20, 42).into_iter().flat_map(|s| s.faults).collect();
+        assert!(
+            faults.iter().any(|f| matches!(f, ChaosFault::PartitionLink { .. })),
+            "seed-42 gate campaign samples no network partition"
+        );
+        assert!(
+            faults.iter().any(|f| matches!(f, ChaosFault::CorruptData { .. })),
+            "seed-42 gate campaign samples no data corruption"
+        );
     }
 
     #[test]
@@ -200,6 +269,8 @@ mod tests {
             crash_node_at_reduce_progress: 0,
             slow_node: 0,
             crash_rack: 0,
+            partition_link: 0,
+            corrupt_data: 0,
         };
         for s in sp.sample(16, 3) {
             assert!(s.faults.iter().all(|f| matches!(f, ChaosFault::KillReduce { .. })));

@@ -1,0 +1,82 @@
+//! Differential validation of transient faults (ISSUE: transient-fault
+//! tolerance): a network partition that heals inside the liveness window
+//! and checksummed data corruption must be absorbed by BOTH engines
+//! without node-loss declarations, map re-executions or retry-budget
+//! burn — the `transient-no-node-loss` and `corruption-bounded-recovery`
+//! invariants.
+
+use alm_chaos::{validate_scenario, ChaosFault, ChaosScenario};
+use alm_types::{CorruptTarget, RecoveryMode};
+
+const MODES: &[RecoveryMode] = &[RecoveryMode::Baseline, RecoveryMode::SfmAlg];
+
+fn invariant<'r>(report: &'r alm_chaos::DifferentialReport, name: &str) -> &'r alm_chaos::Invariant {
+    report
+        .invariants
+        .iter()
+        .find(|i| i.name == name)
+        .unwrap_or_else(|| panic!("invariant {name} missing from report:\n{}", report.render_text()))
+}
+
+#[test]
+fn healing_partition_causes_no_node_loss_in_either_engine() {
+    let scenario = ChaosScenario::new("transient-partition").with(ChaosFault::PartitionLink {
+        a: 0,
+        b: 2,
+        from_secs: 0.0,
+        heal_secs: 40.0,
+    });
+    let report = validate_scenario(&scenario, MODES);
+    assert!(report.ok(), "{}", report.render_text());
+    assert!(invariant(&report, "transient-no-node-loss").passed);
+    assert_eq!(report.outcomes.len(), 4);
+    for o in &report.outcomes {
+        assert_eq!(o.node_loss_failures, 0, "healed partition declared a node lost: {o:?}");
+        assert_eq!(o.map_attempts, 5, "healed partition re-executed a map: {o:?}");
+        assert_eq!(o.total_failures, 0, "healed partition recorded a failure: {o:?}");
+    }
+}
+
+#[test]
+fn corrupted_mof_chunk_recovers_bounded_in_both_engines() {
+    let scenario = ChaosScenario::new("transient-corrupt-mof").with(ChaosFault::CorruptData {
+        node: 1,
+        target: CorruptTarget::MofPartition { map_index: 1, partition: 2 },
+        at_secs: 1.0,
+    });
+    let report = validate_scenario(&scenario, MODES);
+    assert!(report.ok(), "{}", report.render_text());
+    assert!(invariant(&report, "corruption-bounded-recovery").passed);
+    for o in &report.outcomes {
+        assert!(o.succeeded, "{o:?}");
+        assert_eq!(o.spatial_amplification, 0, "corruption burned retry budget: {o:?}");
+    }
+}
+
+#[test]
+fn mixed_transient_faults_stay_invisible_to_failure_accounting() {
+    // Partition + both corruption kinds + a slow node: nothing in this
+    // scenario may produce a failure record, so the amplification
+    // denominator is zero and both conditional invariants apply.
+    let scenario = ChaosScenario::new("transient-mix")
+        .with(ChaosFault::PartitionLink { a: 1, b: 3, from_secs: 2.0, heal_secs: 30.0 })
+        .with(ChaosFault::CorruptData {
+            node: 0,
+            target: CorruptTarget::MofPartition { map_index: 0, partition: 0 },
+            at_secs: 1.0,
+        })
+        .with(ChaosFault::CorruptData {
+            node: 2,
+            target: CorruptTarget::AlgRecord { reduce_index: 1, seq: 0 },
+            at_secs: 5.0,
+        })
+        .with(ChaosFault::SlowNode { node: 4, at_secs: 0.0, factor: 2.0 });
+    assert_eq!(scenario.injected_failure_faults(&alm_chaos::LoweringProfile::runtime(5, 2, 5.0)), 0);
+    let report = validate_scenario(&scenario, MODES);
+    assert!(report.ok(), "{}", report.render_text());
+    assert!(invariant(&report, "transient-no-node-loss").passed);
+    assert!(invariant(&report, "corruption-bounded-recovery").passed);
+    for o in &report.outcomes {
+        assert_eq!(o.node_loss_failures, 0, "{o:?}");
+    }
+}

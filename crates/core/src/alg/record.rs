@@ -1,14 +1,18 @@
 //! Analytics log records — the concrete realisation of Fig. 6.
 //!
-//! Records are serialised as JSON inside a small checksummed envelope.
-//! A torn or corrupt record (e.g. the node died mid-write) fails
-//! validation and is skipped by recovery, which then falls back to the
-//! previous record — logging is always safe to interrupt.
+//! Records are serialised as JSON inside the shared CRC32-checksummed
+//! frame ([`alm_shuffle::frame`]). A torn record (the node died
+//! mid-write) decodes to [`ShuffleError::Corrupt`]; an intact record
+//! whose bytes rotted decodes to [`ShuffleError::ChecksumMismatch`].
+//! Recovery treats either as a truncation point: it resumes from the
+//! last good snapshot before the damage — logging is always safe to
+//! interrupt and at most one snapshot interval of work is redone.
 
 use alm_types::{AttemptId, ReducePhase};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+use alm_shuffle::frame;
 use alm_shuffle::{MpqEntry, SegmentSource, ShuffleError};
 
 /// One MPQ member in a reduce-stage log: the segment's location and the
@@ -73,7 +77,7 @@ pub struct LogRecord {
 
 pub const LOG_FORMAT_VERSION: u32 = 1;
 
-/// Envelope: `[len: u32 BE][fnv64 checksum: u64 BE][json payload]`.
+/// Envelope: one CRC32 frame (`[len u32 BE][crc32 u32 BE][json]`).
 impl LogRecord {
     pub fn new(attempt: AttemptId, seq: u64, at_ms: u64, stage: StageLog) -> LogRecord {
         LogRecord { version: LOG_FORMAT_VERSION, attempt, seq, at_ms, stage }
@@ -81,37 +85,17 @@ impl LogRecord {
 
     pub fn encode(&self) -> Bytes {
         let payload = serde_json::to_vec(self).expect("log records always serialise");
-        let mut out = Vec::with_capacity(payload.len() + 12);
-        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        out.extend_from_slice(&fnv64(&payload).to_be_bytes());
-        out.extend_from_slice(&payload);
-        Bytes::from(out)
+        Bytes::from(frame::frame(&payload))
     }
 
+    /// Decode one framed record. Torn/truncated bytes are
+    /// [`ShuffleError::Corrupt`]; an intact frame with rotted payload is
+    /// [`ShuffleError::ChecksumMismatch`] — recovery truncates the log at
+    /// either, but reports them distinctly.
     pub fn decode(data: &[u8]) -> Result<LogRecord, ShuffleError> {
-        if data.len() < 12 {
-            return Err(ShuffleError::Corrupt("log record shorter than envelope".into()));
-        }
-        let len = u32::from_be_bytes(data[0..4].try_into().unwrap()) as usize;
-        let checksum = u64::from_be_bytes(data[4..12].try_into().unwrap());
-        if data.len() < 12 + len {
-            return Err(ShuffleError::Corrupt("torn log record (truncated payload)".into()));
-        }
-        let payload = &data[12..12 + len];
-        if fnv64(payload) != checksum {
-            return Err(ShuffleError::Corrupt("log record checksum mismatch".into()));
-        }
-        serde_json::from_slice(payload).map_err(|e| ShuffleError::Corrupt(format!("log record json: {e}")))
+        let payload = frame::unframe(&Bytes::copy_from_slice(data))?;
+        serde_json::from_slice(&payload).map_err(|e| ShuffleError::Corrupt(format!("log record json: {e}")))
     }
-}
-
-fn fnv64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in data {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -173,15 +157,15 @@ mod tests {
             StageLog::Merge { merge_progress: 0.5, intermediate_files: vec![] },
         );
         let bytes = rec.encode();
-        // Truncate the payload: torn write.
-        assert!(LogRecord::decode(&bytes[..bytes.len() - 3]).is_err());
-        // Flip a payload byte: checksum mismatch.
+        // Truncate the payload: torn write, classified as corruption.
+        assert!(matches!(LogRecord::decode(&bytes[..bytes.len() - 3]), Err(ShuffleError::Corrupt(_))));
+        // Flip a payload byte: detected checksum mismatch, distinct class.
         let mut corrupted = bytes.to_vec();
         let last = corrupted.len() - 5;
         corrupted[last] ^= 0xff;
-        assert!(LogRecord::decode(&corrupted).is_err());
+        assert!(matches!(LogRecord::decode(&corrupted), Err(ShuffleError::ChecksumMismatch(_))));
         // Too short for even the envelope.
-        assert!(LogRecord::decode(&[1, 2, 3]).is_err());
+        assert!(matches!(LogRecord::decode(&[1, 2, 3]), Err(ShuffleError::Corrupt(_))));
     }
 
     proptest! {

@@ -10,11 +10,18 @@
 //!    (Algorithm 1's local-resume path);
 //! 3. nothing — recover from scratch (stock YARN behaviour).
 //!
-//! Corrupt/torn records are skipped silently: logging is crash-safe by
-//! falling back to the previous snapshot.
+//! The log is a journal: records are trusted only up to the first
+//! bad/torn one. A damaged record (torn write or detected checksum
+//! mismatch) *truncates* the scan — recovery resumes from the last good
+//! snapshot strictly before the damage rather than trusting anything
+//! after it, so a corruption hit costs at most one snapshot interval of
+//! redone work instead of a restart from zero. [`RecoveryReport`]
+//! records where the truncation happened so harnesses can assert that
+//! bound.
 
 use alm_dfs::DfsCluster;
-use alm_shuffle::LocalFs;
+use alm_shuffle::{LocalFs, ShuffleError};
+use serde::{Deserialize, Serialize};
 
 use super::logger::LogPaths;
 use super::record::{LogRecord, MpqLogEntry, StageLog};
@@ -81,7 +88,70 @@ impl RecoveredState {
     }
 }
 
-/// Find the newest valid log record for a task.
+/// Forensics of one log scan: where recovery resumed and what it had to
+/// discard. The transient-fault harness asserts its bound — a corrupted
+/// record truncates the log *at that seq*, so the resume point is the
+/// immediately preceding snapshot and redone work is at most one logging
+/// interval.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Seq of the snapshot recovery resumed from, if any.
+    pub resumed_seq: Option<u64>,
+    /// Seq of the first bad/torn record, where the scan truncated the log.
+    pub truncated_at_seq: Option<u64>,
+    /// Records discarded at and after the truncation point.
+    pub discarded_records: usize,
+    /// How many of the discards were *detected* checksum mismatches (bit
+    /// rot inside an intact frame) as opposed to torn/truncated writes.
+    pub checksum_mismatches: usize,
+}
+
+impl RecoveryReport {
+    /// True when a truncation happened but cost at most one snapshot: the
+    /// resume point is exactly the record before the first bad one.
+    pub fn bounded_by_one_snapshot(&self) -> bool {
+        match (self.truncated_at_seq, self.resumed_seq) {
+            (Some(bad), Some(resumed)) => bad == resumed + 1,
+            (Some(bad), None) => bad == 0,
+            (None, _) => true,
+        }
+    }
+}
+
+/// Scan one store's records in ascending seq order, truncating at the
+/// first bad record: returns the last good record strictly before the
+/// damage. `records` is `(seq, decode result)` in any order.
+fn scan_journal(
+    mut records: Vec<(u64, Result<LogRecord, ShuffleError>)>,
+    report: &mut RecoveryReport,
+) -> Option<LogRecord> {
+    records.sort_by_key(|(seq, _)| *seq);
+    let mut last_good: Option<LogRecord> = None;
+    for (i, (seq, res)) in records.iter().enumerate() {
+        match res {
+            Ok(rec) => last_good = Some(rec.clone()),
+            Err(_) => {
+                report.truncated_at_seq = Some(*seq);
+                report.discarded_records = records.len() - i;
+                report.checksum_mismatches = records[i..]
+                    .iter()
+                    .filter(|(_, r)| matches!(r, Err(ShuffleError::ChecksumMismatch(_))))
+                    .count();
+                break;
+            }
+        }
+    }
+    report.resumed_seq = last_good.as_ref().map(|r| r.seq);
+    last_good
+}
+
+/// Seq encoded in a `…log-{seq:08}` path.
+fn seq_of(path: &str) -> Option<u64> {
+    path.rsplit("log-").next()?.parse().ok()
+}
+
+/// Find the newest *trustworthy* log record for a task, journal-style:
+/// the scan stops at the first bad/torn record per store.
 ///
 /// `local_fs` should be `Some` only when the original node is believed
 /// alive (its store reachable); reduce-stage records on the DFS win over
@@ -91,43 +161,73 @@ pub fn find_latest_log(
     dfs: &DfsCluster,
     paths: &LogPaths,
 ) -> Option<LogRecord> {
-    // Reduce-stage records (DFS): newest seq first.
-    let mut best_dfs: Option<LogRecord> = None;
-    for path in dfs.list(&paths.dfs_prefix) {
+    find_latest_log_with_report(local_fs, dfs, paths).0
+}
+
+/// [`find_latest_log`] plus the forensic [`RecoveryReport`].
+pub fn find_latest_log_with_report(
+    local_fs: Option<&dyn LocalFs>,
+    dfs: &DfsCluster,
+    paths: &LogPaths,
+) -> (Option<LogRecord>, RecoveryReport) {
+    // Reduce-stage records (DFS).
+    let mut dfs_report = RecoveryReport::default();
+    let dfs_records: Vec<(u64, Result<LogRecord, ShuffleError>)> = dfs
+        .list(&paths.dfs_prefix)
+        .into_iter()
         // The partial-output file shares the prefix; only log-* files are records.
-        if !path.starts_with(&format!("{}log-", paths.dfs_prefix)) {
-            continue;
-        }
-        if let Ok(data) = dfs.read(&path) {
-            if let Ok(rec) = LogRecord::decode(&data) {
-                if best_dfs.as_ref().is_none_or(|b| rec.seq > b.seq) {
-                    best_dfs = Some(rec);
-                }
-            }
-        }
-    }
-    if best_dfs.is_some() {
-        return best_dfs;
+        .filter(|p| p.starts_with(&format!("{}log-", paths.dfs_prefix)))
+        .filter_map(|p| {
+            let seq = seq_of(&p)?;
+            let data = dfs.read(&p).ok()?;
+            Some((seq, LogRecord::decode(&data)))
+        })
+        .collect();
+    if let Some(rec) = scan_journal(dfs_records, &mut dfs_report) {
+        return (Some(rec), dfs_report);
     }
 
-    // Shuffle/merge records on the (live) local store.
-    let fs = local_fs?;
-    let mut best_local: Option<LogRecord> = None;
-    for path in fs.list(&format!("{}log-", paths.local_prefix)) {
-        if let Ok(data) = fs.read(&path) {
-            if let Ok(rec) = LogRecord::decode(&data) {
-                if best_local.as_ref().is_none_or(|b| rec.seq > b.seq) {
-                    best_local = Some(rec);
-                }
-            }
-        }
-    }
-    best_local
+    // No trustworthy DFS record: fall back to shuffle/merge records on the
+    // (live) local store, carrying any DFS truncation forensics along.
+    let Some(fs) = local_fs else {
+        return (None, dfs_report);
+    };
+    let mut local_report = RecoveryReport::default();
+    let local_records: Vec<(u64, Result<LogRecord, ShuffleError>)> = fs
+        .list(&format!("{}log-", paths.local_prefix))
+        .into_iter()
+        .filter_map(|p| {
+            let seq = seq_of(&p)?;
+            let data = fs.read(&p).ok()?;
+            Some((seq, LogRecord::decode(&data)))
+        })
+        .collect();
+    let rec = scan_journal(local_records, &mut local_report);
+    let merged = RecoveryReport {
+        resumed_seq: local_report.resumed_seq,
+        truncated_at_seq: match (dfs_report.truncated_at_seq, local_report.truncated_at_seq) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+        discarded_records: dfs_report.discarded_records + local_report.discarded_records,
+        checksum_mismatches: dfs_report.checksum_mismatches + local_report.checksum_mismatches,
+    };
+    (rec, merged)
 }
 
 /// `find_latest_log` + `RecoveredState::from_record`.
 pub fn recover_state(local_fs: Option<&dyn LocalFs>, dfs: &DfsCluster, paths: &LogPaths) -> RecoveredState {
-    find_latest_log(local_fs, dfs, paths).map_or(RecoveredState::Fresh, RecoveredState::from_record)
+    recover_state_with_report(local_fs, dfs, paths).0
+}
+
+/// [`recover_state`] plus the forensic [`RecoveryReport`].
+pub fn recover_state_with_report(
+    local_fs: Option<&dyn LocalFs>,
+    dfs: &DfsCluster,
+    paths: &LogPaths,
+) -> (RecoveredState, RecoveryReport) {
+    let (rec, report) = find_latest_log_with_report(local_fs, dfs, paths);
+    (rec.map_or(RecoveredState::Fresh, RecoveredState::from_record), report)
 }
 
 #[cfg(test)]
@@ -221,15 +321,80 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_records_skipped() {
+    fn corrupt_records_truncate_to_previous() {
         let fs = MemFs::new();
         let p = paths();
         fs.write(&p.local_record(0), shuffle_rec(0).encode()).unwrap();
         // Newer but torn record.
         let good = shuffle_rec(1).encode();
         fs.write(&p.local_record(1), good.slice(0..good.len() - 2)).unwrap();
-        let st = recover_state(Some(&fs), &dfs(), &p);
+        let (st, report) = recover_state_with_report(Some(&fs), &dfs(), &p);
         assert_eq!(st.seq(), Some(0), "torn newest record falls back to previous");
+        assert_eq!(report.truncated_at_seq, Some(1));
+        assert_eq!(report.discarded_records, 1);
+        assert_eq!(report.checksum_mismatches, 0, "torn, not bit-rotted");
+        assert!(report.bounded_by_one_snapshot());
+    }
+
+    #[test]
+    fn corruption_truncates_the_journal_ignoring_later_records() {
+        // Records 0..=4, with record 2 bit-flipped: the journal is only
+        // trustworthy up to seq 1 — later records must NOT be trusted even
+        // though they decode, because the log is a sequential journal.
+        let fs = MemFs::new();
+        let p = paths();
+        for seq in 0..5u64 {
+            fs.write(&p.local_record(seq), shuffle_rec(seq).encode()).unwrap();
+        }
+        let mut bad = shuffle_rec(2).encode().to_vec();
+        let n = bad.len();
+        bad[n - 4] ^= 0x10;
+        fs.write(&p.local_record(2), bytes::Bytes::from(bad)).unwrap();
+
+        let (st, report) = recover_state_with_report(Some(&fs), &dfs(), &p);
+        assert_eq!(st.seq(), Some(1), "resume from the last good record before the damage");
+        assert_eq!(report.truncated_at_seq, Some(2));
+        assert_eq!(report.discarded_records, 3, "bad record plus the two after it");
+        assert_eq!(report.checksum_mismatches, 1);
+        assert!(report.bounded_by_one_snapshot());
+    }
+
+    #[test]
+    fn corrupted_dfs_journal_falls_back_to_local_with_forensics() {
+        let fs = MemFs::new();
+        let d = dfs();
+        let p = paths();
+        for seq in 0..5u64 {
+            fs.write(&p.local_record(seq), shuffle_rec(seq).encode()).unwrap();
+        }
+        // The only DFS reduce-stage record is corrupted.
+        let mut bad = reduce_rec(5).encode().to_vec();
+        let n = bad.len();
+        bad[n - 6] ^= 0x01;
+        d.write(&p.dfs_record(5), Bytes::from(bad), NodeId(0), ReplicationLevel::Rack).unwrap();
+
+        let (st, report) = recover_state_with_report(Some(&fs), &d, &p);
+        assert_eq!(st.seq(), Some(4), "falls back to the newest good local snapshot");
+        assert_eq!(report.truncated_at_seq, Some(5));
+        assert_eq!(report.checksum_mismatches, 1);
+        assert!(report.bounded_by_one_snapshot(), "one snapshot interval lost, no more");
+    }
+
+    #[test]
+    fn fully_corrupt_journal_recovers_fresh_with_unbounded_report() {
+        let fs = MemFs::new();
+        let p = paths();
+        for seq in 0..2u64 {
+            let mut bad = shuffle_rec(seq).encode().to_vec();
+            let n = bad.len();
+            bad[n - 1] ^= 0x80;
+            fs.write(&p.local_record(seq), bytes::Bytes::from(bad)).unwrap();
+        }
+        let (st, report) = recover_state_with_report(Some(&fs), &dfs(), &p);
+        assert!(st.is_fresh());
+        assert_eq!(report.truncated_at_seq, Some(0));
+        assert_eq!(report.discarded_records, 2);
+        assert!(report.bounded_by_one_snapshot(), "nothing good before seq 0 means zero snapshots lost");
     }
 
     #[test]

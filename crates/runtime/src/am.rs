@@ -19,8 +19,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use alm_core::{schedule_recovery, ExecMode, PolicyCtx, SchedAction};
-use alm_types::{AttemptId, FailureKind, FailureReport, NodeId, TaskId};
+use alm_core::{schedule_recovery, ExecMode, LogPaths, PolicyCtx, SchedAction};
+use alm_shuffle::frame::FRAME_HEADER_LEN;
+use alm_shuffle::LocalFs;
+use alm_types::{AttemptId, CorruptTarget, FailureKind, FailureReport, NodeId, ReplicationLevel, TaskId};
+use bytes::Bytes;
 
 use crate::cluster::MiniCluster;
 use crate::events::TaskEvent;
@@ -29,7 +32,7 @@ use crate::job::JobDef;
 use crate::maptask::{run_map, MapCtx};
 use crate::reducetask::{run_reduce, ReduceCtx};
 use crate::registry::MofRegistry;
-use crate::report::{FailureEvent, JobReport};
+use crate::report::{FailureEvent, JobReport, LogRecoveryEvent};
 
 /// How many distinct fetch-failure reports against one map make baseline
 /// YARN declare the MOF lost and re-execute the map.
@@ -75,6 +78,13 @@ pub struct JobRunner {
     pending_crashes_ms: Vec<(NodeId, u64)>,
     pending_crashes_progress: Vec<(NodeId, u32, f64)>,
     pending_slow_ms: Vec<(NodeId, u64, f64)>,
+    /// Link severs and heals due at their timestamps (transient partitions).
+    pending_severs: Vec<(NodeId, NodeId, u64)>,
+    pending_heals: Vec<(NodeId, NodeId, u64)>,
+    /// Data corruptions due at their timestamps. A corruption whose target
+    /// has not materialised yet (MOF not committed, log record not written)
+    /// stays pending and is retried each scheduling tick.
+    pending_corruptions: Vec<(NodeId, CorruptTarget, u64)>,
 }
 
 impl JobRunner {
@@ -85,6 +95,9 @@ impl JobRunner {
         let mut pending_crashes_ms = Vec::new();
         let mut pending_crashes_progress = Vec::new();
         let mut pending_slow_ms = Vec::new();
+        let mut pending_severs = Vec::new();
+        let mut pending_heals = Vec::new();
+        let mut pending_corruptions = Vec::new();
         for f in &faults.faults {
             match f {
                 Fault::CrashNodeAtMs { node, at_ms } => pending_crashes_ms.push((*node, *at_ms)),
@@ -92,6 +105,13 @@ impl JobRunner {
                     pending_crashes_progress.push((*node, *reduce_index, *at_progress))
                 }
                 Fault::SlowNode { node, at_ms, factor } => pending_slow_ms.push((*node, *at_ms, *factor)),
+                Fault::PartitionLink { a, b, from_ms, heal_ms } => {
+                    pending_severs.push((*a, *b, *from_ms));
+                    pending_heals.push((*a, *b, *heal_ms));
+                }
+                Fault::CorruptData { node, target, at_ms } => {
+                    pending_corruptions.push((*node, *target, *at_ms))
+                }
                 Fault::KillTask { .. } => {}
             }
         }
@@ -113,6 +133,9 @@ impl JobRunner {
             pending_crashes_ms,
             pending_crashes_progress,
             pending_slow_ms,
+            pending_severs,
+            pending_heals,
+            pending_corruptions,
         }
     }
 
@@ -193,6 +216,7 @@ impl JobRunner {
             attempt,
             node: self.cluster.node(node_id).clone(),
             nodes,
+            links: self.cluster.links.clone(),
             dfs: self.cluster.dfs.clone(),
             registry: self.registry.clone(),
             events: self.events_tx.clone(),
@@ -382,6 +406,103 @@ impl JobRunner {
         for (n, f) in due_slow {
             self.cluster.node(n).set_slow(f);
         }
+        // Sever due links, then apply due heals — so a zero-length
+        // partition (from_ms == heal_ms) nets out healed.
+        let due_severs: Vec<(NodeId, NodeId)> =
+            self.pending_severs.iter().filter(|(_, _, at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
+        self.pending_severs.retain(|(_, _, at)| *at > now);
+        for (a, b) in due_severs {
+            self.cluster.links.sever(a, b);
+        }
+        let due_heals: Vec<(NodeId, NodeId)> =
+            self.pending_heals.iter().filter(|(_, _, at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
+        self.pending_heals.retain(|(_, _, at)| *at > now);
+        for (a, b) in due_heals {
+            self.cluster.links.heal(a, b);
+        }
+        // Flip bytes for due corruptions; targets that have not
+        // materialised yet stay pending for the next tick.
+        let due_cor: Vec<(NodeId, CorruptTarget, u64)> =
+            self.pending_corruptions.iter().filter(|(_, _, at)| *at <= now).copied().collect();
+        self.pending_corruptions.retain(|(_, _, at)| *at > now);
+        for (n, t, at) in due_cor {
+            if !self.apply_corruption(n, t) {
+                self.pending_corruptions.push((n, t, at));
+            }
+        }
+    }
+
+    /// Flip a byte of `partition` inside `mof`'s stored CRC32 frame on
+    /// `host` so the next read classifies as a checksum mismatch. Prefers
+    /// a payload byte; an empty partition only has its header, so the
+    /// stored CRC is rotted instead.
+    fn corrupt_mof_blob(&self, host: NodeId, mof: &alm_shuffle::MofData, partition: u32) {
+        let Some((off, framed_len)) = mof.frame_range(partition) else {
+            return;
+        };
+        let fs = &self.cluster.node(host).fs;
+        let Ok(blob) = fs.read(&mof.path) else {
+            return;
+        };
+        let mut bytes = blob.to_vec();
+        let flip = off as usize + if framed_len as usize > FRAME_HEADER_LEN { FRAME_HEADER_LEN } else { 4 };
+        if flip < bytes.len() {
+            bytes[flip] ^= 0x55;
+            let _ = fs.write(&mof.path, Bytes::from(bytes));
+        }
+    }
+
+    /// Inject one `Fault::CorruptData`: flip a payload byte inside the
+    /// target's CRC32 frame so the next read classifies as a checksum
+    /// mismatch. Returns `false` when the target does not exist yet.
+    fn apply_corruption(&mut self, node: NodeId, target: CorruptTarget) -> bool {
+        match target {
+            CorruptTarget::MofPartition { map_index, partition } => {
+                let Some((host, mof)) = self.registry.lookup(map_index) else {
+                    return false; // map not committed yet; retry
+                };
+                // `node` names the intended victim, but re-execution may
+                // have moved the MOF: rot the bytes where they now live.
+                let _ = node;
+                self.corrupt_mof_blob(host, &mof, partition);
+                true
+            }
+            CorruptTarget::AlgRecord { reduce_index, seq } => {
+                if reduce_index >= self.job.num_reduces {
+                    return true;
+                }
+                let paths = LogPaths::for_task(self.job.reduce_task(reduce_index));
+                let mut hit = false;
+                // Reduce-stage records live on the DFS.
+                let dfs_path = paths.dfs_record(seq);
+                if let Ok(blob) = self.cluster.dfs.read(&dfs_path) {
+                    let mut bytes = blob.to_vec();
+                    if bytes.len() > FRAME_HEADER_LEN {
+                        bytes[FRAME_HEADER_LEN] ^= 0x55;
+                        if let Some(writer) = self.cluster.alive_nodes().first().copied() {
+                            hit |= self
+                                .cluster
+                                .dfs
+                                .write(&dfs_path, Bytes::from(bytes), writer, ReplicationLevel::Cluster)
+                                .is_ok();
+                        }
+                    }
+                }
+                // Shuffle/merge-stage records live on the node-local store
+                // of whichever node ran the attempt — rot every copy.
+                let local_path = paths.local_record(seq);
+                for n in &self.cluster.nodes {
+                    if let Ok(blob) = n.fs.read(&local_path) {
+                        let mut bytes = blob.to_vec();
+                        if bytes.len() > FRAME_HEADER_LEN {
+                            bytes[FRAME_HEADER_LEN] ^= 0x55;
+                            hit |= n.fs.write(&local_path, Bytes::from(bytes)).is_ok();
+                        }
+                    }
+                }
+                hit
+            }
+        }
     }
 
     fn check_progress_faults(&mut self, reduce_index: u32, progress: f64) {
@@ -446,10 +567,36 @@ impl JobRunner {
             };
             match ev {
                 TaskEvent::MapCompleted { attempt, node, mof } => {
-                    let st = &mut self.maps[attempt.task.index as usize];
+                    let map_index = attempt.task.index;
+                    let st = &mut self.maps[map_index as usize];
                     st.running.remove(&attempt);
                     st.completed = true;
-                    self.registry.register(attempt.task.index, node, mof);
+                    // Apply any due corruption of this MOF *before* it
+                    // becomes fetchable, so reducers can never race the
+                    // injection to a clean read.
+                    let now = self.now_ms();
+                    let due_rot: Vec<u32> = self
+                        .pending_corruptions
+                        .iter()
+                        .filter_map(|(_, t, at)| match t {
+                            CorruptTarget::MofPartition { map_index: mi, partition }
+                                if *mi == map_index && *at <= now =>
+                            {
+                                Some(*partition)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    if !due_rot.is_empty() {
+                        self.pending_corruptions.retain(|(_, t, at)| {
+                            !matches!(t, CorruptTarget::MofPartition { map_index: mi, .. }
+                                if *mi == map_index && *at <= now)
+                        });
+                        for p in due_rot {
+                            self.corrupt_mof_blob(node, &mof, p);
+                        }
+                    }
+                    self.registry.register(map_index, node, mof);
                     self.cancel_others(attempt.task, attempt);
                 }
                 TaskEvent::ReduceCompleted { attempt, node: _, output_records } => {
@@ -471,6 +618,25 @@ impl JobRunner {
                 }
                 TaskEvent::FetchFailure { reducer, map_index, source } => {
                     self.handle_fetch_failure(reducer, map_index, source);
+                }
+                TaskEvent::FetchCorruption { reducer: _, map_index, source: _ } => {
+                    // Detected corruption is unambiguous in every mode (the
+                    // source heartbeats; its data failed the checksum):
+                    // regenerate the MOF at once while reducers re-fetch —
+                    // no fetch-failure budget is charged.
+                    self.report.corruption_refetches += 1;
+                    if !self.registry.is_regenerating(map_index) {
+                        self.registry.mark_regenerating(map_index);
+                        self.maps[map_index as usize].completed = false;
+                        self.launch_map(self.job.map_task(map_index), None);
+                    }
+                }
+                TaskEvent::LogRecovered { attempt, report } => {
+                    self.report.log_recoveries.push(LogRecoveryEvent {
+                        task: attempt.task,
+                        attempt_number: attempt.number,
+                        report,
+                    });
                 }
                 TaskEvent::ReduceProgress { attempt, phase, progress } => {
                     let overall = crate::reducetask::overall_progress(phase, progress);

@@ -4,9 +4,53 @@ use alm_dfs::{DfsCluster, Topology};
 use alm_shuffle::MemFs;
 use alm_types::{NodeId, YarnConfig};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The cluster's data-plane reachability table: which node pairs currently
+/// cannot exchange shuffle traffic (injected `Fault::PartitionLink`).
+///
+/// A severed link models a transient network partition — both endpoints
+/// stay alive and keep heartbeating to the AM (the control plane is
+/// unaffected), but fetches and FCM participant reads across the link
+/// must *park* until the link heals instead of being treated as a dead
+/// source. Links are undirected: `(a, b)` and `(b, a)` are one link.
+#[derive(Default)]
+pub struct LinkTable {
+    severed: Mutex<BTreeSet<(NodeId, NodeId)>>,
+}
+
+impl LinkTable {
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Sever the link between `a` and `b` (idempotent).
+    pub fn sever(&self, a: NodeId, b: NodeId) {
+        self.severed.lock().insert(LinkTable::key(a, b));
+    }
+
+    /// Heal the link between `a` and `b` (idempotent).
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.severed.lock().remove(&LinkTable::key(a, b));
+    }
+
+    /// Can `a` and `b` exchange data-plane traffic right now?
+    pub fn is_severed(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.severed.lock().contains(&LinkTable::key(a, b))
+    }
+
+    /// Number of currently-severed links.
+    pub fn severed_count(&self) -> usize {
+        self.severed.lock().len()
+    }
+}
 
 /// One compute node: a local store, a liveness flag, and crash bookkeeping.
 pub struct NodeHandle {
@@ -77,6 +121,8 @@ impl NodeHandle {
 pub struct MiniCluster {
     pub nodes: Vec<Arc<NodeHandle>>,
     pub dfs: Arc<DfsCluster>,
+    /// Data-plane link state consulted by the shuffle fetch path.
+    pub links: Arc<LinkTable>,
     pub config: YarnConfig,
 }
 
@@ -86,7 +132,7 @@ impl MiniCluster {
         let topo = Topology::even(n, racks);
         let dfs = Arc::new(DfsCluster::new(topo, config.dfs_block_size, config.dfs_replication));
         let nodes = (0..n).map(|i| Arc::new(NodeHandle::new(NodeId(i)))).collect();
-        MiniCluster { nodes, dfs, config }
+        MiniCluster { nodes, dfs, links: Arc::new(LinkTable::default()), config }
     }
 
     /// Test-scaled cluster (fast timeouts, small buffers).
@@ -160,6 +206,23 @@ mod tests {
             let c = MiniCluster::for_tests(n);
             assert_eq!(c.racks(), MiniCluster::test_racks(n), "n = {n}");
         }
+    }
+
+    #[test]
+    fn link_table_is_undirected_and_idempotent() {
+        let c = MiniCluster::for_tests(3);
+        assert!(!c.links.is_severed(NodeId(0), NodeId(1)));
+        c.links.sever(NodeId(1), NodeId(0));
+        c.links.sever(NodeId(0), NodeId(1)); // same link, either order
+        assert_eq!(c.links.severed_count(), 1);
+        assert!(c.links.is_severed(NodeId(0), NodeId(1)));
+        assert!(c.links.is_severed(NodeId(1), NodeId(0)));
+        assert!(!c.links.is_severed(NodeId(0), NodeId(2)));
+        // A node always reaches itself.
+        assert!(!c.links.is_severed(NodeId(0), NodeId(0)));
+        c.links.heal(NodeId(0), NodeId(1));
+        assert!(!c.links.is_severed(NodeId(0), NodeId(1)));
+        assert_eq!(c.links.severed_count(), 0);
     }
 
     #[test]

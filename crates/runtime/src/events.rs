@@ -1,5 +1,6 @@
 //! Events flowing from task threads to the ApplicationMaster.
 
+use alm_core::RecoveryReport;
 use alm_shuffle::MofData;
 use alm_types::{AttemptId, FailureKind, NodeId, ReducePhase};
 
@@ -17,6 +18,14 @@ pub enum TaskEvent {
     /// A reducer failed to fetch map `map_index`'s MOF from `source`.
     /// YARN uses these reports to eventually re-execute the map.
     FetchFailure { reducer: AttemptId, map_index: u32, source: NodeId },
+    /// A reducer fetched map `map_index`'s partition from a *healthy*
+    /// `source` but the bytes failed the CRC32 frame check. The AM
+    /// regenerates the MOF and the reducer transparently re-fetches; this
+    /// never counts toward the fetch-failure limit.
+    FetchCorruption { reducer: AttemptId, map_index: u32, source: NodeId },
+    /// A reduce attempt recovered from analytics logs; the report carries
+    /// the truncation forensics (how much, if anything, was discarded).
+    LogRecovered { attempt: AttemptId, report: RecoveryReport },
     /// Periodic progress report from a reduce attempt (drives timelines,
     /// progress-triggered fault injection, and straggler visibility).
     ReduceProgress { attempt: AttemptId, phase: ReducePhase, progress: f64 },

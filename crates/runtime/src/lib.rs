@@ -32,8 +32,8 @@ pub mod registry;
 pub mod report;
 
 pub use am::JobRunner;
-pub use cluster::{MiniCluster, NodeHandle};
+pub use cluster::{LinkTable, MiniCluster, NodeHandle};
 pub use events::TaskEvent;
 pub use faults::{Fault, FaultPlan};
 pub use job::JobDef;
-pub use report::{FailureEvent, JobReport};
+pub use report::{FailureEvent, JobReport, LogRecoveryEvent};

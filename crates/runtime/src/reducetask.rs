@@ -15,16 +15,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use alm_core::{
-    recover_state, spawn_participants, AnalyticsLogger, ExecMode, LogPaths, PartialOutput, Participant,
-    RecoveredState,
+    recover_state_with_report, spawn_participants, AnalyticsLogger, ExecMode, LogPaths, PartialOutput,
+    Participant, RecoveredState, RecoveryReport,
 };
 use alm_dfs::DfsCluster;
 use alm_shuffle::mpq::SortedRun;
 use alm_shuffle::LocalFs;
 use alm_shuffle::{MergeQueue, ReduceBuffers, SegmentReader, SegmentSource};
 use alm_types::{AttemptId, FailureKind, ReducePhase, ReplicationLevel, YarnConfig};
+use rand::rngs::SmallRng;
+use rand::Rng;
 
-use crate::cluster::NodeHandle;
+use crate::cluster::{LinkTable, NodeHandle};
 use crate::events::TaskEvent;
 use crate::job::JobDef;
 use crate::registry::{try_fetch, FetchOutcome, MofRegistry};
@@ -35,6 +37,7 @@ pub struct ReduceCtx {
     pub attempt: AttemptId,
     pub node: Arc<NodeHandle>,
     pub nodes: Arc<Vec<Arc<NodeHandle>>>,
+    pub links: Arc<LinkTable>,
     pub dfs: Arc<DfsCluster>,
     pub registry: Arc<MofRegistry>,
     pub events: Sender<TaskEvent>,
@@ -79,6 +82,24 @@ impl ReduceCtx {
     fn should_self_kill(&self, phase: ReducePhase, frac: f64) -> bool {
         self.kill_at.is_some_and(|k| overall_progress(phase, frac) >= k)
     }
+
+    /// The attempt's fetch-backoff jitter stream: derived from the job
+    /// seed and the attempt identity (the same `(seed, label)` derivation
+    /// the simulator uses), never from the wall clock.
+    fn backoff_rng(&self) -> SmallRng {
+        alm_des::rng::stream(self.job.seed, &format!("fetch-backoff/{}", self.attempt))
+    }
+}
+
+/// Fetch-retry sleep for the `round`-th consecutive stalled round:
+/// exponential growth from the configured base delay, capped at half the
+/// node-liveness timeout, then jittered into `[cap/2, cap]` so competing
+/// reducers desynchronise deterministically.
+fn backoff_with_jitter(config: &YarnConfig, round: u32, rng: &mut SmallRng) -> u64 {
+    let base = config.fetch_retry_delay_ms.max(1);
+    let exp = base.saturating_mul(1u64 << round.saturating_sub(1).min(10));
+    let cap = exp.min((config.node_liveness_timeout_ms / 2).max(base));
+    cap / 2 + rng.random_range(0..=cap.div_ceil(2))
 }
 
 /// Overall task progress from a phase-local fraction (Hadoop's thirds:
@@ -114,7 +135,13 @@ pub fn run_reduce(ctx: ReduceCtx) {
 
     // ---- Recovery: what did a previous attempt leave us? ----
     let recovered = if logs_enabled {
-        recover_state(Some(&ctx.node.fs), &ctx.dfs, &paths)
+        let (state, rec_report) = recover_state_with_report(Some(&ctx.node.fs), &ctx.dfs, &paths);
+        if rec_report != RecoveryReport::default() {
+            // Surface the forensics (resume point, truncated/corrupt
+            // records) so reports can assert bounded recovery.
+            let _ = ctx.events.send(TaskEvent::LogRecovered { attempt: ctx.attempt, report: rec_report });
+        }
+        state
     } else {
         RecoveredState::Fresh
     };
@@ -283,7 +310,7 @@ fn run_fcm(
 
     // Wait until every MOF is present on a live node (the AM is
     // regenerating lost ones at high priority).
-    let wait_cap = Duration::from_millis(ctx.config.node_liveness_timeout_ms * 20);
+    let wait_cap = Duration::from_millis(ctx.config.shuffle_wait_cap_ms);
     let wait_start = Instant::now();
     let participants = loop {
         if ctx.dead_or_cancelled() {
@@ -320,6 +347,11 @@ fn build_participants(ctx: &ReduceCtx) -> Option<Vec<Participant>> {
         if !node.is_alive() {
             return None;
         }
+        if ctx.links.is_severed(ctx.node.id, node_id) {
+            // A partitioned participant is alive — wait for the heal
+            // rather than treating its segments as lost.
+            return None;
+        }
         let data = mof.read_partition(&node.fs, ctx.partition()).ok()?;
         if data.is_empty() {
             continue;
@@ -353,6 +385,13 @@ impl Exit {
 }
 
 /// The shuffle stage: fetch every missing MOF partition.
+///
+/// Fetch-retry pacing is exponential backoff with deterministic seeded
+/// jitter (not the old uniform `fetch_retry_delay_ms` sleep). Only a
+/// *dead* source charges the retry budget; a partitioned-but-alive source
+/// parks the fetch, and a checksum-mismatching partition is reported for
+/// regeneration and transparently re-fetched — neither can ever push the
+/// reducer over `FetchFailureLimit` while the source heartbeats.
 fn shuffle_phase(
     ctx: &ReduceCtx,
     buffers: &mut ReduceBuffers,
@@ -361,6 +400,11 @@ fn shuffle_phase(
     let mut pending: Vec<u32> = (0..ctx.job.num_maps).filter(|m| !buffers.has_fetched(*m)).collect();
     let mut fail_counts: HashMap<u32, u32> = HashMap::new();
     let total = ctx.job.num_maps.max(1) as f64;
+    let mut rng = ctx.backoff_rng();
+    // Consecutive no-progress rounds that met a dead or partitioned
+    // source — the exponent of the backoff.
+    let mut stall_rounds: u32 = 0;
+    let mut stalled_since: Option<Instant> = None;
 
     while !pending.is_empty() {
         if ctx.safe_point() {
@@ -372,11 +416,11 @@ fn shuffle_phase(
         }
 
         let mut progressed = false;
-        let mut saw_dead = false;
+        let mut backing_off = false;
         let mut i = 0;
         while i < pending.len() {
             let m = pending[i];
-            match try_fetch(&ctx.nodes, &ctx.registry, m, ctx.partition()) {
+            match try_fetch(&ctx.nodes, &ctx.links, &ctx.registry, ctx.node.id, m, ctx.partition()) {
                 FetchOutcome::Data(data) => {
                     if buffers.ingest(&ctx.node.fs, m, data).is_err() {
                         return Err(Exit::Silent); // our own store died
@@ -386,6 +430,23 @@ fn shuffle_phase(
                     progressed = true;
                 }
                 FetchOutcome::NotReady => {
+                    i += 1;
+                }
+                FetchOutcome::Unreachable { .. } => {
+                    // Transient partition: the source is alive and
+                    // heartbeating, so park with backoff — no fetch-failure
+                    // report, no retry-budget burn.
+                    backing_off = true;
+                    i += 1;
+                }
+                FetchOutcome::CorruptData { node } => {
+                    // Healthy source, rotted bytes: ask the AM to
+                    // regenerate and keep polling for the fresh MOF.
+                    let _ = ctx.events.send(TaskEvent::FetchCorruption {
+                        reducer: ctx.attempt,
+                        map_index: m,
+                        source: node,
+                    });
                     i += 1;
                 }
                 FetchOutcome::SourceDead { node } => {
@@ -401,7 +462,7 @@ fn shuffle_phase(
                         // faulty — the amplification trigger (§II-C).
                         return Err(Exit::Failed(FailureKind::FetchFailureLimit));
                     }
-                    saw_dead = true;
+                    backing_off = true;
                     i += 1;
                 }
             }
@@ -414,14 +475,23 @@ fn shuffle_phase(
         }
         ctx.progress(ReducePhase::Shuffle, frac);
 
-        if !pending.is_empty() && !progressed {
-            // Dead sources honour the retry delay; mere waiting polls fast.
-            let sleep = if saw_dead {
-                Duration::from_millis(ctx.config.fetch_retry_delay_ms)
+        if progressed {
+            stall_rounds = 0;
+            stalled_since = None;
+        } else if !pending.is_empty() {
+            // A reducer cannot wait forever (e.g. a partition that never
+            // heals): a hard wall bounds the total stall.
+            let since = *stalled_since.get_or_insert_with(Instant::now);
+            if since.elapsed() > Duration::from_millis(ctx.config.shuffle_wait_cap_ms) {
+                return Err(Exit::Failed(FailureKind::TaskTimeout));
+            }
+            let sleep_ms = if backing_off {
+                stall_rounds += 1;
+                backoff_with_jitter(&ctx.config, stall_rounds, &mut rng)
             } else {
-                Duration::from_millis(1)
+                1 // mere waiting (maps still running, regen in flight) polls fast
             };
-            std::thread::sleep(sleep);
+            std::thread::sleep(Duration::from_millis(sleep_ms));
         }
     }
     ctx.progress(ReducePhase::Shuffle, 1.0);

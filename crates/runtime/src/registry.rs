@@ -2,25 +2,32 @@
 //!
 //! The AM-side registry maps each map index to the node and MOF of its
 //! latest successful attempt; reducers fetch partitions through
-//! [`try_fetch`], which distinguishes the three situations a reducer can
-//! meet (§II-C):
+//! [`try_fetch`], which distinguishes the situations a reducer can meet
+//! (§II-C):
 //!
 //! * **NotReady** — the map hasn't committed yet (or SFM marked it as being
 //!   proactively regenerated, in which case the reducer *waits* instead of
 //!   burning fetch retries — the fix for failure amplification);
-//! * **Data** — the bytes arrived;
+//! * **Data** — the bytes arrived and verified;
 //! * **SourceDead** — the MOF is registered but its host is gone: the
 //!   fetch-retry treadmill starts, and with baseline recovery eventually
-//!   kills the reducer.
+//!   kills the reducer;
+//! * **Unreachable** — the host is alive and heartbeating but the link to
+//!   it is severed (transient partition): the reducer *parks* the fetch
+//!   with backoff instead of burning its retry budget;
+//! * **CorruptData** — the bytes arrived but failed the CRC32 frame check:
+//!   the data is bad while the source is healthy, so the reducer asks for
+//!   regeneration and re-fetches — this never counts against the
+//!   fetch-failure budget.
 
-use alm_shuffle::MofData;
+use alm_shuffle::{MofData, ShuffleError};
 use alm_types::NodeId;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use crate::cluster::NodeHandle;
+use crate::cluster::{LinkTable, NodeHandle};
 
 /// Shared MOF location table.
 #[derive(Default)]
@@ -71,18 +78,28 @@ impl MofRegistry {
 /// Result of one fetch attempt.
 #[derive(Debug, Clone)]
 pub enum FetchOutcome {
-    /// The partition's bytes.
+    /// The partition's bytes, CRC-verified.
     Data(Bytes),
     /// Not available yet; wait without penalty.
     NotReady,
     /// Registered but unreachable: the host node is dead/wiped.
     SourceDead { node: NodeId },
+    /// The host is alive but the link to it is partitioned: park the fetch
+    /// (no fetch-failure report, no retry-budget burn) until it heals.
+    Unreachable { node: NodeId },
+    /// The bytes arrived but failed the frame checksum: the source is
+    /// healthy, the data is not. Report for regeneration and re-fetch;
+    /// never charged against the fetch-failure budget.
+    CorruptData { node: NodeId },
 }
 
-/// Fetch `partition` of map `map_index` for a reducer.
+/// Fetch `partition` of map `map_index` for the reducer running on
+/// `fetcher`, honouring the cluster's data-plane link state.
 pub fn try_fetch(
     nodes: &[Arc<NodeHandle>],
+    links: &LinkTable,
     registry: &MofRegistry,
+    fetcher: NodeId,
     map_index: u32,
     partition: u32,
 ) -> FetchOutcome {
@@ -96,8 +113,20 @@ pub fn try_fetch(
         }
         return FetchOutcome::SourceDead { node: node_id };
     }
+    if links.is_severed(fetcher, node_id) {
+        // Alive and heartbeating, just cut off: this must never look like
+        // a dead source or the partition amplifies into task preemption.
+        return FetchOutcome::Unreachable { node: node_id };
+    }
     match mof.read_partition(&node.fs, partition) {
         Ok(data) => FetchOutcome::Data(data),
+        Err(ShuffleError::ChecksumMismatch(_)) => {
+            if registry.is_regenerating(map_index) {
+                FetchOutcome::NotReady
+            } else {
+                FetchOutcome::CorruptData { node: node_id }
+            }
+        }
         Err(_) => {
             // Store wiped between liveness check and read, or MOF dropped.
             if registry.is_regenerating(map_index) {
@@ -114,6 +143,7 @@ mod tests {
     use super::*;
     use crate::cluster::MiniCluster;
     use alm_shuffle::mof::write_mof;
+    use alm_shuffle::LocalFs;
 
     fn mini() -> (MiniCluster, MofData) {
         let c = MiniCluster::for_tests(3);
@@ -127,19 +157,62 @@ mod tests {
     fn fetch_states() {
         let (c, mof) = mini();
         let reg = MofRegistry::new();
+        let me = NodeId(0);
         // Unregistered: not ready.
-        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::NotReady));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::NotReady));
         // Registered + alive: data.
         reg.register(0, NodeId(1), mof);
-        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::Data(_)));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::Data(_)));
         // Node crash: source dead.
         c.crash_node(NodeId(1));
-        assert!(
-            matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::SourceDead { node } if node == NodeId(1))
-        );
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, me, 0, 0),
+            FetchOutcome::SourceDead { node } if node == NodeId(1)
+        ));
         // SFM marks regenerating: reducers wait instead of failing.
         reg.mark_regenerating(0);
-        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::NotReady));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::NotReady));
+    }
+
+    #[test]
+    fn partitioned_link_parks_instead_of_declaring_death() {
+        let (c, mof) = mini();
+        let reg = MofRegistry::new();
+        reg.register(0, NodeId(1), mof);
+        c.links.sever(NodeId(0), NodeId(1));
+        // Fetcher behind the partition parks; the source is NOT dead.
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0),
+            FetchOutcome::Unreachable { node } if node == NodeId(1)
+        ));
+        // A reducer on an unaffected node still fetches normally.
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(2), 0, 0), FetchOutcome::Data(_)));
+        // The map's own node always reaches itself.
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(1), 0, 0), FetchOutcome::Data(_)));
+        // Healing restores the flow.
+        c.links.heal(NodeId(0), NodeId(1));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data(_)));
+    }
+
+    #[test]
+    fn rotted_partition_is_corrupt_data_until_regeneration() {
+        let (c, mof) = mini();
+        let reg = MofRegistry::new();
+        let fs = &c.node(NodeId(1)).fs;
+        // Flip one payload byte inside the stored frame.
+        let (off, _) = mof.frame_range(0).unwrap();
+        let mut blob = fs.read(&mof.path).unwrap().to_vec();
+        blob[off as usize + alm_shuffle::frame::FRAME_HEADER_LEN] ^= 0x55;
+        fs.write(&mof.path, Bytes::from(blob)).unwrap();
+        reg.register(0, NodeId(1), mof);
+        // Healthy source, bad bytes: distinct from SourceDead.
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0),
+            FetchOutcome::CorruptData { node } if node == NodeId(1)
+        ));
+        // Once regeneration is underway, the reducer just waits.
+        reg.mark_regenerating(0);
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::NotReady));
     }
 
     #[test]
@@ -156,7 +229,7 @@ mod tests {
         let mof2 = write_mof(&c.node(NodeId(2)).fs, "mof/m0r1", vec![p0]).unwrap();
         reg.register(0, NodeId(2), mof2);
         assert!(!reg.is_regenerating(0));
-        assert!(matches!(try_fetch(&c.nodes, &reg, 0, 0), FetchOutcome::Data(_)));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data(_)));
         assert_eq!(reg.mofs_on_node(NodeId(2)), vec![0]);
         assert!(reg.mofs_on_node(NodeId(1)).is_empty());
     }

@@ -1,5 +1,6 @@
 //! Job execution reports.
 
+use alm_core::RecoveryReport;
 use alm_types::{FailureKind, TaskId};
 use std::collections::BTreeMap;
 
@@ -10,6 +11,14 @@ pub struct FailureEvent {
     pub task: TaskId,
     pub attempt_number: u32,
     pub kind: FailureKind,
+}
+
+/// One analytics-log recovery with its truncation forensics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecoveryEvent {
+    pub task: TaskId,
+    pub attempt_number: u32,
+    pub report: RecoveryReport,
 }
 
 /// Everything a finished (or abandoned) job run produced.
@@ -30,6 +39,12 @@ pub struct JobReport {
     pub reduce_timeline: BTreeMap<u32, Vec<(u64, f64)>>,
     /// Analytics-log records written during the job (ALG activity).
     pub alg_records: u64,
+    /// Checksum-mismatch fetches reported by reducers. Each one triggered
+    /// a map regeneration + transparent re-fetch — never a fetch-failure
+    /// report, never a `FetchFailureLimit` preemption.
+    pub corruption_refetches: u32,
+    /// Every analytics-log recovery the AM observed, with forensics.
+    pub log_recoveries: Vec<LogRecoveryEvent>,
 }
 
 impl JobReport {
@@ -62,6 +77,19 @@ impl JobReport {
     pub fn total_output_records(&self) -> u64 {
         self.output_records.values().sum()
     }
+
+    /// True when every observed analytics-log recovery redid at most one
+    /// logging interval of work — the bounded-recovery guarantee that must
+    /// hold even when log records were corrupted.
+    pub fn recoveries_bounded(&self) -> bool {
+        self.log_recoveries.iter().all(|e| e.report.bounded_by_one_snapshot())
+    }
+
+    /// Count of failures with the given kind (e.g. zero `NodeCrash` under
+    /// a healing partition is the transient-no-node-loss invariant).
+    pub fn failures_of_kind(&self, kind: FailureKind) -> usize {
+        self.failures.iter().filter(|f| f.kind == kind).count()
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +117,32 @@ mod tests {
         assert_eq!(report.repeated_failures_of(r1), 1);
         assert_eq!(report.repeated_failures_of(r0), 0);
         assert_eq!(report.repeated_failures_of(TaskId::reduce(j, 9)), 0);
+    }
+
+    #[test]
+    fn recovery_bounds_and_kind_counts() {
+        let mut report = JobReport::default();
+        assert!(report.recoveries_bounded());
+        report.log_recoveries.push(LogRecoveryEvent {
+            task: TaskId::reduce(JobId(0), 0),
+            attempt_number: 1,
+            report: RecoveryReport {
+                resumed_seq: Some(1),
+                truncated_at_seq: Some(2),
+                discarded_records: 3,
+                checksum_mismatches: 1,
+            },
+        });
+        assert!(report.recoveries_bounded(), "truncating right after the resume point is bounded");
+        report.log_recoveries.push(LogRecoveryEvent {
+            task: TaskId::reduce(JobId(0), 1),
+            attempt_number: 1,
+            report: RecoveryReport { resumed_seq: Some(0), truncated_at_seq: Some(4), ..Default::default() },
+        });
+        assert!(!report.recoveries_bounded(), "a 4-record gap exceeds one snapshot interval");
+        report.failures.push(fe(5, TaskId::reduce(JobId(0), 2)));
+        assert_eq!(report.failures_of_kind(FailureKind::NodeCrash), 1);
+        assert_eq!(report.failures_of_kind(FailureKind::FetchFailureLimit), 0);
     }
 
     #[test]

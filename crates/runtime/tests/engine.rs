@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use alm_runtime::am::run_job;
 use alm_runtime::{FaultPlan, JobDef, MiniCluster};
-use alm_types::{AlmConfig, JobId, NodeId, RecoveryMode, TaskId};
+use alm_types::{AlmConfig, CorruptTarget, JobId, NodeId, RecoveryMode, TaskId};
 use alm_workloads::reference::{canonicalize, reference_output};
 use alm_workloads::{Record, SecondarySort, Terasort, Wordcount, Workload};
 
@@ -230,4 +230,82 @@ fn speculative_duplicates_commit_identical_output() {
         assert!(report.succeeded, "seed {seed}: {report:?}");
         assert_output_matches(&cluster, &jd);
     }
+}
+
+// ---------- transient faults: partitions, corruption, checksummed recovery ----------
+
+#[test]
+fn partition_healing_before_liveness_causes_no_node_loss() {
+    for (id, mode) in [(40, RecoveryMode::Baseline), (41, RecoveryMode::SfmAlg)] {
+        let cluster = Arc::new(MiniCluster::for_tests(5));
+        let jd = job(id, Arc::new(Terasort::new(900)), 5, 3, mode);
+        // Sever two links at t=0 and heal them well before the scaled
+        // liveness timeout (250 ms): every node keeps heartbeating, so the
+        // partition must only delay the shuffle — never amplify.
+        let plan = FaultPlan::partition_link(NodeId(0), NodeId(1), 0, 100).and(FaultPlan::partition_link(
+            NodeId(2),
+            NodeId(1),
+            0,
+            100,
+        ));
+        let report = run_job(cluster.clone(), jd.clone(), plan);
+        assert!(report.succeeded, "{mode:?}: {report:?}");
+        // Zero node-lost declarations, zero fetch-failure preemptions and
+        // zero map re-executions: parked fetches burn no retry budget.
+        assert_eq!(report.failures_of_kind(alm_types::FailureKind::NodeCrash), 0, "{mode:?}");
+        assert_eq!(report.failures_of_kind(alm_types::FailureKind::FetchFailureLimit), 0, "{mode:?}");
+        assert!(report.failures.is_empty(), "{mode:?}: {:?}", report.failures);
+        assert_eq!(report.map_attempts, jd.num_maps, "no map re-execution under {mode:?}");
+        assert_eq!(report.reduce_attempts, jd.num_reduces, "no reduce re-execution under {mode:?}");
+        assert_output_matches(&cluster, &jd);
+    }
+}
+
+#[test]
+fn corrupted_mof_partition_is_refetched_without_preemption() {
+    for (id, mode) in [(42, RecoveryMode::Baseline), (43, RecoveryMode::SfmAlg)] {
+        let cluster = Arc::new(MiniCluster::for_tests(4));
+        let jd = job(id, Arc::new(Terasort::new(800)), 3, 4, mode);
+        // Rot reduce 2's partition of map 1's MOF the moment it commits.
+        let plan =
+            FaultPlan::corrupt_data(NodeId(0), CorruptTarget::MofPartition { map_index: 1, partition: 2 }, 0);
+        let report = run_job(cluster.clone(), jd.clone(), plan);
+        assert!(report.succeeded, "{mode:?}: {report:?}");
+        // The reducer detected the rot and the AM regenerated the MOF; the
+        // fetch-failure budget was never charged, so no task failed.
+        assert!(report.corruption_refetches >= 1, "{mode:?}: rot must be reported: {report:?}");
+        assert_eq!(report.failures_of_kind(alm_types::FailureKind::FetchFailureLimit), 0, "{mode:?}");
+        assert!(report.failures.is_empty(), "{mode:?}: repair is failure-free: {:?}", report.failures);
+        assert_eq!(report.map_attempts, jd.num_maps + 1, "exactly one regeneration under {mode:?}");
+        assert_output_matches(&cluster, &jd);
+    }
+}
+
+#[test]
+fn corrupted_alg_log_recovery_is_bounded() {
+    let cluster = Arc::new(MiniCluster::for_tests(4));
+    let mut alm = AlmConfig::with_mode(RecoveryMode::SfmAlg);
+    alm.logging_interval_ms = 1;
+    // Allow a second attempt on the origin node: the local-resume path is the
+    // one that consults the node-local shuffle-stage logs (Algorithm 1 l.9-12).
+    alm.limit_local = 2;
+    let jd = JobDef::new(JobId(44), Arc::new(Terasort::new(900)), 4, 2, 42, alm);
+    // Reduce 0 parks behind a partitioned map source, writing shuffle-stage
+    // log records the whole time; its first record rots on disk, and the
+    // attempt is killed right after the shuffle completes. Recovery must
+    // classify the rot, truncate at it, and redo at most one snapshot
+    // interval of work.
+    let plan = FaultPlan::partition_link(NodeId(0), NodeId(3), 0, 80)
+        .and(FaultPlan::corrupt_data(NodeId(0), CorruptTarget::AlgRecord { reduce_index: 0, seq: 0 }, 0))
+        .and(FaultPlan::kill_task(TaskId::reduce(JobId(44), 0), 0.34));
+    let report = run_job(cluster.clone(), jd.clone(), plan);
+    assert!(report.succeeded, "{report:?}");
+    assert!(!report.log_recoveries.is_empty(), "the killed reducer must consult its logs: {report:?}");
+    assert!(report.recoveries_bounded(), "at most one snapshot interval redone: {:?}", report.log_recoveries);
+    assert!(
+        report.log_recoveries.iter().any(|e| e.report.checksum_mismatches > 0),
+        "the rotted record must be seen and classified: {:?}",
+        report.log_recoveries
+    );
+    assert_output_matches(&cluster, &jd);
 }

@@ -111,5 +111,62 @@ mod tests {
             }
             prop_assert_eq!(decode_at(&data, off).unwrap(), None);
         }
+
+        /// Truncating a valid stream anywhere must never panic: either the
+        /// cut lands on a record boundary (fewer records validate) or the
+        /// stream classifies as `Corrupt` — never `ChecksumMismatch`,
+        /// which is reserved for the CRC32 frame layer.
+        #[test]
+        fn truncations_never_panic_and_classify_as_corrupt(recs in proptest::collection::vec(
+            (proptest::collection::vec(0u8..=255, 0..20), proptest::collection::vec(0u8..=255, 0..40)), 1..20),
+            cut in 0usize..4096) {
+            let mut buf = Vec::new();
+            for (k, v) in &recs {
+                encode_into(&mut buf, k, v);
+            }
+            let at = cut % buf.len().max(1);
+            let data = Bytes::from(buf[..at].to_vec());
+            match validate_stream(&data) {
+                Ok(n) => prop_assert!(n <= recs.len(), "cannot validate more records than encoded"),
+                Err(ShuffleError::Corrupt(_)) => {}
+                Err(e) => prop_assert!(false, "truncation misclassified as {e:?}"),
+            }
+        }
+
+        /// Flipping a single byte must never panic. When the stream is
+        /// wrapped in a CRC32 frame, the flip is *always* caught before the
+        /// codec ever runs — and classified as a checksum mismatch when it
+        /// lands in the payload.
+        #[test]
+        fn single_byte_flips_never_panic_and_frames_catch_them(recs in proptest::collection::vec(
+            (proptest::collection::vec(0u8..=255, 0..20), proptest::collection::vec(0u8..=255, 0..40)), 1..20),
+            pos in 0usize..4096, bit in 0u8..8) {
+            let mut buf = Vec::new();
+            for (k, v) in &recs {
+                encode_into(&mut buf, k, v);
+            }
+            let mut framed = crate::frame::frame(&buf);
+            let at = pos % framed.len();
+            framed[at] ^= 1 << bit;
+            let framed = Bytes::from(framed);
+            // Frame layer: the flip is always detected, and payload flips
+            // classify as checksum mismatches.
+            match crate::frame::unframe(&framed) {
+                Ok(_) => prop_assert!(false, "flipped frame must not verify"),
+                Err(ShuffleError::ChecksumMismatch(_)) => {}
+                Err(ShuffleError::Corrupt(_)) =>
+                    prop_assert!(at < crate::frame::FRAME_HEADER_LEN,
+                        "payload flip at {} must be a checksum mismatch", at),
+                Err(e) => prop_assert!(false, "unexpected classification {e:?}"),
+            }
+            // Codec layer alone (no frame): must not panic; any result is
+            // acceptable since a flip can yield a structurally valid stream.
+            let mut bare = buf.clone();
+            if !bare.is_empty() {
+                let at = pos % bare.len();
+                bare[at] ^= 1 << bit;
+            }
+            let _ = validate_stream(&Bytes::from(bare));
+        }
     }
 }

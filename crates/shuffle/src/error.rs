@@ -8,8 +8,14 @@ pub enum ShuffleError {
     /// A path was not found in the node-local filesystem (e.g. wiped by a
     /// simulated node crash).
     NotFound(String),
-    /// A segment's bytes did not decode as the record wire format.
+    /// A segment's bytes did not decode as the record wire format, or a
+    /// checksummed frame was physically torn/truncated.
     Corrupt(String),
+    /// A checksummed frame is physically intact but its payload fails the
+    /// CRC32 — detected data corruption, distinct from [`Self::Corrupt`]
+    /// because the right response is re-fetch / truncate-and-resume, not
+    /// declaring the source lost.
+    ChecksumMismatch(String),
     /// A fetch against a remote MOF failed (source node dead or MOF gone).
     /// This is the error class whose repetition drives the paper's failure
     /// amplification.
@@ -23,6 +29,7 @@ impl fmt::Display for ShuffleError {
         match self {
             ShuffleError::NotFound(p) => write!(f, "not found: {p}"),
             ShuffleError::Corrupt(m) => write!(f, "corrupt segment: {m}"),
+            ShuffleError::ChecksumMismatch(m) => write!(f, "checksum mismatch: {m}"),
             ShuffleError::FetchFailed { source, reason } => {
                 write!(f, "fetch from {source} failed: {reason}")
             }

@@ -1,0 +1,192 @@
+//! CRC32-checksummed framing for durable artifacts.
+//!
+//! Both recovery-critical byte stores — MOF partition streams and ALG
+//! analytics-log records — are wrapped in a small frame so that silent
+//! data corruption is *detected* at read time and classified distinctly
+//! from truncation:
+//!
+//! ```text
+//! [payload_len u32 BE][crc32(payload) u32 BE][payload]
+//! ```
+//!
+//! * A frame that is physically shorter than its header claims (torn
+//!   write, truncated file) decodes to [`ShuffleError::Corrupt`].
+//! * A frame whose bytes are all present but whose payload fails the
+//!   checksum (bit rot, injected corruption) decodes to
+//!   [`ShuffleError::ChecksumMismatch`].
+//!
+//! The distinction matters for recovery policy: a checksum mismatch on a
+//! fetched MOF partition means the *data* is bad while the source node is
+//! healthy — re-fetch, never count it against the fetch-failure budget —
+//! and a mismatch inside an ALG log means truncate at that record and
+//! resume from the last good snapshot instead of restarting from zero.
+
+use bytes::Bytes;
+
+use crate::error::{Result, ShuffleError};
+
+/// Bytes of frame overhead preceding the payload.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_table();
+
+/// IEEE CRC-32 (the polynomial used by zip/zlib/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append one checksummed frame around `payload`.
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// A fresh buffer holding one checksummed frame around `payload`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame_into(&mut out, payload);
+    out
+}
+
+/// Total frame size for a payload of `payload_len` bytes.
+pub fn framed_len(payload_len: usize) -> usize {
+    FRAME_HEADER_LEN + payload_len
+}
+
+/// Decode a buffer holding exactly one frame, verifying the checksum.
+///
+/// Truncation (missing header bytes, payload shorter than the header
+/// claims) and framing damage (trailing garbage, length-field rot that
+/// makes the claimed length disagree with the physical length) are
+/// [`ShuffleError::Corrupt`]; a physically intact frame whose payload
+/// fails the CRC is [`ShuffleError::ChecksumMismatch`].
+pub fn unframe(buf: &Bytes) -> Result<Bytes> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(ShuffleError::Corrupt(format!("truncated frame header ({} bytes)", buf.len())));
+    }
+    let len = u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let want = u32::from_be_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let body = &buf[FRAME_HEADER_LEN..];
+    if body.len() != len {
+        return Err(ShuffleError::Corrupt(format!(
+            "torn frame: header claims {len} payload bytes, {} present",
+            body.len()
+        )));
+    }
+    let got = crc32(body);
+    if got != want {
+        return Err(ShuffleError::ChecksumMismatch(format!(
+            "frame checksum mismatch: stored {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    Ok(buf.slice(FRAME_HEADER_LEN..))
+}
+
+/// Verify a frame without keeping the payload.
+pub fn validate_frame(buf: &Bytes) -> Result<()> {
+    unframe(buf).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        for payload in [&b""[..], b"x", b"hello shuffle", &[0u8; 1024][..]] {
+            let framed = Bytes::from(frame(payload));
+            assert_eq!(framed.len(), framed_len(payload.len()));
+            assert_eq!(&unframe(&framed).unwrap()[..], payload);
+            validate_frame(&framed).unwrap();
+        }
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_mismatch() {
+        let framed = frame(b"some payload worth keeping");
+        for cut in 0..framed.len() {
+            let cutb = Bytes::copy_from_slice(&framed[..cut]);
+            match unframe(&cutb) {
+                Err(ShuffleError::Corrupt(_)) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_flip_is_checksum_mismatch() {
+        let mut framed = frame(b"some payload worth keeping");
+        framed[FRAME_HEADER_LEN + 3] ^= 0x40;
+        let b = Bytes::from(framed);
+        assert!(matches!(unframe(&b), Err(ShuffleError::ChecksumMismatch(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let mut framed = frame(b"payload");
+        framed.push(0xAA);
+        let b = Bytes::from(framed);
+        assert!(matches!(unframe(&b), Err(ShuffleError::Corrupt(_))));
+    }
+
+    proptest! {
+        /// Any single-byte flip is detected, and flips strictly inside the
+        /// payload always classify as a checksum mismatch (header flips may
+        /// surface as framing corruption instead — both are detections).
+        #[test]
+        fn single_byte_flips_never_pass(payload in proptest::collection::vec(0u8..=255, 1..256),
+                                        pos in 0usize..4096,
+                                        bit in 0u8..8) {
+            let mut framed = frame(&payload);
+            let at = pos % framed.len();
+            framed[at] ^= 1 << bit;
+            let b = Bytes::from(framed);
+            let res = unframe(&b);
+            prop_assert!(res.is_err(), "flipped frame must not verify");
+            if at >= FRAME_HEADER_LEN {
+                prop_assert!(matches!(res, Err(ShuffleError::ChecksumMismatch(_))),
+                    "payload flip at {at} must be a checksum mismatch, got {res:?}");
+            }
+        }
+
+        /// Any truncation is detected as corruption, never as a checksum
+        /// mismatch, and never panics.
+        #[test]
+        fn truncations_classify_as_corrupt(payload in proptest::collection::vec(0u8..=255, 0..256),
+                                           cut in 0usize..4096) {
+            let framed = frame(&payload);
+            let at = cut % framed.len();
+            let b = Bytes::copy_from_slice(&framed[..at]);
+            prop_assert!(matches!(unframe(&b), Err(ShuffleError::Corrupt(_))));
+        }
+    }
+}

@@ -5,6 +5,9 @@
 //! * [`localfs`] — node-local storage abstraction (in-memory filesystem)
 //!   holding spills, MOFs and analytics logs; a node crash wipes it.
 //! * [`codec`] — the length-prefixed record wire format.
+//! * [`frame`] — the CRC32-checksummed frame wrapped around MOF partition
+//!   streams and ALG log records, distinguishing detected corruption
+//!   ([`ShuffleError::ChecksumMismatch`]) from truncation.
 //! * [`segment`] — sorted runs: [`segment::SegmentReader`] decodes a run
 //!   record-by-record and is *offset-resumable*, which is what makes the
 //!   paper's reduce-stage analytics logs (file path + offset per MPQ entry,
@@ -22,6 +25,7 @@
 pub mod codec;
 pub mod error;
 pub mod fetcher;
+pub mod frame;
 pub mod kvbuffer;
 pub mod localfs;
 pub mod merger;

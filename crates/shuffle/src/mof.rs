@@ -11,14 +11,21 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, ShuffleError};
+use crate::frame;
 use crate::localfs::LocalFs;
 
 /// Handle to a committed MOF.
+///
+/// Each partition's sorted run is stored as one CRC32-checksummed frame
+/// ([`crate::frame`]) so that on-disk corruption of a partition is caught
+/// at fetch time as [`ShuffleError::ChecksumMismatch`] instead of being
+/// shuffled into a reducer silently.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MofData {
     /// Path of the data blob on the producing node's local store.
     pub path: String,
-    /// Per-partition `(offset, len)` into the blob.
+    /// Per-partition `(frame_offset, payload_len)` into the blob; the
+    /// stored frame occupies `frame::framed_len(payload_len)` bytes.
     pub index: Vec<(u64, u64)>,
 }
 
@@ -36,35 +43,44 @@ impl MofData {
         self.index.iter().map(|&(_, len)| len).sum()
     }
 
-    /// Read one partition's sorted run from the producing node's store.
-    /// Fails if the partition index is out of range or the store lost the
-    /// blob (node crash).
+    /// Byte range `(offset, len)` of one partition's stored frame within
+    /// the blob — the unit a corruption injection targets.
+    pub fn frame_range(&self, partition: u32) -> Option<(u64, u64)> {
+        self.index.get(partition as usize).map(|&(off, len)| (off, frame::framed_len(len as usize) as u64))
+    }
+
+    /// Read and checksum-verify one partition's sorted run from the
+    /// producing node's store. Fails with `Invalid` if the partition index
+    /// is out of range, `NotFound`/`Corrupt` if the store lost or tore the
+    /// blob (node crash), and `ChecksumMismatch` if the frame is intact
+    /// but its payload bytes rotted.
     pub fn read_partition(&self, fs: &dyn LocalFs, partition: u32) -> Result<Bytes> {
         let &(off, len) = self
             .index
             .get(partition as usize)
             .ok_or_else(|| ShuffleError::Invalid(format!("partition {partition} out of range")))?;
         let blob = fs.read(&self.path)?;
-        let (off, len) = (off as usize, len as usize);
-        if off + len > blob.len() {
+        let (off, framed) = (off as usize, frame::framed_len(len as usize));
+        if off + framed > blob.len() {
             return Err(ShuffleError::Corrupt(format!(
                 "MOF index points past blob end ({} + {} > {})",
                 off,
-                len,
+                framed,
                 blob.len()
             )));
         }
-        Ok(blob.slice(off..off + len))
+        frame::unframe(&blob.slice(off..off + framed))
     }
 }
 
-/// Assemble and commit a MOF from per-partition encoded sorted runs.
+/// Assemble and commit a MOF from per-partition encoded sorted runs, each
+/// wrapped in a CRC32 frame.
 pub fn write_mof(fs: &dyn LocalFs, path: &str, partitions: Vec<Vec<u8>>) -> Result<MofData> {
-    let mut blob = Vec::with_capacity(partitions.iter().map(Vec::len).sum());
+    let mut blob = Vec::with_capacity(partitions.iter().map(|p| frame::framed_len(p.len())).sum::<usize>());
     let mut index = Vec::with_capacity(partitions.len());
     for part in &partitions {
         index.push((blob.len() as u64, part.len() as u64));
-        blob.extend_from_slice(part);
+        frame::frame_into(&mut blob, part);
     }
     fs.write(path, Bytes::from(blob))?;
     Ok(MofData { path: path.to_string(), index })
@@ -113,6 +129,19 @@ mod tests {
         let mof = write_mof(&fs, "mof/m0", vec![encoded(&[("a", "1")])]).unwrap();
         fs.wipe();
         assert!(mof.read_partition(&fs, 0).is_err());
+    }
+
+    #[test]
+    fn flipped_partition_byte_is_a_checksum_mismatch() {
+        let fs = MemFs::new();
+        let p0 = encoded(&[("a", "1"), ("b", "2")]);
+        let mof = write_mof(&fs, "mof/m0", vec![p0]).unwrap();
+        // Flip one payload byte inside partition 0's stored frame.
+        let (off, framed) = mof.frame_range(0).unwrap();
+        let mut blob = fs.read("mof/m0").unwrap().to_vec();
+        blob[(off + framed - 1) as usize] ^= 0x01;
+        fs.write("mof/m0", Bytes::from(blob)).unwrap();
+        assert!(matches!(mof.read_partition(&fs, 0), Err(ShuffleError::ChecksumMismatch(_))));
     }
 
     #[test]

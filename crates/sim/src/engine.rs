@@ -19,7 +19,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use alm_core::{schedule_recovery, ExecMode, PolicyCtx, SchedAction};
 use alm_des::{EventQueue, EventToken, FlowId, FlowPool, SimDuration};
-use alm_types::{AttemptId, FailureKind, FailureReport, JobId, NodeId, TaskId};
+use alm_types::{AttemptId, CorruptTarget, FailureKind, FailureReport, JobId, NodeId, TaskId};
+use rand::Rng;
 
 use crate::quantities::Quantities;
 use crate::spec::{ExperimentEnv, SimFault, SimJobSpec};
@@ -136,6 +137,10 @@ struct RedTask {
     running: Vec<AttemptId>,
     /// Last ALG-logged snapshot (None until first log).
     logged: Option<LoggedState>,
+    /// The snapshot before `logged` — what recovery falls back to when the
+    /// newest record rots on disk (checksummed truncation loses at most
+    /// one logging interval).
+    logged_prev: Option<LoggedState>,
 }
 
 #[derive(Debug, Clone)]
@@ -172,6 +177,10 @@ struct RedAtt {
     /// ignored by comparing this.
     gen: u32,
     last_log_secs: f64,
+    /// Virtual time the shuffle became fully parked behind severed links
+    /// (None while it can make progress). Bounds never-healing partitions
+    /// via `YarnConfig::shuffle_wait_cap_ms`.
+    parked_since: Option<f64>,
     dead: bool,
 }
 
@@ -217,6 +226,17 @@ pub struct Simulation {
     faults_time: Vec<(u32, f64)>,
     faults_progress: Vec<(u32, u32, f64)>,
     faults_slow: Vec<(u32, f64, f64)>,
+    faults_sever: Vec<(u32, u32, f64)>,
+    faults_heal: Vec<(u32, u32, f64)>,
+    faults_corrupt: Vec<(u32, CorruptTarget, f64)>,
+    /// Severed data-plane links, normalized `(min, max)` — undirected, like
+    /// the runtime's `LinkTable`.
+    severed: BTreeSet<(u32, u32)>,
+    /// Armed MOF rot: `(map_index, reduce partition)` whose next arriving
+    /// chunk fails checksum validation. Consumed on observation (the
+    /// high-priority regeneration rewrites clean bytes).
+    corrupt_mofs: BTreeSet<(u32, u32)>,
+    seed: u64,
     report: SimReport,
     rr: u32,
     failed: bool,
@@ -226,6 +246,7 @@ pub struct Simulation {
 impl Simulation {
     pub fn new(spec: SimJobSpec, env: ExperimentEnv, faults: Vec<SimFault>) -> Simulation {
         let model = spec.workload.model();
+        let seed = spec.seed;
         let qty = Quantities::derive(&spec, &model, &env.yarn);
         let workers = env.cluster.worker_nodes();
         let racks = env.cluster.racks.max(1);
@@ -259,12 +280,16 @@ impl Simulation {
                 attempts_on_node: HashMap::new(),
                 running: Vec::new(),
                 logged: None,
+                logged_prev: None,
             })
             .collect();
 
         let mut faults_time = Vec::new();
         let mut faults_progress = Vec::new();
         let mut faults_slow = Vec::new();
+        let mut faults_sever = Vec::new();
+        let mut faults_heal = Vec::new();
+        let mut faults_corrupt = Vec::new();
         for f in &faults {
             match f {
                 SimFault::KillReduceAtProgress { reduce_index, at_progress } => {
@@ -283,6 +308,13 @@ impl Simulation {
                 }
                 SimFault::SlowNodeAtSecs { node, at_secs, factor } => {
                     faults_slow.push((*node, *at_secs, factor.max(1.0)))
+                }
+                SimFault::PartitionLinkAtSecs { a, b, from_secs, heal_secs } => {
+                    faults_sever.push((*a, *b, *from_secs));
+                    faults_heal.push((*a, *b, heal_secs.max(*from_secs)));
+                }
+                SimFault::CorruptDataAtSecs { node, target, at_secs } => {
+                    faults_corrupt.push((*node, *target, *at_secs))
                 }
             }
         }
@@ -310,6 +342,12 @@ impl Simulation {
             faults_time,
             faults_progress,
             faults_slow,
+            faults_sever,
+            faults_heal,
+            faults_corrupt,
+            severed: BTreeSet::new(),
+            corrupt_mofs: BTreeSet::new(),
+            seed,
             report: SimReport::default(),
             rr: 0,
             failed: false,
@@ -319,6 +357,25 @@ impl Simulation {
 
     fn now_secs(&self) -> f64 {
         self.q.now().as_secs_f64()
+    }
+
+    /// Whether the data-plane link between two nodes is currently severed
+    /// (undirected; a node always reaches itself).
+    fn link_severed(&self, a: u32, b: u32) -> bool {
+        a != b && self.severed.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Exponential backoff with deterministic seeded jitter for dead-source
+    /// fetch retries — the same shape as the threaded runtime's
+    /// `backoff_with_jitter`: doubles per round, capped at half the liveness
+    /// timeout, jittered into `[cap/2, cap]` from the engine RNG stream
+    /// (never wall clock, so runs stay replayable).
+    fn backoff_ms(&self, attempt: AttemptId, m: u32, round: u32) -> u64 {
+        let base = self.env.yarn.fetch_retry_delay_ms.max(1);
+        let exp = base.saturating_mul(1u64 << round.saturating_sub(1).min(10));
+        let cap = exp.min((self.env.yarn.node_liveness_timeout_ms / 2).max(base));
+        let mut rng = alm_des::rng::stream(self.seed, &format!("sim-fetch-backoff/{attempt}/{m}/{round}"));
+        cap / 2 + rng.random_range(0..=cap.div_ceil(2))
     }
 
     // ---------------- pools and flows ----------------
@@ -534,6 +591,7 @@ impl Simulation {
                 cpu_dur: 0.0,
                 gen: 0,
                 last_log_secs: self.now_secs(),
+                parked_since: None,
                 dead: false,
             },
         );
@@ -715,7 +773,15 @@ impl Simulation {
                 let candidate = att.pending.iter().copied().find(|m| {
                     self.mof_loc.contains_key(m) && !att.retry.contains_key(m) && {
                         let src = self.mof_loc[m];
-                        self.nodes[src as usize].alive || !self.regenerating.contains(m)
+                        if self.nodes[src as usize].alive {
+                            // A severed link parks the fetch: the source
+                            // still heartbeats, so charging the wait to the
+                            // retry budget would be §II-C's amplification
+                            // mistake. The heal event re-pumps us.
+                            !self.link_severed(att.node, src)
+                        } else {
+                            !self.regenerating.contains(m)
+                        }
                     }
                 });
                 (att.node, candidate)
@@ -785,7 +851,8 @@ impl Simulation {
         let Some(att) = self.red_atts.get_mut(&attempt) else { return };
         let tries = att.retry.entry(m).or_insert(0);
         *tries += 1;
-        if *tries > self.env.yarn.fetch_retries_per_source {
+        let round = *tries;
+        if round > self.env.yarn.fetch_retries_per_source {
             // Exhausted: the reducer is preempted as faulty. Only now does
             // baseline YARN learn which MOFs are gone ("YARN relies on
             // running ReduceTasks to detect the lost MOFs", §II-C): the
@@ -810,7 +877,7 @@ impl Simulation {
             self.dispatch();
             return;
         }
-        let d = SimDuration::from_ms(self.env.yarn.fetch_retry_delay_ms);
+        let d = SimDuration::from_ms(self.backoff_ms(attempt, m, round));
         self.q.schedule_after(d, Ev::FetchRetry { attempt, map: m });
     }
 
@@ -836,6 +903,31 @@ impl Simulation {
     }
 
     fn fetch_flow_done(&mut self, attempt: AttemptId, flow: FlowId, m: u32) {
+        // Checksum validation on arrival: an armed corruption of this MOF
+        // partition fails the frame check. The reducer reports it (no retry
+        // budget burned — the source heartbeats, so the cause is
+        // unambiguous) and the AM regenerates the map at high priority;
+        // the completion re-pumps the parked fetch against clean bytes.
+        if self.corrupt_mofs.contains(&(m, attempt.task.index)) {
+            {
+                let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+                if att.dead {
+                    return;
+                }
+                att.active_fetches.remove(&flow);
+                att.pending.insert(m);
+            }
+            self.corrupt_mofs.remove(&(m, attempt.task.index));
+            self.report.corruption_refetches += 1;
+            if !self.regenerating.contains(&m) {
+                self.regenerating.insert(m);
+                self.mof_loc.remove(&m); // unregistered until regenerated
+                self.maps[m as usize].completed = false;
+                self.enqueue_map(TaskId::map(self.job, m), true);
+                self.dispatch();
+            }
+            return;
+        }
         {
             let Some(att) = self.red_atts.get_mut(&attempt) else { return };
             if att.dead {
@@ -1559,16 +1651,121 @@ impl Simulation {
             snapshots.sort_unstable_by_key(|(id, _)| *id);
             for (id, snap) in snapshots {
                 self.red_atts.get_mut(&id).unwrap().last_log_secs = now;
-                let slot = &mut self.reduces[id.task.index as usize].logged;
+                let task = &mut self.reduces[id.task.index as usize];
                 // Never regress durable progress.
-                let keep = slot.as_ref().is_some_and(|old| {
+                let keep = task.logged.as_ref().is_some_and(|old| {
                     old.reduce_frac > snap.reduce_frac && old.fetched.len() >= snap.fetched.len()
                 });
                 if !keep {
-                    *slot = Some(snap);
+                    task.logged_prev = task.logged.take();
+                    task.logged = Some(snap);
                 }
                 self.report.alg_snapshots += 1;
             }
+        }
+
+        // Transient partitions: sever due links, then heal due ones (a
+        // window that opened and closed within one tick nets healed), then
+        // re-pump the shuffles a heal may have unparked.
+        let due: Vec<(u32, u32)> =
+            self.faults_sever.iter().filter(|(.., at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
+        self.faults_sever.retain(|(.., at)| *at > now);
+        for (a, b) in due {
+            if a != b {
+                self.severed.insert((a.min(b), a.max(b)));
+            }
+        }
+        let due: Vec<(u32, u32)> =
+            self.faults_heal.iter().filter(|(.., at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
+        self.faults_heal.retain(|(.., at)| *at > now);
+        let healed = !due.is_empty();
+        for (a, b) in due {
+            self.severed.remove(&(a.min(b), a.max(b)));
+        }
+        if healed {
+            let mut stuck: Vec<AttemptId> = self
+                .red_atts
+                .iter()
+                .filter(|(_, a)| !a.dead && a.phase == RedPhase::Shuffle)
+                .map(|(id, _)| *id)
+                .collect();
+            stuck.sort_unstable(); // hash order must not leak into flow scheduling
+            for id in stuck {
+                self.pump_fetches(id);
+            }
+        }
+
+        // Data corruption: arm MOF rot for arrival-time checksum failures;
+        // an ALG-record rot truncates the newest snapshot (recovery falls
+        // back one logging interval). Corruptions of records that do not
+        // exist yet stay pending and retry next tick, like the runtime's.
+        let mut keep = Vec::new();
+        for (node, target, at) in std::mem::take(&mut self.faults_corrupt) {
+            if at > now {
+                keep.push((node, target, at));
+                continue;
+            }
+            match target {
+                CorruptTarget::MofPartition { map_index, partition } => {
+                    let _ = node; // the artifact's host is implied by mof_loc
+                    self.corrupt_mofs.insert((map_index, partition));
+                }
+                CorruptTarget::AlgRecord { reduce_index, .. } => {
+                    match self.reduces.get_mut(reduce_index as usize) {
+                        Some(r) if r.logged.is_some() => {
+                            r.logged = r.logged_prev.take();
+                            self.report.log_truncations += 1;
+                        }
+                        Some(_) => keep.push((node, target, at)),
+                        None => {}
+                    }
+                }
+            }
+        }
+        self.faults_corrupt = keep;
+
+        // Shuffles fully parked behind severed links time out at the
+        // shuffle wait cap — the bound on never-healing partitions.
+        let cap_secs = self.env.yarn.shuffle_wait_cap_ms as f64 / 1000.0;
+        let parked: Vec<(AttemptId, bool)> = self
+            .red_atts
+            .iter()
+            .filter(|(_, a)| !a.dead && a.phase == RedPhase::Shuffle)
+            .map(|(id, a)| {
+                let idle = !a.pending.is_empty()
+                    && a.active_fetches.is_empty()
+                    && a.retry.is_empty()
+                    && a.flows.is_empty();
+                let blocked_by_link = idle && {
+                    let mut saw_severed = false;
+                    for m in &a.pending {
+                        match self.mof_loc.get(m) {
+                            None => {}                                          // map not finished yet: a normal wait
+                            Some(&src) if !self.nodes[src as usize].alive => {} // regeneration wait
+                            Some(&src) if self.link_severed(a.node, src) => saw_severed = true,
+                            Some(_) => return (*id, false), // a fetchable source exists
+                        }
+                    }
+                    saw_severed
+                };
+                (*id, blocked_by_link)
+            })
+            .collect();
+        let mut timed_out: Vec<AttemptId> = Vec::new();
+        for (id, blocked) in parked {
+            let att = self.red_atts.get_mut(&id).unwrap();
+            if blocked {
+                let since = *att.parked_since.get_or_insert(now);
+                if now - since > cap_secs {
+                    timed_out.push(id);
+                }
+            } else {
+                att.parked_since = None;
+            }
+        }
+        timed_out.sort_unstable();
+        for id in timed_out {
+            self.fail_attempt(id, FailureKind::TaskTimeout);
         }
 
         // Time-based crash faults.
@@ -1859,6 +2056,100 @@ mod tests {
         if r.failures.iter().any(|f| f.task.is_reduce()) {
             assert!(r.fcm_attempts > 0, "reduce migration should use FCM: {r:?}");
         }
+    }
+
+    #[test]
+    fn healed_partition_causes_no_failures_or_reexecution() {
+        // Tentpole invariant, sim side: a partition that heals (while both
+        // endpoints keep heartbeating) must park fetches — never burn retry
+        // budget, never preempt a reducer, never re-execute a map.
+        for mode in [RecoveryMode::Baseline, RecoveryMode::SfmAlg] {
+            let clean = run(WorkloadKind::Terasort, 10, 8, mode, vec![]);
+            let red_node = clean.reduce_nodes[&0][0];
+            let workers = ExperimentEnv::paper(mode).cluster.worker_nodes();
+            let other = (red_node + 1) % workers;
+            let heal = clean.map_phase_secs + 30.0;
+            let faulty = run(
+                WorkloadKind::Terasort,
+                10,
+                8,
+                mode,
+                vec![SimFault::PartitionLinkAtSecs {
+                    a: red_node,
+                    b: other,
+                    from_secs: 0.0,
+                    heal_secs: heal,
+                }],
+            );
+            assert!(faulty.succeeded, "{mode:?}: {faulty:?}");
+            assert!(
+                faulty.failures.is_empty(),
+                "{mode:?}: a healed partition must not fail anything: {:?}",
+                faulty.failures
+            );
+            assert_eq!(faulty.map_attempts, clean.map_attempts, "{mode:?}: no map re-execution");
+            assert_eq!(faulty.reduce_attempts, clean.reduce_attempts, "{mode:?}: no reducer preemption");
+            assert!(
+                faulty.job_secs > clean.job_secs,
+                "{mode:?}: the parked shuffle must delay the job: {:.1}s vs clean {:.1}s",
+                faulty.job_secs,
+                clean.job_secs
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_mof_chunk_refetches_without_preemption() {
+        let clean = run(WorkloadKind::Terasort, 10, 8, RecoveryMode::Baseline, vec![]);
+        let faulty = run(
+            WorkloadKind::Terasort,
+            10,
+            8,
+            RecoveryMode::Baseline,
+            vec![SimFault::CorruptDataAtSecs {
+                node: 0,
+                target: CorruptTarget::MofPartition { map_index: 1, partition: 2 },
+                at_secs: 0.0,
+            }],
+        );
+        assert!(faulty.succeeded, "{faulty:?}");
+        assert!(faulty.corruption_refetches >= 1, "the rot must be observed on arrival: {faulty:?}");
+        assert_eq!(faulty.map_attempts, clean.map_attempts + 1, "exactly one regeneration: {faulty:?}");
+        assert!(faulty.failures.is_empty(), "checksummed re-fetch must never preempt: {:?}", faulty.failures);
+    }
+
+    #[test]
+    fn corrupted_alg_record_falls_back_one_snapshot() {
+        let faults = vec![
+            SimFault::CorruptDataAtSecs {
+                node: 0,
+                target: CorruptTarget::AlgRecord { reduce_index: 0, seq: 0 },
+                at_secs: 0.0,
+            },
+            SimFault::KillReduceAtProgress { reduce_index: 0, at_progress: 0.9 },
+        ];
+        let r = run(WorkloadKind::Terasort, 10, 8, RecoveryMode::Alg, faults);
+        assert!(r.succeeded, "{r:?}");
+        assert_eq!(r.log_truncations, 1, "the rot must cost exactly one snapshot interval: {r:?}");
+        assert!(r.alg_snapshots > 0, "logging must continue after the truncation");
+    }
+
+    #[test]
+    fn deterministic_with_transient_faults() {
+        // Partition + corruption + a crash: jitter comes from the engine
+        // RNG stream, so two runs must still be bit-identical.
+        let faults = vec![
+            SimFault::PartitionLinkAtSecs { a: 0, b: 1, from_secs: 10.0, heal_secs: 60.0 },
+            SimFault::CorruptDataAtSecs {
+                node: 0,
+                target: CorruptTarget::MofPartition { map_index: 3, partition: 1 },
+                at_secs: 5.0,
+            },
+            SimFault::CrashNodeAtReduceProgress { node: 2, reduce_index: 0, at_progress: 0.3 },
+        ];
+        let a = run(WorkloadKind::Terasort, 5, 4, RecoveryMode::SfmAlg, faults.clone());
+        let b = run(WorkloadKind::Terasort, 5, 4, RecoveryMode::SfmAlg, faults);
+        assert_eq!(a, b, "transient faults must preserve full determinism");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Experiment inputs.
 
-use alm_types::{AlmConfig, ClusterSpec, Fault, FaultPlan, RecoveryMode, YarnConfig};
+use alm_types::{AlmConfig, ClusterSpec, CorruptTarget, Fault, FaultPlan, RecoveryMode, YarnConfig};
 use alm_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +47,13 @@ pub enum SimFault {
     /// the node keeps heartbeating (faulty-but-alive slow node, §IV-B).
     /// Applies to CPU phases started after activation.
     SlowNodeAtSecs { node: u32, at_secs: f64, factor: f64 },
+    /// Sever the data-plane link between two (alive, heartbeating) nodes
+    /// from `from_secs` until `heal_secs`. Fetch admission across the link
+    /// parks instead of burning retry budget — the transient-fault half of
+    /// §II-C's amplification story.
+    PartitionLinkAtSecs { a: u32, b: u32, from_secs: f64, heal_secs: f64 },
+    /// Rot one durable artifact at `at_secs` (checksummed recovery path).
+    CorruptDataAtSecs { node: u32, target: CorruptTarget, at_secs: f64 },
 }
 
 impl SimFault {
@@ -77,6 +84,17 @@ impl SimFault {
                 node: node.0,
                 at_secs: *at_ms as f64 / 1000.0,
                 factor: *factor,
+            }),
+            Fault::PartitionLink { a, b, from_ms, heal_ms } => Some(SimFault::PartitionLinkAtSecs {
+                a: a.0,
+                b: b.0,
+                from_secs: *from_ms as f64 / 1000.0,
+                heal_secs: *heal_ms as f64 / 1000.0,
+            }),
+            Fault::CorruptData { node, target, at_ms } => Some(SimFault::CorruptDataAtSecs {
+                node: node.0,
+                target: *target,
+                at_secs: *at_ms as f64 / 1000.0,
             }),
         }
     }
@@ -134,7 +152,13 @@ mod tests {
             .and(FaultPlan::kill_task(TaskId::map(job, 1), 0.5))
             .and(FaultPlan::crash_node_at_ms(NodeId(2), 30_000))
             .and(FaultPlan::crash_node_at_reduce_progress(NodeId(4), 0, 0.3))
-            .and(FaultPlan::slow_node(NodeId(5), 10_000, 2.0));
+            .and(FaultPlan::slow_node(NodeId(5), 10_000, 2.0))
+            .and(FaultPlan::partition_link(NodeId(0), NodeId(6), 5_000, 45_000))
+            .and(FaultPlan::corrupt_data(
+                NodeId(1),
+                CorruptTarget::MofPartition { map_index: 2, partition: 7 },
+                12_000,
+            ));
         let lowered = SimFault::lower_plan(&plan);
         assert_eq!(
             lowered,
@@ -144,6 +168,12 @@ mod tests {
                 SimFault::CrashNodeAtSecs { node: 2, at_secs: 30.0 },
                 SimFault::CrashNodeAtReduceProgress { node: 4, reduce_index: 0, at_progress: 0.3 },
                 SimFault::SlowNodeAtSecs { node: 5, at_secs: 10.0, factor: 2.0 },
+                SimFault::PartitionLinkAtSecs { a: 0, b: 6, from_secs: 5.0, heal_secs: 45.0 },
+                SimFault::CorruptDataAtSecs {
+                    node: 1,
+                    target: CorruptTarget::MofPartition { map_index: 2, partition: 7 },
+                    at_secs: 12.0,
+                },
             ]
         );
     }

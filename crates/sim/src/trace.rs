@@ -32,6 +32,13 @@ pub struct SimReport {
     pub reduce_nodes: BTreeMap<u32, Vec<u32>>,
     /// Analytics-log snapshots taken.
     pub alg_snapshots: u64,
+    /// Fetched chunks that failed arrival checksum validation and were
+    /// transparently re-fetched after MOF regeneration (never charged to
+    /// the retry budget).
+    pub corruption_refetches: u32,
+    /// ALG snapshots lost to record rot (recovery truncated at the bad
+    /// record and fell back one logging interval).
+    pub log_truncations: u32,
     /// Bytes moved across rack uplinks (replication / cross-rack shuffle).
     pub uplink_bytes: u64,
     /// Events processed (diagnostic).

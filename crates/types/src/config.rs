@@ -99,8 +99,15 @@ pub struct YarnConfig {
     /// Consecutive fetch failures against one MOF source before the fetch is
     /// reported to the AM.
     pub fetch_retries_per_source: u32,
-    /// Delay between fetch retries.
+    /// Base delay between fetch retries. Retries back off exponentially
+    /// from this base (with deterministic seeded jitter) so a healed
+    /// partition does not produce a synchronized retry storm.
     pub fetch_retry_delay_ms: u64,
+    /// Hard wall on how long a recovering reducer's shuffle phase waits for
+    /// missing or regenerating MOF sources before giving up. Must exceed
+    /// the node liveness timeout, or a reducer could abandon a source
+    /// before the cluster has even decided whether the source is dead.
+    pub shuffle_wait_cap_ms: u64,
     /// Fraction of a reducer's pending sources that must be failing before
     /// the AM preempts (kills) the reducer as faulty — the mechanism behind
     /// spatial amplification.
@@ -131,6 +138,7 @@ impl Default for YarnConfig {
             node_liveness_timeout_ms: 70_000,
             fetch_retries_per_source: 4,
             fetch_retry_delay_ms: 5_000,
+            shuffle_wait_cap_ms: 1_400_000,
             reducer_fetch_failure_fraction: 0.5,
             max_task_attempts: 4,
             shuffle_buffer_fraction: 0.70,
@@ -160,6 +168,7 @@ impl YarnConfig {
             node_liveness_timeout_ms: 250,
             fetch_retries_per_source: 3,
             fetch_retry_delay_ms: 20,
+            shuffle_wait_cap_ms: 5_000,
             max_task_attempts: 8,
             ..YarnConfig::default()
         }
@@ -187,6 +196,9 @@ impl YarnConfig {
         }
         if self.node_liveness_timeout_ms < self.heartbeat_interval_ms {
             return Err("node liveness timeout shorter than heartbeat interval".into());
+        }
+        if self.shuffle_wait_cap_ms <= self.node_liveness_timeout_ms {
+            return Err("shuffle wait cap must exceed the node liveness timeout".into());
         }
         Ok(())
     }
@@ -347,6 +359,18 @@ mod tests {
         let mut c = YarnConfig::default();
         c.node_liveness_timeout_ms = c.heartbeat_interval_ms - 1;
         assert!(c.validate().is_err());
+
+        let mut c = YarnConfig::default();
+        c.shuffle_wait_cap_ms = c.node_liveness_timeout_ms;
+        assert!(c.validate().is_err(), "wait cap must strictly exceed the liveness timeout");
+    }
+
+    #[test]
+    fn shuffle_wait_cap_exceeds_liveness_timeout_in_both_profiles() {
+        for c in [YarnConfig::default(), YarnConfig::scaled_for_tests()] {
+            assert!(c.shuffle_wait_cap_ms > c.node_liveness_timeout_ms);
+            c.validate().unwrap();
+        }
     }
 
     #[test]

@@ -34,26 +34,66 @@ pub enum FailureKind {
     TaskTimeout,
     /// Node responsive but pathologically slow ("faulty node", §IV-B).
     SlowNode,
+    /// Node alive and heartbeating but unreachable over the data plane —
+    /// a severed shuffle/DFS link that will heal. The ambiguous half of
+    /// §II-C's amplification story: presuming this dead is the mistake.
+    NetworkPartition,
+    /// Stored bytes (MOF partition or ALG log record) failed their
+    /// checksum on read. The host keeps heartbeating; the data, not the
+    /// node, is faulty.
+    DataCorruption,
 }
 
 impl fmt::Display for FailureKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FailureKind {
+    /// Every variant, for exhaustiveness tests over report labeling.
+    pub const ALL: [FailureKind; 7] = [
+        FailureKind::TaskOom,
+        FailureKind::NodeCrash,
+        FailureKind::FetchFailureLimit,
+        FailureKind::TaskTimeout,
+        FailureKind::SlowNode,
+        FailureKind::NetworkPartition,
+        FailureKind::DataCorruption,
+    ];
+
+    /// Stable kebab-case label used in reports and rendered tables.
+    pub fn as_str(&self) -> &'static str {
+        match self {
             FailureKind::TaskOom => "task-oom",
             FailureKind::NodeCrash => "node-crash",
             FailureKind::FetchFailureLimit => "fetch-failure-limit",
             FailureKind::TaskTimeout => "task-timeout",
             FailureKind::SlowNode => "slow-node",
-        };
-        f.write_str(s)
+            FailureKind::NetworkPartition => "network-partition",
+            FailureKind::DataCorruption => "data-corruption",
+        }
     }
-}
 
-impl FailureKind {
     /// Whether recovery may re-use the same node (the node is believed
-    /// healthy). Algorithm 1 line 9's "N is still alive" check.
+    /// healthy). Algorithm 1 line 9's "N is still alive" check. Transient
+    /// kinds (partition, corruption) leave the node healthy by definition.
     pub fn node_presumed_alive(&self) -> bool {
-        matches!(self, FailureKind::TaskOom | FailureKind::TaskTimeout | FailureKind::SlowNode)
+        matches!(
+            self,
+            FailureKind::TaskOom
+                | FailureKind::TaskTimeout
+                | FailureKind::SlowNode
+                | FailureKind::NetworkPartition
+                | FailureKind::DataCorruption
+        )
+    }
+
+    /// Transient kinds: the fault clears by itself (a partition heals, a
+    /// corrupted read is re-fetched) and must never escalate to node-lost
+    /// handling while the node heartbeats.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FailureKind::NetworkPartition | FailureKind::DataCorruption)
     }
 }
 
@@ -144,6 +184,19 @@ impl FailureReport {
     }
 }
 
+/// What a [`Fault::CorruptData`] injection flips bytes in: the two durable
+/// artifacts the recovery paths read back — shuffle MOF partitions and ALG
+/// analytics-log records. Both are CRC32-framed so corruption is *detected*
+/// (distinct checksum-mismatch error) and then *tolerated* (re-fetch /
+/// truncate-and-resume) instead of escalating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CorruptTarget {
+    /// One partition of map `map_index`'s MOF on the target node.
+    MofPartition { map_index: u32, partition: u32 },
+    /// The ALG log record with sequence `seq` of reduce `reduce_index`.
+    AlgRecord { reduce_index: u32, seq: u64 },
+}
+
 /// One planned fault, in engine-neutral terms (§V-A's injection
 /// methodology: "We inject out-of-memory exceptions to crash a task to
 /// emulate the transient task failures and stop the network services on a
@@ -171,14 +224,28 @@ pub enum Fault {
     /// faulty-but-alive "slow node" (§IV-B), which produces stragglers
     /// rather than failure reports.
     SlowNode { node: NodeId, at_ms: u64, factor: f64 },
+    /// Sever the data-plane link between nodes `a` and `b` from `from_ms`
+    /// until `heal_ms`. Both nodes stay alive and heartbeating but cannot
+    /// exchange shuffle or DFS traffic until the partition heals — the
+    /// ambiguous transient fault §II-C's amplification cascade starts from.
+    PartitionLink { a: NodeId, b: NodeId, from_ms: u64, heal_ms: u64 },
+    /// Flip bytes in a durable artifact on `node` at `at_ms`. The host
+    /// stays healthy; readers must detect the damage via checksums and
+    /// recover (re-fetch the partition / truncate the log) without
+    /// re-executing healthy work.
+    CorruptData { node: NodeId, target: CorruptTarget, at_ms: u64 },
 }
 
 impl Fault {
     /// Whether this fault directly produces task-failure events (used for
     /// the paper's "additional failures" amplification accounting). A slow
-    /// node only degrades, it does not fail anything by itself.
+    /// node only degrades, it does not fail anything by itself; transient
+    /// faults (link partitions, data corruption) are *tolerated* — a
+    /// correct stack turns them into zero task failures, so counting them
+    /// as injected failures would hide amplification behind a bigger
+    /// denominator.
     pub fn produces_failures(&self) -> bool {
-        !matches!(self, Fault::SlowNode { .. })
+        !matches!(self, Fault::SlowNode { .. } | Fault::PartitionLink { .. } | Fault::CorruptData { .. })
     }
 }
 
@@ -209,6 +276,14 @@ impl FaultPlan {
         FaultPlan { faults: vec![Fault::SlowNode { node, at_ms, factor }] }
     }
 
+    pub fn partition_link(a: NodeId, b: NodeId, from_ms: u64, heal_ms: u64) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::PartitionLink { a, b, from_ms, heal_ms }] }
+    }
+
+    pub fn corrupt_data(node: NodeId, target: CorruptTarget, at_ms: u64) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::CorruptData { node, target, at_ms }] }
+    }
+
     pub fn and(mut self, other: FaultPlan) -> FaultPlan {
         self.faults.extend(other.faults);
         self
@@ -230,6 +305,22 @@ impl FaultPlan {
     pub fn slow_nodes(&self) -> impl Iterator<Item = (NodeId, u64, f64)> + '_ {
         self.faults.iter().filter_map(|f| match f {
             Fault::SlowNode { node, at_ms, factor } => Some((*node, *at_ms, *factor)),
+            _ => None,
+        })
+    }
+
+    /// Planned link partitions as `(a, b, from_ms, heal_ms)` tuples.
+    pub fn partitions(&self) -> impl Iterator<Item = (NodeId, NodeId, u64, u64)> + '_ {
+        self.faults.iter().filter_map(|f| match f {
+            Fault::PartitionLink { a, b, from_ms, heal_ms } => Some((*a, *b, *from_ms, *heal_ms)),
+            _ => None,
+        })
+    }
+
+    /// Planned data corruptions as `(node, target, at_ms)` triples.
+    pub fn corruptions(&self) -> impl Iterator<Item = (NodeId, CorruptTarget, u64)> + '_ {
+        self.faults.iter().filter_map(|f| match f {
+            Fault::CorruptData { node, target, at_ms } => Some((*node, *target, *at_ms)),
             _ => None,
         })
     }
@@ -270,6 +361,48 @@ mod tests {
         assert!(FailureKind::TaskTimeout.node_presumed_alive());
         assert!(!FailureKind::NodeCrash.node_presumed_alive());
         assert!(!FailureKind::FetchFailureLimit.node_presumed_alive());
+        assert!(FailureKind::NetworkPartition.node_presumed_alive());
+        assert!(FailureKind::DataCorruption.node_presumed_alive());
+    }
+
+    /// Satellite: every variant must appear in `ALL`, label uniquely via
+    /// `as_str`, and survive a serde round trip — so adding a variant
+    /// cannot silently miss report labeling.
+    #[test]
+    fn failure_kind_exhaustive_as_str_and_serde_round_trip() {
+        let mut labels = std::collections::HashSet::new();
+        for kind in FailureKind::ALL {
+            // Exhaustiveness: if a new variant is added without extending
+            // ALL, this match stops compiling.
+            match kind {
+                FailureKind::TaskOom
+                | FailureKind::NodeCrash
+                | FailureKind::FetchFailureLimit
+                | FailureKind::TaskTimeout
+                | FailureKind::SlowNode
+                | FailureKind::NetworkPartition
+                | FailureKind::DataCorruption => {}
+            }
+            let s = kind.as_str();
+            assert!(!s.is_empty() && s.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{s:?}");
+            assert!(labels.insert(s), "duplicate label {s}");
+            assert_eq!(kind.to_string(), s, "Display must agree with as_str");
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: FailureKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert_eq!(labels.len(), FailureKind::ALL.len());
+    }
+
+    #[test]
+    fn transient_kinds_are_transient() {
+        for kind in FailureKind::ALL {
+            let transient = matches!(kind, FailureKind::NetworkPartition | FailureKind::DataCorruption);
+            assert_eq!(kind.is_transient(), transient, "{kind}");
+            if kind.is_transient() {
+                assert!(kind.node_presumed_alive(), "{kind}: transient faults leave the node healthy");
+            }
+        }
     }
 
     #[test]
@@ -348,9 +481,30 @@ mod tests {
     fn fault_plan_serde_round_trip() {
         let plan = FaultPlan::kill_task(TaskId::reduce(JobId(2), 0), 0.7)
             .and(FaultPlan::crash_node_at_reduce_progress(NodeId(3), 1, 0.4))
-            .and(FaultPlan::slow_node(NodeId(0), 10, 2.5));
+            .and(FaultPlan::slow_node(NodeId(0), 10, 2.5))
+            .and(FaultPlan::partition_link(NodeId(1), NodeId(2), 100, 400))
+            .and(FaultPlan::corrupt_data(
+                NodeId(4),
+                CorruptTarget::MofPartition { map_index: 3, partition: 1 },
+                250,
+            ));
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn transient_faults_do_not_count_as_injected_failures() {
+        let plan = FaultPlan::partition_link(NodeId(0), NodeId(1), 10, 90)
+            .and(FaultPlan::corrupt_data(NodeId(2), CorruptTarget::AlgRecord { reduce_index: 0, seq: 3 }, 50))
+            .and(FaultPlan::crash_node_at_ms(NodeId(3), 200));
+        assert_eq!(plan.injected_count(), 1, "only the crash produces failures");
+        let parts: Vec<_> = plan.partitions().collect();
+        assert_eq!(parts, vec![(NodeId(0), NodeId(1), 10, 90)]);
+        let corr: Vec<_> = plan.corruptions().collect();
+        assert_eq!(corr.len(), 1);
+        assert_eq!(corr[0].0, NodeId(2));
+        assert_eq!(corr[0].2, 50);
+        assert!(matches!(corr[0].1, CorruptTarget::AlgRecord { reduce_index: 0, seq: 3 }));
     }
 }

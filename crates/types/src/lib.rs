@@ -17,7 +17,7 @@ pub mod state;
 pub mod units;
 
 pub use config::{AlmConfig, ClusterSpec, RecoveryMode, ReplicationLevel, YarnConfig};
-pub use failure::{FailureKind, FailureReport, Fault, FaultPlan};
+pub use failure::{CorruptTarget, FailureKind, FailureReport, Fault, FaultPlan};
 pub use id::{AttemptId, JobId, NodeId, RackId, TaskId};
 pub use progress::Progress;
 pub use state::{JobState, ReducePhase, TaskKind, TaskState};
