@@ -5,6 +5,8 @@
 //! stdout, and writes the JSON twin to `target/experiments/<id>.json` so
 //! EXPERIMENTS.md bookkeeping has a machine-readable source.
 
+#![forbid(unsafe_code)]
+
 use alm_metrics::ExperimentReport;
 use std::path::PathBuf;
 

@@ -14,6 +14,8 @@
 //! | [`differential`] | differential validator: the same scenario on both engines at matched scale, asserting invariant agreement |
 //! | [`calibrate`]    | magnitude calibration: per-mode normalized-slowdown curves across engines, checked against recorded tolerance bands |
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod calibrate;
 pub mod campaign;

@@ -21,6 +21,8 @@
 //! (`alm-runtime`) executes them over real bytes, the discrete-event
 //! simulator (`alm-sim`) drives the same policy logic with modelled costs.
 
+#![forbid(unsafe_code)]
+
 pub mod alg;
 pub mod sfm;
 

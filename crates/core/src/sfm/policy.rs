@@ -7,7 +7,7 @@
 //! Line-by-line correspondence with the paper's listing is noted inline.
 
 use alm_types::{AlmConfig, FailureReport, NodeId, TaskId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a recovery ReduceTask attempt executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,9 +46,9 @@ pub struct PolicyCtx {
     /// FCM-mode recovery tasks currently running in the job.
     pub fcm_tasks_running: usize,
     /// Per failed ReduceTask: attempts already made on the source node.
-    pub attempts_on_source_node: HashMap<TaskId, u32>,
+    pub attempts_on_source_node: BTreeMap<TaskId, u32>,
     /// Per failed ReduceTask: attempts currently running elsewhere.
-    pub running_attempts: HashMap<TaskId, u32>,
+    pub running_attempts: BTreeMap<TaskId, u32>,
 }
 
 impl PolicyCtx {
@@ -58,8 +58,8 @@ impl PolicyCtx {
             fcm_cap: config.fcm_cap,
             max_running_for_speculation: config.max_running_attempts_for_speculation,
             fcm_tasks_running,
-            attempts_on_source_node: HashMap::new(),
-            running_attempts: HashMap::new(),
+            attempts_on_source_node: BTreeMap::new(),
+            running_attempts: BTreeMap::new(),
         }
     }
 

@@ -2,7 +2,7 @@
 //! scheduler contexts, the policy's invariants hold.
 
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use alm_core::{schedule_recovery, ExecMode, PolicyCtx, SchedAction};
 use alm_types::{FailureKind, FailureReport, JobId, NodeId, TaskId};
@@ -33,8 +33,8 @@ fn arb_ctx(report: &FailureReport) -> impl Strategy<Value = PolicyCtx> {
         proptest::collection::vec(0u32..4, reduces.len()),
     )
         .prop_map(move |(limit_local, fcm_cap, fcm_running, on_node, running)| {
-            let mut attempts_on_source_node = HashMap::new();
-            let mut running_attempts = HashMap::new();
+            let mut attempts_on_source_node = BTreeMap::new();
+            let mut running_attempts = BTreeMap::new();
             for (i, r) in reduces.iter().enumerate() {
                 attempts_on_source_node.insert(*r, on_node[i]);
                 running_attempts.insert(*r, running[i]);

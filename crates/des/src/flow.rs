@@ -12,7 +12,7 @@
 //! before any mutation, then re-asks [`FlowPool::next_completion`] and
 //! (re)schedules a kernel event at that time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -29,7 +29,10 @@ struct Flow {
 #[derive(Debug, Clone)]
 pub struct FlowPool {
     capacity: f64, // bytes per second
-    flows: HashMap<FlowId, Flow>,
+    // Ordered map: `advance_to` accumulates float residue per flow into
+    // `delivered`, and float addition is not associative — iteration order
+    // is bitwise-observable, so it must not be hash order.
+    flows: BTreeMap<FlowId, Flow>,
     last_advance: SimTime,
     /// Total bytes fully delivered by this pool (diagnostic/metrics).
     delivered: f64,
@@ -40,7 +43,7 @@ impl FlowPool {
     pub fn new(capacity_bytes_per_sec: u64) -> FlowPool {
         FlowPool {
             capacity: capacity_bytes_per_sec as f64,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_advance: SimTime::ZERO,
             delivered: 0.0,
         }
@@ -101,7 +104,7 @@ impl FlowPool {
         self.flows.remove(&id).map(|f| f.remaining.ceil() as u64)
     }
 
-    /// Flows that are (numerically) finished right now.
+    /// Flows that are (numerically) finished right now, in id order.
     pub fn drain_completed(&mut self) -> Vec<FlowId> {
         let done: Vec<FlowId> = self
             .flows
@@ -112,8 +115,6 @@ impl FlowPool {
         for id in &done {
             self.flows.remove(id);
         }
-        let mut done = done;
-        done.sort_unstable(); // determinism independent of hash order
         done
     }
 

@@ -15,6 +15,8 @@
 //! * [`rng`] — deterministic per-component random streams derived from a
 //!   single experiment seed.
 
+#![forbid(unsafe_code)]
+
 pub mod flow;
 pub mod queue;
 pub mod rng;

@@ -36,6 +36,9 @@ impl PartialOrd for Entry {
 /// A virtual-time priority queue of events of type `E`.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry>>,
+    // Lookup-only by sequence number (insert/remove/contains): the map is
+    // never iterated, so hash order cannot reach the event schedule. D1
+    // (alm-lint unordered-iter) will flag any future iteration added here.
     payloads: HashMap<u64, E>,
     now: SimTime,
     next_seq: u64,

@@ -14,6 +14,8 @@
 //!   condition a recovering ReduceTask (and ALG's HDFS log lookup) runs
 //!   into.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod placement;
 pub mod topology;

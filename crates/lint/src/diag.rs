@@ -1,0 +1,55 @@
+//! Structured diagnostics and their rendering.
+
+use alm_metrics::TextTable;
+
+/// One finding: rule code + id, site, and a human-actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Short code, e.g. `D1`.
+    pub code: &'static str,
+    /// Rule id as used in `allow(...)` annotations, e.g. `unordered-iter`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn site(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+}
+
+/// Render diagnostics as the standard report table, sorted for stable output.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    let mut t = TextTable::new("alm-lint diagnostics", &["rule", "site", "message"]);
+    for d in sorted {
+        t.row(&[format!("{} {}", d.code, d.rule), d.site(), d.message.clone()]);
+    }
+    t.render_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_sorts_by_site() {
+        let diags = vec![
+            Diagnostic { code: "D2", rule: "wall-clock", file: "b.rs".into(), line: 9, message: "m".into() },
+            Diagnostic {
+                code: "D1",
+                rule: "unordered-iter",
+                file: "a.rs".into(),
+                line: 3,
+                message: "n".into(),
+            },
+        ];
+        let s = render(&diags);
+        assert!(s.find("a.rs:3").unwrap() < s.find("b.rs:9").unwrap());
+    }
+}

@@ -1,0 +1,165 @@
+//! alm-lint: workspace static-analysis pass machine-checking the invariants
+//! the test suite can only sample.
+//!
+//! The repo's correctness story rests on properties that are global and
+//! structural rather than local and behavioral: hash-order never reaching
+//! deterministic state (D1), virtual time staying virtual (D2), every RNG
+//! draw being a named seeded stream (D3), both engines speaking the whole
+//! fault vocabulary (V1), the config surface being validated and pinned
+//! (C1), and lock acquisition staying acyclic (L1). Each is enforced here
+//! as a line/token-level scan over stripped source — no `syn`, because the
+//! workspace bans new external dependencies.
+//!
+//! Escape hatch: `// alm-lint: allow(<rule-id>) — <reason>`. The reason is
+//! mandatory; the linter reports annotations with unknown rule ids or
+//! missing reasons so the allowlist itself cannot rot.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod rules;
+pub mod source;
+pub mod walker;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use diag::{render, Diagnostic};
+use rules::Rule;
+use source::SourceFile;
+
+/// The loaded file set all rules run against.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Load every in-scope `.rs` file under `root` via the shared walker.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        for rel in walker::rust_sources(root)? {
+            let text = fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::parse(rel, &text));
+        }
+        Ok(Workspace { root: root.to_path_buf(), files })
+    }
+
+    /// Build a workspace from in-memory `(rel_path, text)` pairs — the
+    /// fixture-test entry point.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            files: sources.iter().map(|(rel, text)| SourceFile::parse(*rel, text)).collect(),
+        }
+    }
+}
+
+/// A configured set of rules plus the annotation-hygiene pass.
+pub struct Linter {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter { rules: rules::default_rules() }
+    }
+}
+
+impl Linter {
+    pub fn new() -> Linter {
+        Linter::default()
+    }
+
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Linter {
+        Linter { rules }
+    }
+
+    pub fn rules(&self) -> &[Box<dyn Rule>] {
+        &self.rules
+    }
+
+    /// Run every rule plus annotation hygiene; diagnostics come back sorted
+    /// by (file, line, code) so output is stable across runs.
+    pub fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = self.check_annotations(ws);
+        for rule in &self.rules {
+            out.extend(rule.check(ws));
+        }
+        out.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+        out
+    }
+
+    /// The allowlist must not rot: unknown rule ids and empty reasons are
+    /// themselves findings.
+    fn check_annotations(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            for a in &file.allows {
+                if !self.rules.iter().any(|r| r.id() == a.rule) {
+                    out.push(Diagnostic {
+                        code: "A0",
+                        rule: "allow-syntax",
+                        file: file.rel.clone(),
+                        line: a.at_line,
+                        message: format!(
+                            "annotation names unknown rule `{}` — it suppresses nothing",
+                            a.rule
+                        ),
+                    });
+                } else if a.reason.is_empty() {
+                    out.push(Diagnostic {
+                        code: "A0",
+                        rule: "allow-syntax",
+                        file: file.rel.clone(),
+                        line: a.at_line,
+                        message: format!(
+                            "allow({}) has no reason — a justification is mandatory \
+                             and the annotation suppresses nothing without one",
+                            a.rule
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_hygiene_reports_unknown_rule_and_missing_reason() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/a.rs",
+            "// alm-lint: allow(no-such-rule) — because\nfn a() {}\n\
+             // alm-lint: allow(wall-clock)\nfn b() {}\n",
+        )]);
+        let diags = Linter::new().run(&ws);
+        let a0: Vec<_> = diags.iter().filter(|d| d.code == "A0").collect();
+        assert_eq!(a0.len(), 2, "{diags:?}");
+        assert!(a0[0].message.contains("no-such-rule"));
+        assert!(a0[1].message.contains("no reason"));
+    }
+
+    #[test]
+    fn clean_source_has_no_diagnostics() {
+        // V1/C1 intentionally report their anchor files as missing on a
+        // synthetic workspace (so a rename cannot silently disable them);
+        // run the path-independent rules here.
+        let ws = Workspace::from_sources(&[(
+            "crates/des/src/a.rs",
+            "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) -> u32 {\n    m.values().sum()\n}\n",
+        )]);
+        let linter = Linter::with_rules(vec![
+            Box::new(rules::UnorderedIter::default()),
+            Box::new(rules::WallClock::default()),
+            Box::new(rules::Randomness),
+            Box::new(rules::LockOrder::default()),
+        ]);
+        assert!(linter.run(&ws).is_empty());
+    }
+}

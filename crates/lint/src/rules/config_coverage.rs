@@ -1,0 +1,173 @@
+//! C1 `config-coverage`: every `YarnConfig` field is validated and pinned.
+//!
+//! The config struct is the experiment surface: each field changes failure
+//! amplification behavior. A field that `validate()` never looks at is a
+//! field a campaign can silently set to nonsense (zero heap, 0ms retry
+//! delay); a field that `scaled_for_tests()` fills from `..Default::default()`
+//! is a field whose test-scale value drifts whenever the default moves,
+//! invalidating the checked-in golden reports. So: every field must be
+//! *named* in both functions.
+
+use crate::diag::Diagnostic;
+use crate::source::{has_token, SourceFile};
+use crate::Workspace;
+
+use super::Rule;
+
+pub struct ConfigCoverage {
+    /// Workspace-relative path of the file declaring the struct.
+    pub decl_file: String,
+    pub struct_name: String,
+    /// Functions in the same file that must each name every field.
+    pub fns: Vec<String>,
+}
+
+impl Default for ConfigCoverage {
+    fn default() -> Self {
+        ConfigCoverage {
+            decl_file: "crates/types/src/config.rs".to_string(),
+            struct_name: "YarnConfig".to_string(),
+            fns: vec!["validate".to_string(), "scaled_for_tests".to_string()],
+        }
+    }
+}
+
+impl Rule for ConfigCoverage {
+    fn id(&self) -> &'static str {
+        "config-coverage"
+    }
+
+    fn code(&self) -> &'static str {
+        "C1"
+    }
+
+    fn description(&self) -> &'static str {
+        "every YarnConfig field is named in validate() and scaled_for_tests()"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let Some(file) = ws.files.iter().find(|f| f.rel == self.decl_file) else {
+            return vec![Diagnostic {
+                code: self.code(),
+                rule: self.id(),
+                file: self.decl_file.clone(),
+                line: 1,
+                message: format!("config file declaring `{}` not found", self.struct_name),
+            }];
+        };
+        let fields = struct_fields(file, &self.struct_name);
+        let mut out = Vec::new();
+        if fields.is_empty() {
+            out.push(Diagnostic {
+                code: self.code(),
+                rule: self.id(),
+                file: file.rel.clone(),
+                line: 1,
+                message: format!("struct `{}` not found or has no fields", self.struct_name),
+            });
+            return out;
+        }
+        for fn_name in &self.fns {
+            let Some(body) = fn_body(file, fn_name) else {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.id(),
+                    file: file.rel.clone(),
+                    line: 1,
+                    message: format!("required fn `{fn_name}` not found in {}", file.rel),
+                });
+                continue;
+            };
+            for (field, decl_line) in &fields {
+                if file.allowed(self.id(), *decl_line) {
+                    continue;
+                }
+                if !has_token(&body, field) {
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        rule: self.id(),
+                        file: file.rel.clone(),
+                        line: *decl_line,
+                        message: format!(
+                            "field `{field}` of `{}` is never named in `{fn_name}()` — \
+                             check or pin it there, or annotate the field with a reason",
+                            self.struct_name
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Public fields of `struct_name`: (name, 1-based declaration line).
+fn struct_fields(file: &SourceFile, struct_name: &str) -> Vec<(String, usize)> {
+    let header = format!("struct {struct_name}");
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut in_struct = false;
+    for (idx, line) in file.code.iter().enumerate() {
+        if !in_struct {
+            if line.contains(&header) && line.contains('{') {
+                in_struct = true;
+                for c in line.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        let t = line.trim();
+        if depth == 1 {
+            let t = t.strip_prefix("pub ").unwrap_or(t);
+            if let Some(colon) = t.find(':') {
+                let name = t[..colon].trim();
+                if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    out.push((name.to_string(), idx + 1));
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// The stripped body text of `fn <name>(…) { … }`, brace-matched.
+fn fn_body(file: &SourceFile, name: &str) -> Option<String> {
+    let header = format!("fn {name}(");
+    let start = file.code.iter().position(|l| l.contains(&header))?;
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    let mut body = String::new();
+    for line in file.code.iter().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        body.push_str(line);
+        body.push('\n');
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    Some(body)
+}

@@ -1,0 +1,235 @@
+//! V1 `fault-vocab`: cross-engine fault-vocabulary exhaustiveness.
+//!
+//! The differential validator only means something when both engines speak
+//! the whole fault vocabulary: a `ChaosFault` or `FailureKind` variant that
+//! one engine silently ignores shows up as a spurious cross-engine delta —
+//! or worse, as false agreement because neither side models it. Rust's
+//! `match` exhaustiveness cannot see across crates, so this rule checks a
+//! structural invariant instead: every variant of each tracked enum must be
+//! *named* (as `Enum::Variant`) in every engine-side file group that lowers
+//! or classifies it.
+//!
+//! A variant that is intentionally absent from a group (e.g. a fault kind
+//! one engine cannot express) is annotated at its declaration line with
+//! `// alm-lint: allow(fault-vocab) — <why>`.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::Workspace;
+
+use super::Rule;
+
+/// One tracked enum: where it is declared and the engine-side file groups
+/// that must each name every variant.
+pub struct EnumCoverage {
+    pub enum_name: &'static str,
+    /// Workspace-relative path of the declaring file.
+    pub decl_file: &'static str,
+    /// (group label, files that together must name each variant).
+    pub groups: Vec<(&'static str, Vec<&'static str>)>,
+}
+
+pub struct FaultVocab {
+    pub enums: Vec<EnumCoverage>,
+}
+
+impl Default for FaultVocab {
+    fn default() -> Self {
+        FaultVocab {
+            enums: vec![
+                EnumCoverage {
+                    enum_name: "Fault",
+                    decl_file: "crates/types/src/failure.rs",
+                    groups: vec![
+                        (
+                            "sim lowering",
+                            vec![
+                                "crates/sim/src/spec.rs",
+                                "crates/sim/src/engine.rs",
+                                "crates/sim/src/experiment.rs",
+                            ],
+                        ),
+                        (
+                            "runtime injection",
+                            vec![
+                                "crates/runtime/src/am.rs",
+                                "crates/runtime/src/faults.rs",
+                                "crates/runtime/src/cluster.rs",
+                            ],
+                        ),
+                    ],
+                },
+                EnumCoverage {
+                    enum_name: "FailureKind",
+                    decl_file: "crates/types/src/failure.rs",
+                    groups: vec![
+                        (
+                            "sim engine",
+                            vec![
+                                "crates/sim/src/engine.rs",
+                                "crates/sim/src/experiment.rs",
+                                "crates/sim/src/trace.rs",
+                            ],
+                        ),
+                        (
+                            "runtime engine",
+                            vec![
+                                "crates/runtime/src/am.rs",
+                                "crates/runtime/src/maptask.rs",
+                                "crates/runtime/src/reducetask.rs",
+                                "crates/runtime/src/report.rs",
+                            ],
+                        ),
+                        ("chaos analyzer", vec!["crates/chaos/src/analyze.rs"]),
+                    ],
+                },
+                EnumCoverage {
+                    enum_name: "ChaosFault",
+                    decl_file: "crates/chaos/src/scenario.rs",
+                    groups: vec![("scenario lowering", vec!["crates/chaos/src/scenario.rs"])],
+                },
+                EnumCoverage {
+                    enum_name: "SimFault",
+                    decl_file: "crates/sim/src/spec.rs",
+                    groups: vec![("sim engine", vec!["crates/sim/src/engine.rs"])],
+                },
+            ],
+        }
+    }
+}
+
+impl Rule for FaultVocab {
+    fn id(&self) -> &'static str {
+        "fault-vocab"
+    }
+
+    fn code(&self) -> &'static str {
+        "V1"
+    }
+
+    fn description(&self) -> &'static str {
+        "every fault-enum variant is named by every engine"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for cov in &self.enums {
+            let Some(decl) = ws.files.iter().find(|f| f.rel == cov.decl_file) else {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.id(),
+                    file: cov.decl_file.to_string(),
+                    line: 1,
+                    message: format!("declaring file for enum `{}` not found", cov.enum_name),
+                });
+                continue;
+            };
+            let variants = enum_variants(decl, cov.enum_name);
+            if variants.is_empty() {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.id(),
+                    file: cov.decl_file.to_string(),
+                    line: 1,
+                    message: format!("enum `{}` not found or has no variants", cov.enum_name),
+                });
+                continue;
+            }
+            for (label, files) in &cov.groups {
+                let members: Vec<&SourceFile> =
+                    ws.files.iter().filter(|f| files.iter().any(|p| f.rel == *p)).collect();
+                for (variant, decl_line) in &variants {
+                    if decl.allowed(self.id(), *decl_line) {
+                        continue;
+                    }
+                    let token = format!("{}::{}", cov.enum_name, variant);
+                    let named = members.iter().any(|f| {
+                        f.code.iter().enumerate().any(|(i, l)| !f.is_test[i] && names_variant(l, &token))
+                    });
+                    if !named {
+                        out.push(Diagnostic {
+                            code: self.code(),
+                            rule: self.id(),
+                            file: decl.rel.clone(),
+                            line: *decl_line,
+                            message: format!(
+                                "`{token}` is not named anywhere in the {label} \
+                                 ({}); handle it there or annotate the variant with a reason",
+                                files.join(", ")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `token` (`Enum::Variant`) followed by a non-identifier character, so
+/// `FailureKind::SlowNode` does not satisfy `FailureKind::Slow`.
+fn names_variant(line: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(token) {
+        let at = from + pos;
+        let end = at + token.len();
+        let after_ok = end >= line.len()
+            || !line[end..].chars().next().map(|c| c.is_alphanumeric() || c == '_').unwrap_or(false);
+        if after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Variants of `enum_name` in `decl`: (name, 1-based declaration line).
+/// Parses lines at brace depth 1 relative to the `enum` opening brace,
+/// skipping attributes and doc lines (already stripped to blanks).
+fn enum_variants(decl: &SourceFile, enum_name: &str) -> Vec<(String, usize)> {
+    let header = format!("enum {enum_name}");
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut in_enum = false;
+    for (idx, line) in decl.code.iter().enumerate() {
+        if !in_enum {
+            let starts = line.find(&header).map(|at| {
+                !line[at + header.len()..]
+                    .chars()
+                    .next()
+                    .map(|c| c.is_alphanumeric() || c == '_')
+                    .unwrap_or(false)
+            });
+            if starts == Some(true) {
+                in_enum = true;
+                depth = 0;
+                for c in line.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        let t = line.trim();
+        if depth == 1 && !t.is_empty() && !t.starts_with('#') {
+            let end = t.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(t.len());
+            if end > 0 && t.chars().next().is_some_and(char::is_uppercase) {
+                out.push((t[..end].to_string(), idx + 1));
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    out
+}

@@ -1,0 +1,340 @@
+//! L1 `lock-order`: static lock-acquisition-order cycle detection.
+//!
+//! `crates/runtime` is the only concurrent crate, and its parking_lot
+//! mutexes are non-reentrant: acquiring the same lock twice on one thread —
+//! or two threads taking two locks in opposite orders — deadlocks the
+//! harness instead of failing a test. This rule builds a conservative
+//! acquisition-order graph and rejects cycles:
+//!
+//! * nodes are lock *fields* (`foo: Mutex<…>` / `RwLock<…>`);
+//! * an edge `A → B` is recorded when `B.lock()` appears while a guard of
+//!   `A` is still live — a `let`-bound guard lives to the end of its brace
+//!   scope (or an explicit `drop(guard)`), a temporary to the end of its
+//!   statement;
+//! * calls are followed one level deep: holding `A` while calling a
+//!   function that itself locks `B` also records `A → B`.
+//!
+//! Any cycle (including the self-edge `A → A`) is a potential deadlock and
+//! is reported at each participating acquisition site.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::source::{ident_ending_at, SourceFile};
+use crate::Workspace;
+
+use super::Rule;
+
+const ACQUIRES: &[&str] = &[".lock()", ".read()", ".write()"];
+
+pub struct LockOrder {
+    /// Path prefixes of the concurrent code to analyse.
+    pub scopes: Vec<String>,
+}
+
+impl Default for LockOrder {
+    fn default() -> Self {
+        LockOrder { scopes: vec!["crates/runtime/src/".to_string()] }
+    }
+}
+
+/// An acquisition-order edge: lock `held` was live when `taken` was locked.
+#[derive(Debug, Clone)]
+struct Edge {
+    held: String,
+    taken: String,
+    file: String,
+    /// 1-based line of the inner acquisition (or call site).
+    line: usize,
+}
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn code(&self) -> &'static str {
+        "L1"
+    }
+
+    fn description(&self) -> &'static str {
+        "lock-acquisition order must be acyclic (parking_lot is non-reentrant)"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let files: Vec<&SourceFile> =
+            ws.files.iter().filter(|f| self.scopes.iter().any(|s| f.rel.starts_with(s.as_str()))).collect();
+        let locks = lock_fields(&files);
+        if locks.is_empty() {
+            return Vec::new();
+        }
+        let mut edges: Vec<Edge> = Vec::new();
+        // fn name -> locks it acquires directly (for one-level call edges).
+        let mut fn_locks: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        // (held, callee, file, line) resolved after all functions are known.
+        let mut pending_calls: Vec<(String, String, String, usize)> = Vec::new();
+        for file in &files {
+            scan_file(file, &locks, &mut edges, &mut fn_locks, &mut pending_calls);
+        }
+        for (held, callee, file, line) in pending_calls {
+            if let Some(inner) = fn_locks.get(&callee) {
+                for taken in inner {
+                    edges.push(Edge { held: held.clone(), taken: taken.clone(), file: file.clone(), line });
+                }
+            }
+        }
+        // Annotated edges are vetted: drop them before cycle detection.
+        edges.retain(|e| {
+            let f = files.iter().find(|f| f.rel == e.file);
+            !f.map(|f| f.allowed(self.id(), e.line)).unwrap_or(false)
+        });
+        let cyclic = cyclic_edges(&edges);
+        let mut out: Vec<Diagnostic> = cyclic
+            .into_iter()
+            .map(|(e, cycle)| Diagnostic {
+                code: self.code(),
+                rule: self.id(),
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "acquiring `{}` while holding `{}` closes the lock cycle {} — \
+                     parking_lot locks are non-reentrant, so this can deadlock",
+                    e.taken,
+                    e.held,
+                    cycle.join(" -> ")
+                ),
+            })
+            .collect();
+        out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+        out
+    }
+}
+
+/// All `name: Mutex<…>` / `name: RwLock<…>` field names in scope.
+fn lock_fields(files: &[&SourceFile]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for file in files {
+        for line in &file.code {
+            for ty in ["Mutex<", "RwLock<"] {
+                let mut from = 0;
+                while let Some(pos) = line[from..].find(ty) {
+                    let at = from + pos;
+                    let head = line[..at].trim_end();
+                    if let Some(head) = head.strip_suffix(':') {
+                        let head = head.trim_end();
+                        if let Some(name) = ident_ending_at(head, head.len()) {
+                            if !out.iter().any(|n| n == name) {
+                                out.push(name.to_string());
+                            }
+                        }
+                    }
+                    from = at + ty.len();
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A live guard inside a function body.
+struct Guard {
+    lock: String,
+    /// Brace depth at acquisition; popped when depth drops below it.
+    depth: i64,
+    /// Variable the guard is bound to (`let g = l.lock()`), for `drop(g)`.
+    var: Option<String>,
+}
+
+fn scan_file(
+    file: &SourceFile,
+    locks: &[String],
+    edges: &mut Vec<Edge>,
+    fn_locks: &mut BTreeMap<String, Vec<String>>,
+    pending_calls: &mut Vec<(String, String, String, usize)>,
+) {
+    let mut current_fn: Option<String> = None;
+    let mut fn_depth: i64 = 0;
+    let mut depth: i64 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.is_test[idx] {
+            // Keep brace accounting alive through test modules.
+            depth += brace_delta(line);
+            continue;
+        }
+        if current_fn.is_none() {
+            if let Some(name) = fn_header(line) {
+                current_fn = Some(name);
+                fn_depth = depth;
+                guards.clear();
+            }
+        }
+        if let Some(fname) = current_fn.clone() {
+            // Acquisitions on this line, left to right.
+            let trimmed = line.trim_start();
+            let let_bound = trimmed.starts_with("let ");
+            for pat in ACQUIRES {
+                let mut from = 0;
+                while let Some(pos) = line[from..].find(pat) {
+                    let at = from + pos;
+                    let head = line[..at].trim_end();
+                    if let Some(recv) = ident_ending_at(head, head.len()) {
+                        if locks.iter().any(|l| l == recv) {
+                            for g in &guards {
+                                edges.push(Edge {
+                                    held: g.lock.clone(),
+                                    taken: recv.to_string(),
+                                    file: file.rel.clone(),
+                                    line: idx + 1,
+                                });
+                            }
+                            fn_locks.entry(fname.clone()).or_default().push(recv.to_string());
+                            let var = if let_bound { let_var(trimmed) } else { None };
+                            let persists = let_bound && var.is_some();
+                            guards.push(Guard { lock: recv.to_string(), depth, var });
+                            if !persists {
+                                // Temporary: dies at the end of the
+                                // statement. Model as end-of-line when the
+                                // line terminates a statement.
+                                if line.trim_end().ends_with(';') {
+                                    guards.pop();
+                                }
+                            }
+                        }
+                    }
+                    from = at + pat.len();
+                }
+            }
+            // `drop(guard)` releases a named guard early.
+            if let Some(pos) = line.find("drop(") {
+                let inner = &line[pos + 5..];
+                if let Some(close) = inner.find(')') {
+                    let name = inner[..close].trim();
+                    guards.retain(|g| g.var.as_deref() != Some(name));
+                }
+            }
+            // Calls made while holding a guard: resolve one level deep
+            // later. Only consider simple `name(`/`.name(` call tokens.
+            if !guards.is_empty() {
+                for callee in call_tokens(line) {
+                    for g in &guards {
+                        pending_calls.push((g.lock.clone(), callee.clone(), file.rel.clone(), idx + 1));
+                    }
+                }
+            }
+            let d = brace_delta(line);
+            depth += d;
+            guards.retain(|g| g.depth <= depth);
+            if depth <= fn_depth && d != 0 {
+                current_fn = None;
+                guards.clear();
+            }
+        } else {
+            depth += brace_delta(line);
+        }
+    }
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// `fn name(` on this line (decl, not a call: preceded by `fn `).
+fn fn_header(line: &str) -> Option<String> {
+    let pos = line.find("fn ")?;
+    let boundary = pos == 0
+        || !line[..pos].chars().next_back().map(|c| c.is_alphanumeric() || c == '_').unwrap_or(false);
+    if !boundary {
+        return None;
+    }
+    let rest = line[pos + 3..].trim_start();
+    let end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_'))?;
+    if end == 0 || !rest[end..].starts_with(['(', '<']) {
+        return None;
+    }
+    Some(rest[..end].to_string())
+}
+
+/// Variable bound by `let [mut] name = …` at the start of a trimmed line.
+fn let_var(trimmed: &str) -> Option<String> {
+    let t = trimmed.strip_prefix("let ")?.trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let end = t.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(t.len());
+    if end == 0 || t[..end].starts_with('_') {
+        return None;
+    }
+    Some(t[..end].to_string())
+}
+
+/// Plain call tokens on a line: `foo(` or `.foo(` where `foo` is not a
+/// known keyword-like construct.
+fn call_tokens(line: &str) -> Vec<String> {
+    const SKIP: &[&str] = &[
+        "if", "while", "for", "match", "return", "lock", "read", "write", "drop", "Some", "Ok", "Err",
+        "unwrap", "expect", "clone", "new", "len", "push", "insert", "remove", "get", "contains", "iter",
+        "format", "vec", "assert",
+    ];
+    let mut out = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    for (i, c) in chars.iter().enumerate() {
+        if *c != '(' {
+            continue;
+        }
+        if let Some(id) = ident_ending_at(line, i) {
+            if !SKIP.contains(&id) && id.chars().next().map(char::is_lowercase).unwrap_or(false) {
+                out.push(id.to_string());
+            }
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// Edges that participate in at least one cycle, with a representative
+/// cycle path for the message.
+fn cyclic_edges(edges: &[Edge]) -> Vec<(Edge, Vec<String>)> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.held.as_str()).or_default().push(e.taken.as_str());
+    }
+    let mut out = Vec::new();
+    for e in edges {
+        // A cycle through this edge exists iff `taken` can reach `held`.
+        if let Some(path) = reach(&adj, &e.taken, &e.held) {
+            let mut cycle: Vec<String> = vec![e.held.clone()];
+            cycle.extend(path.into_iter().map(str::to_owned));
+            out.push((e.clone(), cycle));
+        }
+    }
+    out
+}
+
+/// DFS path from `from` to `to` (inclusive of both), if any.
+fn reach<'a>(adj: &BTreeMap<&'a str, Vec<&'a str>>, from: &'a str, to: &str) -> Option<Vec<&'a str>> {
+    let mut stack = vec![vec![from]];
+    let mut seen = vec![from];
+    while let Some(path) = stack.pop() {
+        let last = *path.last().expect("path never empty");
+        if last == to {
+            return Some(path);
+        }
+        for next in adj.get(last).into_iter().flatten() {
+            if !seen.contains(next) {
+                seen.push(next);
+                let mut p = path.clone();
+                p.push(next);
+                stack.push(p);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,74 @@
+//! D3 `rng-stream`: all randomness flows through `alm_des::rng::stream`.
+//!
+//! Reproducibility of a campaign is the product of every RNG draw in it.
+//! `alm_des::rng::stream(seed, label)` derives a named, seed-stable stream;
+//! anything else — `thread_rng`, OS entropy, seeding from the clock — makes
+//! a run unrepeatable, which breaks replay of the exact schedules that
+//! triggered a failure-amplification episode. Unlike D1/D2 this rule also
+//! covers test code: a test that draws from ambient entropy is a test that
+//! cannot be re-run on failure.
+
+use crate::diag::Diagnostic;
+use crate::source::has_token;
+use crate::Workspace;
+
+use super::Rule;
+
+const BANNED: &[(&str, &str)] = &[
+    ("thread_rng", "`thread_rng` is seeded from OS entropy"),
+    ("from_entropy", "`from_entropy` is unseeded"),
+    ("from_os_rng", "`from_os_rng` is unseeded"),
+    ("OsRng", "`OsRng` draws OS entropy directly"),
+    ("random_seed", "deriving a seed at run time defeats replay"),
+];
+
+#[derive(Default)]
+pub struct Randomness;
+
+impl Rule for Randomness {
+    fn id(&self) -> &'static str {
+        "rng-stream"
+    }
+
+    fn code(&self) -> &'static str {
+        "D3"
+    }
+
+    fn description(&self) -> &'static str {
+        "randomness must come from alm_des::rng::stream"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            for (idx, line) in file.code.iter().enumerate() {
+                for (tok, why) in BANNED {
+                    if has_token(line, tok) && !file.allowed(self.id(), idx + 1) {
+                        out.push(Diagnostic {
+                            code: self.code(),
+                            rule: self.id(),
+                            file: file.rel.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "{why}; derive a named stream via alm_des::rng::stream(seed, label)"
+                            ),
+                        });
+                    }
+                }
+                // `rand::random` has no word boundary trick: `::` splits it.
+                if line.contains("rand::random") && !file.allowed(self.id(), idx + 1) {
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        rule: self.id(),
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        message: "`rand::random` draws thread-local OS entropy; derive a named \
+                                  stream via alm_des::rng::stream(seed, label)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

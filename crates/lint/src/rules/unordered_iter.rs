@@ -1,0 +1,327 @@
+//! D1 `unordered-iter`: no unordered-collection iteration in the
+//! deterministic crates.
+//!
+//! The bug class is the one PR 1 hit for real: `std::collections::HashMap`
+//! and `HashSet` iterate in a per-process-random order, and when that order
+//! leaks into FlowId allocation, retry queuing, kill order or snapshot
+//! application, two runs of the "deterministic" simulator diverge — which
+//! silently invalidates the DES determinism property, the golden campaign
+//! gate and the cross-engine differential validator all at once.
+//!
+//! A site is clean when the iteration order provably cannot escape:
+//!
+//! * the chain ends in an order-insensitive reduction (`count`, `min`,
+//!   `max`, `all`, `any`, `contains`, …);
+//! * the statement collects into an ordered container (`BTreeMap`,
+//!   `BTreeSet`) or the collected `Vec` is sorted within the next few
+//!   lines (the sorted-collect idiom);
+//! * the site carries `// alm-lint: allow(unordered-iter) — <reason>`.
+//!
+//! Test code is skipped: hash order in a test cannot reach engine state.
+
+use crate::diag::Diagnostic;
+use crate::source::{ident_ending_at, SourceFile};
+use crate::Workspace;
+
+use super::Rule;
+
+/// Iteration methods whose result order is the hash order.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Chain suffixes (at or after the iteration call) that fold away ordering
+/// before anything observable.
+const ORDER_INSENSITIVE: &[&str] = &[
+    ".count()",
+    ".len()",
+    ".is_empty()",
+    ".min(",
+    ".max(",
+    ".min_by",
+    ".max_by",
+    ".all(",
+    ".any(",
+    ".contains(",
+];
+
+/// Statement markers showing the result lands in an ordered collection.
+const ORDERED_COLLECT: &[&str] = &[": BTreeMap", ": BTreeSet", "collect::<BTreeMap", "collect::<BTreeSet"];
+
+pub struct UnorderedIter {
+    /// Workspace-relative path prefixes the rule applies to.
+    pub scopes: Vec<String>,
+}
+
+impl Default for UnorderedIter {
+    fn default() -> Self {
+        UnorderedIter {
+            scopes: ["des", "sim", "core", "chaos", "types", "workloads"]
+                .iter()
+                .map(|c| format!("crates/{c}/src/"))
+                .collect(),
+        }
+    }
+}
+
+impl Rule for UnorderedIter {
+    fn id(&self) -> &'static str {
+        "unordered-iter"
+    }
+
+    fn code(&self) -> &'static str {
+        "D1"
+    }
+
+    fn description(&self) -> &'static str {
+        "hash-order iteration must not reach deterministic-engine state"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws.files.iter().filter(|f| self.scopes.iter().any(|s| f.rel.starts_with(s.as_str()))) {
+            let unordered = unordered_names(file);
+            if unordered.is_empty() {
+                continue;
+            }
+            for hit in iteration_sites(file, &unordered) {
+                let (first, last) = statement_span(file, hit.line_idx);
+                if is_exempt(file, &hit, first, last) {
+                    continue;
+                }
+                if file.allowed_in(self.id(), first + 1, (last + 1).max(hit.line_idx + 1)) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.id(),
+                    file: file.rel.clone(),
+                    line: hit.line_idx + 1,
+                    message: format!(
+                        "`{}` is a HashMap/HashSet; `{}` yields hash order — sort the collected \
+                         result, use a BTree collection, or annotate with a reason",
+                        hit.name, hit.what
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+struct Hit {
+    line_idx: usize,
+    /// Byte offset of the match within the line.
+    col: usize,
+    name: String,
+    what: String,
+}
+
+/// Names declared in this file with a `HashMap`/`HashSet` type or
+/// constructed via `HashMap::new()` etc.
+fn unordered_names(file: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &file.code {
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(ty) {
+                let at = from + pos;
+                if let Some(name) = declared_name(&line[..at]) {
+                    if !names.iter().any(|n| n == &name) {
+                        names.push(name);
+                    }
+                }
+                from = at + ty.len();
+            }
+        }
+    }
+    names
+}
+
+/// Given the text left of a `HashMap`/`HashSet` token, the declared name:
+/// `foo: HashMap<…>` (field/param/binding type) or `let [mut] foo = HashMap::new()`.
+fn declared_name(prefix: &str) -> Option<String> {
+    // Strip type-position noise between the name and the token, including
+    // paths like `std::collections::HashMap`.
+    let trimmed = prefix.trim_end().trim_end_matches("std::collections::").trim_end();
+    let trimmed = trimmed.trim_end_matches(['&', '<', '(', ' ']).trim_end();
+    if let Some(head) = trimmed.strip_suffix(':') {
+        let head = head.trim_end();
+        return ident_ending_at(head, head.len()).map(str::to_owned);
+    }
+    if let Some(head) = trimmed.strip_suffix('=') {
+        let head = head.trim_end();
+        let name = ident_ending_at(head, head.len())?;
+        // Only `let [mut] name = Hash…` counts as a declaration.
+        let before = head[..head.len() - name.len()].trim_end();
+        if before.ends_with("let") || before.ends_with("mut") {
+            return Some(name.to_owned());
+        }
+    }
+    None
+}
+
+/// The receiver identifier of a method call matched at `(line_idx, col)`:
+/// the identifier just before the `.` on the same line, or — for a chain
+/// broken across lines — the trailing identifier of the previous line.
+fn receiver_of(file: &SourceFile, line_idx: usize, col: usize) -> Option<String> {
+    let line = &file.code[line_idx];
+    let head = line[..col].trim_end();
+    if let Some(id) = ident_ending_at(head, head.len()) {
+        return Some(id.to_owned());
+    }
+    if head.is_empty() || head == "." || head.ends_with('.') {
+        // `map\n    .iter()` style: look one line up.
+        let prev = file.code[..line_idx].iter().rev().find(|l| !l.trim().is_empty())?;
+        let prev = prev.trim_end();
+        return ident_ending_at(prev, prev.len()).map(str::to_owned);
+    }
+    None
+}
+
+/// All iteration expressions over a known-unordered name.
+fn iteration_sites(file: &SourceFile, unordered: &[String]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.is_test[idx] {
+            continue;
+        }
+        for m in ITER_METHODS {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(m) {
+                let at = from + pos;
+                if let Some(name) = receiver_of(file, idx, at) {
+                    if unordered.contains(&name) {
+                        let what = format!("{name}{}", m.trim_end_matches('('));
+                        hits.push(Hit { line_idx: idx, col: at, name, what });
+                    }
+                }
+                from = at + m.len();
+            }
+        }
+        // `for pat in &name` / `for pat in &mut name` / `for pat in name`.
+        if let Some(for_pos) = find_token(line, "for ") {
+            if let Some(in_pos) = line[for_pos..].find(" in ") {
+                let at = for_pos + in_pos + 4;
+                let expr = line[at..].trim();
+                let expr = expr.strip_suffix('{').unwrap_or(expr).trim_end();
+                let expr = expr.trim_start_matches("&mut ").trim_start_matches('&');
+                // Pure path only (no calls): `self.red_atts`, `flows`.
+                if !expr.is_empty() && expr.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                    let name = expr.rsplit('.').next().unwrap_or(expr).to_owned();
+                    if unordered.contains(&name) {
+                        let what = format!("for … in {name}");
+                        hits.push(Hit { line_idx: idx, col: at, name, what });
+                    }
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// `needle` at a word boundary (so `for ` does not match inside `before `).
+fn find_token(line: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let boundary = at == 0
+            || !line[..at].chars().next_back().map(|c| c.is_alphanumeric() || c == '_').unwrap_or(false);
+        if boundary {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// Expand a hit line to its enclosing statement. Backward: to the line
+/// after the previous terminator (`;`, `{`, `}`, or blank). Forward: until
+/// all brackets opened since the statement start close again and the line
+/// ends with a terminator. Both bounded so unusual formatting can never
+/// make the scan run away.
+fn statement_span(file: &SourceFile, line_idx: usize) -> (usize, usize) {
+    let terminated = |l: &str| {
+        let t = l.trim_end();
+        t.is_empty() || t.ends_with(';') || t.ends_with('{') || t.ends_with('}')
+    };
+    let mut first = line_idx;
+    for _ in 0..8 {
+        if first == 0 || terminated(&file.code[first - 1]) {
+            break;
+        }
+        first -= 1;
+    }
+    let mut depth: i64 = 0;
+    let mut last = line_idx;
+    for (off, line) in file.code.iter().enumerate().skip(first).take(40) {
+        for c in line.chars() {
+            match c {
+                '(' | '{' | '[' => depth += 1,
+                ')' | '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        let t = line.trim_end();
+        if off >= line_idx && depth <= 0 && (t.ends_with(';') || t.ends_with(',') || t.ends_with('}')) {
+            last = off;
+            break;
+        }
+        // A bare `for … in x` header never closes its own brace: treat the
+        // header line itself as the statement.
+        if off == line_idx && t.ends_with('{') && depth > 0 && first == line_idx {
+            last = off;
+            break;
+        }
+        last = off;
+    }
+    (first, last)
+}
+
+/// Whether the statement neutralises the hash order before it can escape.
+fn is_exempt(file: &SourceFile, hit: &Hit, first: usize, last: usize) -> bool {
+    // Text from the iteration call to the end of the statement: the rest of
+    // the chain.
+    let mut tail = String::from(&file.code[hit.line_idx][hit.col..]);
+    for l in file.code.iter().take(last + 1).skip(hit.line_idx + 1) {
+        tail.push('\n');
+        tail.push_str(l);
+    }
+    if ORDER_INSENSITIVE.iter().any(|p| tail.contains(p)) {
+        return true;
+    }
+    let stmt: String = file.code[first..=last].join("\n");
+    if ORDERED_COLLECT.iter().any(|p| stmt.contains(p)) {
+        return true;
+    }
+    // `let mut v … = ….collect(); v.sort…();` — the sorted-collect idiom.
+    if let Some(bound) = let_binding(&stmt) {
+        let sorter = format!("{bound}.sort");
+        for line in file.code.iter().skip(last + 1).take(4) {
+            if line.contains(&sorter) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The name bound by a statement starting with `let [mut] name`.
+fn let_binding(stmt: &str) -> Option<&str> {
+    let t = stmt.trim_start().strip_prefix("let ")?.trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let end = t.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(t.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&t[..end])
+    }
+}

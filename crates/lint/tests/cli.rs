@@ -1,0 +1,83 @@
+//! End-to-end tests of the `alm-lint` binary: the seeded fixture workspace
+//! must fail `--check` with every rule firing, and the real workspace must
+//! pass it — the self-test that keeps the repo lint-clean.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_alm-lint"))
+        .args(extra)
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run alm-lint")
+}
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_workspace")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn seeded_fixture_fails_check_with_every_rule_firing() {
+    let out = lint(&fixture_root(), &["--check"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "seeded violations must fail --check:\n{stdout}");
+    for code in ["D1", "D2", "D3", "V1", "C1", "L1", "A0"] {
+        assert!(stdout.contains(code), "code {code} missing from report:\n{stdout}");
+    }
+    // Each seed lands where it was planted.
+    for site in [
+        "crates/sim/src/engine.rs",
+        "crates/des/src/clock.rs",
+        "crates/core/src/rng.rs",
+        "crates/types/src/failure.rs",
+        "crates/types/src/config.rs",
+        "crates/runtime/src/am.rs",
+    ] {
+        assert!(stdout.contains(site), "site {site} missing from report:\n{stdout}");
+    }
+}
+
+#[test]
+fn without_check_the_fixture_still_reports_but_exits_zero() {
+    let out = lint(&fixture_root(), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "report mode never fails the build:\n{stdout}");
+    assert!(stdout.contains("diagnostic(s)"), "{stdout}");
+}
+
+#[test]
+fn rule_filter_restricts_the_report() {
+    let out = lint(&fixture_root(), &["--check", "--rule", "D2"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success());
+    assert!(stdout.contains("wall-clock"), "{stdout}");
+    assert!(!stdout.contains("unordered-iter"), "only the selected rule runs:\n{stdout}");
+}
+
+#[test]
+fn real_workspace_passes_check() {
+    let out = lint(&workspace_root(), &["--check"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the workspace must stay lint-clean — fix the finding or annotate with a reason:\n{stdout}"
+    );
+    assert!(stdout.contains("files clean"), "{stdout}");
+}
+
+#[test]
+fn list_rules_names_all_six() {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_alm-lint")).arg("--list-rules").output().expect("run alm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    for id in ["unordered-iter", "wall-clock", "rng-stream", "fault-vocab", "config-coverage", "lock-order"] {
+        assert!(stdout.contains(id), "rule {id} missing:\n{stdout}");
+    }
+}

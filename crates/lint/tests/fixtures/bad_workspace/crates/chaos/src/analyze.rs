@@ -1,0 +1,6 @@
+//! Fixture: chaos analyzer. Classifies `NodeCrash` but never names
+//! `FailureKind::TaskOom` — which makes the V1 seed in failure.rs fire.
+
+pub fn node_losses(kinds: &[FailureKind]) -> usize {
+    kinds.iter().filter(|k| matches!(k, FailureKind::NodeCrash)).count()
+}

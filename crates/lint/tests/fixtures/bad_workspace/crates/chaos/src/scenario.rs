@@ -1,0 +1,11 @@
+//! Fixture: chaos scenario vocabulary, fully lowered in-file (V1-clean).
+
+pub enum ChaosFault {
+    KillNode,
+}
+
+pub fn lower(f: &ChaosFault) -> u32 {
+    match f {
+        ChaosFault::KillNode => 0,
+    }
+}

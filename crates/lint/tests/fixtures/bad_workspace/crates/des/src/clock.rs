@@ -1,0 +1,6 @@
+//! Fixture: the seeded D2 violation — a wall-clock read inside the DES.
+
+pub fn elapsed_ms() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis() as u64
+}

@@ -1,0 +1,11 @@
+//! Fixture: sim-side fault lowering (names `Fault::CrashNode` for V1).
+
+pub enum SimFault {
+    Crash,
+}
+
+pub fn lower(f: Fault) -> SimFault {
+    match f {
+        Fault::CrashNode => SimFault::Crash,
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: config surface. `heartbeat_interval_ms` is validated but never
+//! pinned by `scaled_for_tests()` — the seeded C1 violation.
+
+pub struct YarnConfig {
+    pub node_heap_bytes: u64,
+    pub heartbeat_interval_ms: u64,
+}
+
+impl YarnConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node_heap_bytes == 0 {
+            return Err("node_heap_bytes must be nonzero".into());
+        }
+        if self.heartbeat_interval_ms == 0 {
+            return Err("heartbeat_interval_ms must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    pub fn scaled_for_tests() -> YarnConfig {
+        YarnConfig { node_heap_bytes: 1024, ..Default::default() }
+    }
+}

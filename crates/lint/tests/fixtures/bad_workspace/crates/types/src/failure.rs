@@ -1,0 +1,11 @@
+//! Fixture: fault vocabulary. `FailureKind::TaskOom` is deliberately never
+//! named in the chaos-analyzer group — the seeded V1 violation.
+
+pub enum Fault {
+    CrashNode,
+}
+
+pub enum FailureKind {
+    NodeCrash,
+    TaskOom,
+}

@@ -1,0 +1,354 @@
+//! Per-rule corpus tests: for each rule, a minimal violating source, the
+//! clean counterparts, and the annotation escape hatch — all run through the
+//! library API on in-memory workspaces so the behavior is pinned at the
+//! precision of a single line.
+
+use alm_lint::rules::{
+    ConfigCoverage, EnumCoverage, FaultVocab, LockOrder, Randomness, Rule, UnorderedIter, WallClock,
+};
+use alm_lint::{Linter, Workspace};
+
+fn run(rule: Box<dyn Rule>, sources: &[(&str, &str)]) -> Vec<alm_lint::Diagnostic> {
+    Linter::with_rules(vec![rule]).run(&Workspace::from_sources(sources))
+}
+
+// ---------------- D1 unordered-iter ----------------
+
+const D1_STRUCT: &str = "use std::collections::HashMap;\n\
+                         pub struct S {\n    pub m: HashMap<u32, u32>,\n}\n";
+
+#[test]
+fn d1_flags_hash_order_escaping() {
+    let src = format!(
+        "{D1_STRUCT}impl S {{\n    pub fn order(&self) -> Vec<u32> {{\n        \
+         self.m.keys().copied().collect()\n    }}\n}}\n"
+    );
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/sim/src/a.rs", &src)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "D1");
+    assert!(diags[0].message.contains('m'));
+}
+
+#[test]
+fn d1_ignores_out_of_scope_crates() {
+    let src = format!(
+        "{D1_STRUCT}impl S {{\n    pub fn order(&self) -> Vec<u32> {{\n        \
+         self.m.keys().copied().collect()\n    }}\n}}\n"
+    );
+    // crates/metrics is not a deterministic crate.
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/metrics/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d1_sorted_collect_is_clean() {
+    let src = format!(
+        "{D1_STRUCT}impl S {{\n    pub fn sorted(&self) -> Vec<u32> {{\n        \
+         let mut ks: Vec<u32> = self.m.keys().copied().collect();\n        \
+         ks.sort_unstable();\n        ks\n    }}\n}}\n"
+    );
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/des/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d1_order_insensitive_tail_is_clean() {
+    let src = format!(
+        "{D1_STRUCT}impl S {{\n    pub fn total(&self) -> usize {{\n        \
+         self.m.keys().count()\n    }}\n    pub fn peak(&self) -> Option<u32> {{\n        \
+         self.m.values().copied().max()\n    }}\n}}\n"
+    );
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/core/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d1_btree_collect_is_clean() {
+    let src = format!(
+        "{D1_STRUCT}impl S {{\n    pub fn stable(&self) -> std::collections::BTreeSet<u32> {{\n        \
+         self.m.keys().copied().collect::<BTreeSet<u32>>()\n    }}\n}}\n"
+    );
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/chaos/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d1_for_loop_over_hash_collection_is_flagged() {
+    let src = format!(
+        "{D1_STRUCT}impl S {{\n    pub fn visit(&self) {{\n        \
+         for k in &self.m {{\n            observe(k);\n        }}\n    }}\n}}\n"
+    );
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/types/src/a.rs", &src)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+}
+
+#[test]
+fn d1_allow_with_reason_suppresses_without_reason_does_not() {
+    let with_reason = format!(
+        "{D1_STRUCT}impl S {{\n    pub fn order(&self) -> Vec<u32> {{\n        \
+         // alm-lint: allow(unordered-iter) — order folded into a set downstream\n        \
+         self.m.keys().copied().collect()\n    }}\n}}\n"
+    );
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/sim/src/a.rs", &with_reason)]);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    let without = with_reason.replace(" — order folded into a set downstream", "");
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/sim/src/a.rs", &without)]);
+    // A reasonless allow suppresses nothing AND is itself a hygiene finding.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().any(|d| d.code == "A0"));
+    assert!(diags.iter().any(|d| d.code == "D1"));
+}
+
+#[test]
+fn d1_skips_test_code() {
+    let src = format!(
+        "{D1_STRUCT}#[cfg(test)]\nmod tests {{\n    fn order(s: &super::S) -> Vec<u32> {{\n        \
+         s.m.keys().copied().collect()\n    }}\n}}\n"
+    );
+    let diags = run(Box::new(UnorderedIter::default()), &[("crates/sim/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------- D2 wall-clock ----------------
+
+const D2_SRC: &str = "pub fn elapsed() -> u64 {\n    let t = std::time::Instant::now();\n    \
+                      t.elapsed().as_millis() as u64\n}\n";
+
+#[test]
+fn d2_flags_wall_clock_outside_runtime() {
+    let diags = run(Box::new(WallClock::default()), &[("crates/des/src/a.rs", D2_SRC)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "D2");
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn d2_runtime_engine_is_exempt() {
+    let diags = run(Box::new(WallClock::default()), &[("crates/runtime/src/a.rs", D2_SRC)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d2_test_code_may_time_itself() {
+    let src = format!("#[cfg(test)]\nmod tests {{\n{D2_SRC}}}\n");
+    let diags = run(Box::new(WallClock::default()), &[("crates/des/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------- D3 rng-stream ----------------
+
+#[test]
+fn d3_flags_ambient_entropy_even_in_tests() {
+    let src = "fn jitter() -> f64 {\n    rand::thread_rng().gen()\n}\n";
+    let diags = run(Box::new(Randomness), &[("crates/sim/tests/a.rs", src)]);
+    assert_eq!(diags.len(), 1, "unreplayable tests are still a finding: {diags:?}");
+    assert_eq!(diags[0].code, "D3");
+}
+
+#[test]
+fn d3_allow_with_reason_suppresses() {
+    let src = "fn port() -> u16 {\n    \
+               OsRng.next_u32() as u16 // alm-lint: allow(rng-stream) — ephemeral port pick, not replayed\n}\n";
+    let diags = run(Box::new(Randomness), &[("crates/runtime/src/a.rs", src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d3_string_and_comment_mentions_are_not_findings() {
+    let src = "// thread_rng is banned here\nfn f() -> &'static str {\n    \"use thread_rng\"\n}\n";
+    let diags = run(Box::new(Randomness), &[("crates/core/src/a.rs", src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------- V1 fault-vocab ----------------
+
+fn v1_rule() -> Box<FaultVocab> {
+    Box::new(FaultVocab {
+        enums: vec![EnumCoverage {
+            enum_name: "Fault",
+            decl_file: "crates/types/src/failure.rs",
+            groups: vec![("engine", vec!["crates/sim/src/engine.rs"])],
+        }],
+    })
+}
+
+const V1_DECL: &str = "pub enum Fault {\n    Alpha,\n    Beta,\n}\n";
+
+#[test]
+fn v1_flags_variant_missing_from_group() {
+    let engine =
+        "fn lower(f: Fault) {\n    match f {\n        Fault::Alpha => {}\n        _ => {}\n    }\n}\n";
+    let diags =
+        run(v1_rule(), &[("crates/types/src/failure.rs", V1_DECL), ("crates/sim/src/engine.rs", engine)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "V1");
+    assert!(diags[0].message.contains("Fault::Beta"));
+    assert_eq!(diags[0].line, 3, "reported at the variant declaration");
+}
+
+#[test]
+fn v1_prefix_of_longer_variant_does_not_count() {
+    // `Fault::AlphaExtra` must not satisfy `Fault::Alpha`.
+    let engine = "fn f() {\n    let _ = Fault::AlphaExtra;\n    let _ = Fault::Beta;\n}\n";
+    let diags =
+        run(v1_rule(), &[("crates/types/src/failure.rs", V1_DECL), ("crates/sim/src/engine.rs", engine)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("Fault::Alpha"));
+}
+
+#[test]
+fn v1_test_only_mentions_do_not_count() {
+    let engine = "fn f() {\n    let _ = Fault::Alpha;\n}\n\
+                  #[cfg(test)]\nmod tests {\n    fn g() {\n        let _ = Fault::Beta;\n    }\n}\n";
+    let diags =
+        run(v1_rule(), &[("crates/types/src/failure.rs", V1_DECL), ("crates/sim/src/engine.rs", engine)]);
+    assert_eq!(diags.len(), 1, "a variant only tests touch is still unhandled: {diags:?}");
+}
+
+#[test]
+fn v1_allow_at_variant_declaration_exempts() {
+    let decl = "pub enum Fault {\n    Alpha,\n    \
+                Beta, // alm-lint: allow(fault-vocab) — sim cannot express this\n}\n";
+    let engine = "fn f() {\n    let _ = Fault::Alpha;\n}\n";
+    let diags =
+        run(v1_rule(), &[("crates/types/src/failure.rs", decl), ("crates/sim/src/engine.rs", engine)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn v1_missing_anchor_file_is_itself_a_finding() {
+    // A rename must not silently disable the rule.
+    let diags = run(v1_rule(), &[("crates/sim/src/engine.rs", "fn f() {}\n")]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("not found"));
+}
+
+// ---------------- C1 config-coverage ----------------
+
+fn c1_rule() -> Box<ConfigCoverage> {
+    Box::new(ConfigCoverage {
+        decl_file: "crates/types/src/config.rs".to_string(),
+        struct_name: "Cfg".to_string(),
+        fns: vec!["validate".to_string(), "scaled_for_tests".to_string()],
+    })
+}
+
+#[test]
+fn c1_flags_field_unnamed_in_one_fn() {
+    let src = "pub struct Cfg {\n    pub heap: u64,\n    pub delay_ms: u64,\n}\n\
+               impl Cfg {\n    pub fn validate(&self) {\n        \
+               assert!(self.heap > 0);\n        assert!(self.delay_ms > 0);\n    }\n    \
+               pub fn scaled_for_tests() -> Cfg {\n        \
+               Cfg { heap: 1, ..Default::default() }\n    }\n}\n";
+    let diags = run(c1_rule(), &[("crates/types/src/config.rs", src)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "C1");
+    assert!(diags[0].message.contains("delay_ms"));
+    assert!(diags[0].message.contains("scaled_for_tests"));
+}
+
+#[test]
+fn c1_full_coverage_is_clean() {
+    let src = "pub struct Cfg {\n    pub heap: u64,\n    pub delay_ms: u64,\n}\n\
+               impl Cfg {\n    pub fn validate(&self) {\n        \
+               assert!(self.heap > 0);\n        assert!(self.delay_ms > 0);\n    }\n    \
+               pub fn scaled_for_tests() -> Cfg {\n        \
+               Cfg { heap: 1, delay_ms: 5 }\n    }\n}\n";
+    let diags = run(c1_rule(), &[("crates/types/src/config.rs", src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn c1_allow_at_field_declaration_exempts() {
+    let src = "pub struct Cfg {\n    pub heap: u64,\n    \
+               pub label: String, // alm-lint: allow(config-coverage) — cosmetic, no behavior\n}\n\
+               impl Cfg {\n    pub fn validate(&self) {\n        assert!(self.heap > 0);\n    }\n    \
+               pub fn scaled_for_tests() -> Cfg {\n        Cfg { heap: 1, ..Default::default() }\n    }\n}\n";
+    let diags = run(c1_rule(), &[("crates/types/src/config.rs", src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn c1_missing_fn_is_itself_a_finding() {
+    let src = "pub struct Cfg {\n    pub heap: u64,\n}\n\
+               impl Cfg {\n    pub fn validate(&self) {\n        assert!(self.heap > 0);\n    }\n}\n";
+    let diags = run(c1_rule(), &[("crates/types/src/config.rs", src)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("scaled_for_tests"));
+}
+
+// ---------------- L1 lock-order ----------------
+
+fn l1_rule() -> Box<LockOrder> {
+    Box::new(LockOrder { scopes: vec!["crates/runtime/src/".to_string()] })
+}
+
+const L1_STRUCT: &str = "use parking_lot::Mutex;\n\
+                         pub struct S {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n";
+
+#[test]
+fn l1_flags_opposite_order_acquisition() {
+    let src = format!(
+        "{L1_STRUCT}impl S {{\n    fn f(&self) {{\n        let ga = self.a.lock();\n        \
+         let gb = self.b.lock();\n    }}\n    fn g(&self) {{\n        let gb = self.b.lock();\n        \
+         let ga = self.a.lock();\n    }}\n}}\n"
+    );
+    let diags = run(l1_rule(), &[("crates/runtime/src/a.rs", &src)]);
+    assert_eq!(diags.len(), 2, "both sides of the inversion are sites: {diags:?}");
+    assert!(diags.iter().all(|d| d.code == "L1"));
+    assert!(diags[0].message.contains("->"), "{}", diags[0].message);
+}
+
+#[test]
+fn l1_consistent_order_is_clean() {
+    let src = format!(
+        "{L1_STRUCT}impl S {{\n    fn f(&self) {{\n        let ga = self.a.lock();\n        \
+         let gb = self.b.lock();\n    }}\n    fn g(&self) {{\n        let ga = self.a.lock();\n        \
+         let gb = self.b.lock();\n    }}\n}}\n"
+    );
+    let diags = run(l1_rule(), &[("crates/runtime/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l1_drop_releases_the_guard() {
+    let src = format!(
+        "{L1_STRUCT}impl S {{\n    fn f(&self) {{\n        let ga = self.a.lock();\n        \
+         drop(ga);\n        let gb = self.b.lock();\n    }}\n    fn g(&self) {{\n        \
+         let gb = self.b.lock();\n        let ga = self.a.lock();\n    }}\n}}\n"
+    );
+    let diags = run(l1_rule(), &[("crates/runtime/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l1_self_relock_is_a_cycle() {
+    let src = format!(
+        "{L1_STRUCT}impl S {{\n    fn f(&self) {{\n        let g1 = self.a.lock();\n        \
+         let g2 = self.a.lock();\n    }}\n}}\n"
+    );
+    let diags = run(l1_rule(), &[("crates/runtime/src/a.rs", &src)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("non-reentrant"));
+}
+
+#[test]
+fn l1_follows_calls_one_level_deep() {
+    let src = format!(
+        "{L1_STRUCT}impl S {{\n    fn outer(&self) {{\n        let ga = self.a.lock();\n        \
+         self.inner();\n    }}\n    fn inner(&self) {{\n        let ga = self.a.lock();\n    }}\n}}\n"
+    );
+    let diags = run(l1_rule(), &[("crates/runtime/src/a.rs", &src)]);
+    assert_eq!(diags.len(), 1, "holding `a` while calling a fn that locks `a`: {diags:?}");
+}
+
+#[test]
+fn l1_out_of_scope_crates_are_ignored() {
+    let src = format!(
+        "{L1_STRUCT}impl S {{\n    fn f(&self) {{\n        let g1 = self.a.lock();\n        \
+         let g2 = self.a.lock();\n    }}\n}}\n"
+    );
+    let diags = run(l1_rule(), &[("crates/metrics/src/a.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}

@@ -6,6 +6,8 @@
 //! (tables), which render both as aligned text for the console and as JSON
 //! for EXPERIMENTS.md bookkeeping.
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 pub mod series;
 pub mod stats;

@@ -21,6 +21,8 @@
 //! `YarnConfig::scaled_for_tests` shrink detection timeouts to milliseconds
 //! so whole failure/recovery cycles finish in tens of milliseconds.
 
+#![forbid(unsafe_code)]
+
 pub mod am;
 pub mod cluster;
 pub mod events;

@@ -889,14 +889,14 @@ impl Simulation {
         let Some(&src) = self.mof_loc.get(&m) else {
             // MOF unregistered (regenerating): clear the retry state and
             // wait for the map completion.
-            self.red_atts.get_mut(&attempt).unwrap().retry.remove(&m);
+            self.red_atts.get_mut(&attempt).expect("fetch retry for dead attempt").retry.remove(&m);
             return;
         };
         if self.nodes[src as usize].alive {
-            self.red_atts.get_mut(&attempt).unwrap().retry.remove(&m);
+            self.red_atts.get_mut(&attempt).expect("fetch retry for dead attempt").retry.remove(&m);
             self.pump_fetches(attempt);
         } else if self.regenerating.contains(&m) {
-            self.red_atts.get_mut(&attempt).unwrap().retry.remove(&m);
+            self.red_atts.get_mut(&attempt).expect("fetch retry for dead attempt").retry.remove(&m);
         } else {
             self.fetch_failed(attempt, m, src);
         }
@@ -996,7 +996,7 @@ impl Simulation {
         // One merge pass = read + write the spilled data.
         let bytes = self.qty.spilled_bytes.saturating_mul(2).max(1);
         let flow = self.start_flow(PoolRef::Disk(node), bytes, attempt, Purpose::MergePass);
-        self.red_atts.get_mut(&attempt).unwrap().flows.insert(flow);
+        self.red_atts.get_mut(&attempt).expect("merge pass for dead attempt").flows.insert(flow);
     }
 
     fn merge_pass_done(&mut self, attempt: AttemptId, flow: FlowId) {
@@ -1239,6 +1239,17 @@ impl Simulation {
     }
 
     fn fail_attempt(&mut self, attempt: AttemptId, kind: FailureKind) {
+        // Transient kinds are absorbed before they can fail an attempt:
+        // slow nodes keep heartbeating, partitioned fetches park, corrupt
+        // chunks re-fetch against their checksum. Recording one here would
+        // corrupt every downstream amplification count.
+        debug_assert!(
+            !matches!(
+                kind,
+                FailureKind::SlowNode | FailureKind::NetworkPartition | FailureKind::DataCorruption
+            ),
+            "transient kind {kind:?} must not be recorded as an attempt failure"
+        );
         let node = if attempt.task.is_reduce() {
             self.red_atts.get(&attempt).map(|a| a.node)
         } else {
@@ -1400,15 +1411,15 @@ impl Simulation {
             self.map_atts.iter().filter(|(_, a)| a.node == node && !a.dead).map(|(id, _)| *id).collect();
         dead_maps.sort_unstable();
         for &a in &dead_reds {
-            let att = self.red_atts.get_mut(&a).unwrap();
+            let att = self.red_atts.get_mut(&a).expect("attempt vanished mid-crash");
             att.dead = true;
-            let flows = sorted_flows(att);
-            for f in flows {
+            let flow_ids = sorted_flows(att);
+            for f in flow_ids {
                 self.abort_flow(f);
             }
         }
         for &a in &dead_maps {
-            self.map_atts.get_mut(&a).unwrap().dead = true;
+            self.map_atts.get_mut(&a).expect("attempt vanished mid-crash").dead = true;
             for f in self.flows_of(a) {
                 self.abort_flow(f);
             }
@@ -1428,12 +1439,12 @@ impl Simulation {
                 if att.dead {
                     continue;
                 }
-                let mut flows: Vec<FlowId> = att.flows.drain().collect();
-                flows.sort_unstable();
+                let mut drained: Vec<FlowId> = att.flows.drain().collect();
+                drained.sort_unstable();
                 att.phase = RedPhase::FcmWait;
                 att.gen += 1; // invalidate the in-flight CPU timer
                 att.cpu_done = false;
-                for f in flows {
+                for f in drained {
                     self.abort_flow(f);
                 }
                 self.try_start_fcm(a);
@@ -1480,7 +1491,9 @@ impl Simulation {
             }
         }
 
-        let lost_mofs: Vec<u32> = self.mof_loc.iter().filter(|(_, n)| **n == node).map(|(m, _)| *m).collect();
+        let mut lost_mofs: Vec<u32> =
+            self.mof_loc.iter().filter(|(_, n)| **n == node).map(|(m, _)| *m).collect();
+        lost_mofs.sort_unstable(); // report/regeneration order must not be hash order
 
         if self.env.alm.mode.sfm_enabled() {
             let lost_tasks: Vec<TaskId> = if self.env.alm.proactive_map_regen {
@@ -1560,12 +1573,13 @@ impl Simulation {
         let now = self.now_secs();
         // Progress per reduce task = best running attempt (0 if none).
         let mut progress: BTreeMap<u32, f64> = BTreeMap::new();
-        let atts: Vec<(AttemptId, f64, u32)> = self
+        let mut atts: Vec<(AttemptId, f64, u32)> = self
             .red_atts
             .iter()
             .filter(|(_, a)| !a.dead)
             .map(|(id, a)| (*id, self.red_progress(*id, a), a.node))
             .collect();
+        atts.sort_unstable_by_key(|(id, _, _)| *id); // kill-trigger order must not be hash order
         for (id, p, _) in &atts {
             let e = progress.entry(id.task.index).or_insert(0.0);
             *e = e.max(*p);
@@ -1600,22 +1614,24 @@ impl Simulation {
                 }
             }
         }
-        for (id, att) in self.map_atts.iter() {
-            if id.number == 0 && !att.dead {
-                if let Some(k) = self.maps[id.task.index as usize].kill_at {
-                    let p = match att.phase {
-                        MapPhase::Launching => 0.0,
-                        MapPhase::Reading => 0.15,
-                        MapPhase::Cpu => 0.5,
-                        MapPhase::Writing => 0.85,
-                    };
-                    if p >= k {
-                        to_kill.push(*id);
-                    }
+        let mut live_map_ids: Vec<AttemptId> =
+            self.map_atts.iter().filter(|(id, a)| id.number == 0 && !a.dead).map(|(id, _)| *id).collect();
+        live_map_ids.sort_unstable();
+        for id in live_map_ids {
+            let att = &self.map_atts[&id];
+            if let Some(k) = self.maps[id.task.index as usize].kill_at {
+                let p = match att.phase {
+                    MapPhase::Launching => 0.0,
+                    MapPhase::Reading => 0.15,
+                    MapPhase::Cpu => 0.5,
+                    MapPhase::Writing => 0.85,
+                };
+                if p >= k {
+                    to_kill.push(id);
                 }
             }
         }
-        to_kill.sort_unstable(); // map_atts is hashed; fail in a fixed order
+        to_kill.sort_unstable(); // reduce triggers collected above are unsorted
         for id in to_kill {
             // Clear the trigger so recovery attempts are not re-killed.
             if id.task.is_reduce() {
@@ -1650,7 +1666,7 @@ impl Simulation {
             let mut snapshots = snapshots;
             snapshots.sort_unstable_by_key(|(id, _)| *id);
             for (id, snap) in snapshots {
-                self.red_atts.get_mut(&id).unwrap().last_log_secs = now;
+                self.red_atts.get_mut(&id).expect("snapshot for dead attempt").last_log_secs = now;
                 let task = &mut self.reduces[id.task.index as usize];
                 // Never regress durable progress.
                 let keep = task.logged.as_ref().is_some_and(|old| {
@@ -1753,7 +1769,7 @@ impl Simulation {
             .collect();
         let mut timed_out: Vec<AttemptId> = Vec::new();
         for (id, blocked) in parked {
-            let att = self.red_atts.get_mut(&id).unwrap();
+            let att = self.red_atts.get_mut(&id).expect("parked attempt vanished");
             if blocked {
                 let since = *att.parked_since.get_or_insert(now);
                 if now - since > cap_secs {
@@ -1792,13 +1808,17 @@ impl Simulation {
         eprintln!("--- sim stall dump ({why}) at t={:.1}s ---", self.now_secs());
         eprintln!("queued maps: {}, queued reduces: {:?}", self.queued_maps.len(), self.queued_reduces);
         eprintln!("regenerating: {:?}", self.regenerating);
-        for (id, a) in &self.red_atts {
+        let mut reds: Vec<_> = self.red_atts.iter().collect();
+        reds.sort_unstable_by_key(|(id, _)| **id);
+        for (id, a) in reds {
             eprintln!(
                 "  red {id}: node={} mode={:?} phase={:?} pending={} active={} retry={:?} flows={} spill_out={} cpu_done={} dead={}",
                 a.node, a.mode, a.phase, a.pending.len(), a.active_fetches.len(), a.retry, a.flows.len(), a.spill_outstanding, a.cpu_done, a.dead
             );
         }
-        for (id, a) in &self.map_atts {
+        let mut maps: Vec<_> = self.map_atts.iter().collect();
+        maps.sort_unstable_by_key(|(id, _)| **id);
+        for (id, a) in maps {
             eprintln!("  map {id}: node={} phase={:?} dead={}", a.node, a.phase, a.dead);
         }
         let incomplete_m = self.maps.iter().filter(|m| !m.completed).count();

@@ -178,7 +178,7 @@ pub fn fig8(seed: u64) -> ExperimentReport {
             gains.push(improvement_pct(yarn.job_secs, alg.job_secs));
         }
         let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-        let at90 = *gains.last().unwrap();
+        let at90 = *gains.last().expect("nine failure points sampled");
         rep.note(format!(
             "{kind}: ALG improves job time by {avg:.1}% on average over 9 failure points ({at90:.1}% at 90%); failure-free reference {clean:.1}s"
         ));

@@ -17,6 +17,8 @@
 //! | [`trace`] | outputs: completion times, failures, progress timelines |
 //! | [`experiment`] | per-figure runners used by the bench harness |
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod experiment;
 pub mod quantities;

@@ -156,6 +156,12 @@ impl YarnConfig {
     /// A configuration scaled for fast in-process tests: small buffers and
     /// millisecond-scale detection timeouts, preserving all ratios that the
     /// recovery logic depends on.
+    ///
+    /// Every field is pinned explicitly (no `..Default::default()`): the
+    /// checked-in golden campaign reports were produced under these exact
+    /// values, so a later change to a Table I default must not silently
+    /// leak into the test-scale profile. The C1 config-coverage lint
+    /// enforces this.
     pub fn scaled_for_tests() -> Self {
         YarnConfig {
             map_heap_bytes: 4 * MB,
@@ -164,23 +170,52 @@ impl YarnConfig {
             dfs_replication: 2,
             dfs_block_size: 256 * KB,
             io_file_buffer_size: 8 * KB,
+            vmem_pmem_ratio: 2.1,
+            min_allocation_bytes: 1024 * MB,
+            max_allocation_bytes: 6144 * MB,
             heartbeat_interval_ms: 10,
             node_liveness_timeout_ms: 250,
             fetch_retries_per_source: 3,
             fetch_retry_delay_ms: 20,
             shuffle_wait_cap_ms: 5_000,
+            reducer_fetch_failure_fraction: 0.5,
             max_task_attempts: 8,
-            ..YarnConfig::default()
+            shuffle_buffer_fraction: 0.70,
+            merge_spill_fraction: 0.66,
         }
     }
 
     /// Basic sanity checks; returns a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
+        if self.map_heap_bytes == 0 || self.reduce_heap_bytes == 0 {
+            return Err("task heaps must be nonzero".into());
+        }
         if self.io_sort_factor < 2 {
             return Err("io.sort.factor must be >= 2".into());
         }
+        if self.dfs_replication == 0 {
+            return Err("dfs.replication must be >= 1".into());
+        }
         if self.dfs_block_size == 0 {
             return Err("dfs.block.size must be nonzero".into());
+        }
+        if self.io_file_buffer_size == 0 {
+            return Err("io.file.buffer.size must be nonzero".into());
+        }
+        if self.vmem_pmem_ratio < 1.0 {
+            return Err("vmem-pmem ratio must be >= 1".into());
+        }
+        if self.heartbeat_interval_ms == 0 {
+            return Err("heartbeat interval must be nonzero".into());
+        }
+        if self.fetch_retries_per_source == 0 {
+            return Err("fetch retries per source must be >= 1".into());
+        }
+        if self.fetch_retry_delay_ms == 0 {
+            return Err("a zero fetch retry delay is a hot retry loop".into());
+        }
+        if self.max_task_attempts == 0 {
+            return Err("max task attempts must be >= 1".into());
         }
         if !(0.0..=1.0).contains(&self.shuffle_buffer_fraction) {
             return Err("shuffle_buffer_fraction must be in [0,1]".into());
@@ -363,6 +398,40 @@ mod tests {
         let mut c = YarnConfig::default();
         c.shuffle_wait_cap_ms = c.node_liveness_timeout_ms;
         assert!(c.validate().is_err(), "wait cap must strictly exceed the liveness timeout");
+    }
+
+    #[test]
+    fn validation_covers_every_field() {
+        // One degenerate value per newly covered field; each must be caught.
+        for breakage in [
+            |c: &mut YarnConfig| c.map_heap_bytes = 0,
+            |c: &mut YarnConfig| c.reduce_heap_bytes = 0,
+            |c: &mut YarnConfig| c.dfs_replication = 0,
+            |c: &mut YarnConfig| c.io_file_buffer_size = 0,
+            |c: &mut YarnConfig| c.vmem_pmem_ratio = 0.5,
+            |c: &mut YarnConfig| c.heartbeat_interval_ms = 0,
+            |c: &mut YarnConfig| c.fetch_retries_per_source = 0,
+            |c: &mut YarnConfig| c.fetch_retry_delay_ms = 0,
+            |c: &mut YarnConfig| c.max_task_attempts = 0,
+        ] {
+            let mut c = YarnConfig::default();
+            breakage(&mut c);
+            assert!(c.validate().is_err(), "degenerate config accepted");
+        }
+    }
+
+    #[test]
+    fn scaled_profile_pins_every_field_to_its_golden_value() {
+        // The golden campaign reports were produced under this profile; the
+        // fields that happen to coincide with Table I must stay pinned even
+        // if the Table I defaults later change.
+        let c = YarnConfig::scaled_for_tests();
+        assert!((c.vmem_pmem_ratio - 2.1).abs() < 1e-9);
+        assert_eq!(c.min_allocation_bytes, 1024 * MB);
+        assert_eq!(c.max_allocation_bytes, 6144 * MB);
+        assert!((c.reducer_fetch_failure_fraction - 0.5).abs() < 1e-9);
+        assert!((c.shuffle_buffer_fraction - 0.70).abs() < 1e-9);
+        assert!((c.merge_spill_fraction - 0.66).abs() < 1e-9);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! real threaded runtime (`alm-runtime`) and the discrete-event simulator
 //! (`alm-sim`) can share one set of definitions.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod failure;
 pub mod id;

@@ -12,6 +12,8 @@
 //! Both forms are derived from the same constants so that shapes observed in
 //! the real engine carry over to the simulated one.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod record;
 pub mod reference;

@@ -57,6 +57,8 @@
 //! | [`metrics`] | `alm-metrics` | series, timelines, experiment reports |
 //! | [`chaos`] | `alm-chaos` | declarative fault campaigns + differential cross-engine validation |
 
+#![forbid(unsafe_code)]
+
 pub use alm_chaos as chaos;
 pub use alm_core as core;
 pub use alm_des as des;
