@@ -13,6 +13,7 @@
 //! | [`analyze`]  | amplification analyzer: temporal (repeated-failure chains, Figs. 3/10) and spatial (fetch-failure-infected reducers, Fig. 4 / Table II) metrics, JSON + text reports |
 //! | [`differential`] | differential validator: the same scenario on both engines at matched scale, asserting invariant agreement |
 //! | [`calibrate`]    | magnitude calibration: per-mode normalized-slowdown curves across engines, checked against recorded tolerance bands |
+//! | [`warehouse`]    | warehouse-scale bridge: scenarios lowered onto the `alm-sched` multi-tenant engine, per-tenant impact rows (faulted vs clean slowdown) and cross-tenant amplification |
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +23,7 @@ pub mod campaign;
 pub mod differential;
 pub mod scenario;
 pub mod space;
+pub mod warehouse;
 
 pub use analyze::{analyze_runtime, analyze_sim, EngineKind, ScenarioOutcome};
 pub use calibrate::{
@@ -32,3 +34,4 @@ pub use campaign::{CampaignReport, RuntimeCampaign, SimCampaign};
 pub use differential::{validate_at, validate_scenario, DifferentialReport, Invariant, MatchedScale};
 pub use scenario::{ChaosFault, ChaosScenario, LoweringProfile};
 pub use space::{FaultSpace, FaultWeights};
+pub use warehouse::{lower_warehouse, TenantImpactRow, WarehouseChaosCampaign};

@@ -4,6 +4,14 @@
 //! that can later cancel the event (lazily: cancelled entries are skipped at
 //! pop time). Events at the same instant pop in scheduling order, which
 //! makes whole simulations reproducible bit-for-bit.
+//!
+//! Cancellation leaves a dead entry in the heap; workloads that cancel
+//! heavily (the warehouse engine cancels every task a crashed node was
+//! running, and every SFM suspension) would otherwise grow the heap far
+//! beyond the live event count. When dead entries outnumber live ones
+//! (past a small floor) the heap is rebuilt from the live entries — an
+//! O(live) operation amortised against the cancellations that earned it,
+//! and invisible to event order.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -43,7 +51,13 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     popped: u64,
+    /// Dead entries still sitting in `heap` (cancelled, not yet skipped).
+    cancelled: u64,
 }
+
+/// Compaction floor: below this many dead entries a rebuild isn't worth
+/// the traversal, whatever the live count.
+const COMPACT_MIN_DEAD: u64 = 64;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -59,6 +73,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
+            cancelled: 0,
         }
     }
 
@@ -102,7 +117,18 @@ impl<E> EventQueue<E> {
     /// Cancel a scheduled event. Returns the payload if the event was still
     /// pending, `None` if it already fired or was already cancelled.
     pub fn cancel(&mut self, token: EventToken) -> Option<E> {
-        self.payloads.remove(&token.0)
+        let payload = self.payloads.remove(&token.0);
+        if payload.is_some() {
+            self.cancelled += 1;
+            self.maybe_compact();
+        }
+        payload
+    }
+
+    /// Heap entries, live and dead (diagnostic; compaction keeps this
+    /// within 2x of `len()` once past the compaction floor).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Whether a token is still pending.
@@ -134,7 +160,23 @@ impl<E> EventQueue<E> {
                 break;
             }
             self.heap.pop();
+            self.cancelled = self.cancelled.saturating_sub(1);
         }
+    }
+
+    /// Rebuild the heap from live entries once dead ones dominate. Entry
+    /// order is a pure function of `(time, seq)`, so a rebuild can never
+    /// change what pops next.
+    fn maybe_compact(&mut self) {
+        if self.cancelled < COMPACT_MIN_DEAD || self.cancelled <= self.payloads.len() as u64 {
+            return;
+        }
+        let live: Vec<Reverse<Entry>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|Reverse(e)| self.payloads.contains_key(&e.seq))
+            .collect();
+        self.heap = BinaryHeap::from(live);
+        self.cancelled = 0;
     }
 }
 
@@ -198,6 +240,45 @@ mod tests {
         let (t, e) = q.pop().unwrap();
         assert_eq!(e, "past");
         assert_eq!(t, SimTime::from_ms(100), "clamped to now");
+    }
+
+    #[test]
+    fn compaction_bounds_heap_growth() {
+        let mut q = EventQueue::new();
+        // Schedule 10k, cancel all but 10: without compaction the heap
+        // would keep ~10k entries until they surface.
+        let tokens: Vec<_> = (0..10_000u64).map(|ms| q.schedule_at(SimTime::from_ms(ms), ms)).collect();
+        for t in tokens.iter().skip(10) {
+            q.cancel(*t);
+        }
+        assert_eq!(q.len(), 10);
+        assert!(
+            q.heap_len() <= 2 * q.len() + COMPACT_MIN_DEAD as usize,
+            "heap={} live={}",
+            q.heap_len(),
+            q.len()
+        );
+        // The survivors still pop, in order.
+        let survivors: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(survivors, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_fifo_ties() {
+        // Same schedule with and without interleaved cancel pressure on
+        // unrelated events: the survivor sequence must be identical.
+        let run = |noise: bool| -> Vec<(u64, u64)> {
+            let mut q = EventQueue::new();
+            for i in 0..500u64 {
+                q.schedule_at(SimTime::from_ms(i % 7), i);
+                if noise {
+                    let t = q.schedule_at(SimTime::from_ms(3), 1_000_000 + i);
+                    q.cancel(t);
+                }
+            }
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_millis(), e))).collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     proptest! {

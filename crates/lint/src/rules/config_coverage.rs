@@ -1,12 +1,14 @@
-//! C1 `config-coverage`: every `YarnConfig` field is validated and pinned.
+//! C1 `config-coverage`: every config-struct field is validated and pinned.
 //!
-//! The config struct is the experiment surface: each field changes failure
+//! A config struct is the experiment surface: each field changes failure
 //! amplification behavior. A field that `validate()` never looks at is a
 //! field a campaign can silently set to nonsense (zero heap, 0ms retry
 //! delay); a field that `scaled_for_tests()` fills from `..Default::default()`
 //! is a field whose test-scale value drifts whenever the default moves,
 //! invalidating the checked-in golden reports. So: every field must be
-//! *named* in both functions.
+//! *named* in every required function. The rule is parameterized over
+//! `(decl_file, struct_name, fns)`, with registered instances for
+//! `YarnConfig`, `SchedConfig` and `TenantSpec`.
 
 use crate::diag::Diagnostic;
 use crate::source::{has_token, SourceFile};
@@ -24,10 +26,18 @@ pub struct ConfigCoverage {
 
 impl Default for ConfigCoverage {
     fn default() -> Self {
+        ConfigCoverage::of("crates/types/src/config.rs", "YarnConfig", &["validate", "scaled_for_tests"])
+    }
+}
+
+impl ConfigCoverage {
+    /// An instance of the rule pointed at one struct. `fns` are the
+    /// functions in the same file that must each name every field.
+    pub fn of(decl_file: &str, struct_name: &str, fns: &[&str]) -> ConfigCoverage {
         ConfigCoverage {
-            decl_file: "crates/types/src/config.rs".to_string(),
-            struct_name: "YarnConfig".to_string(),
-            fns: vec!["validate".to_string(), "scaled_for_tests".to_string()],
+            decl_file: decl_file.to_string(),
+            struct_name: struct_name.to_string(),
+            fns: fns.iter().map(|f| f.to_string()).collect(),
         }
     }
 }
@@ -42,7 +52,7 @@ impl Rule for ConfigCoverage {
     }
 
     fn description(&self) -> &'static str {
-        "every YarnConfig field is named in validate() and scaled_for_tests()"
+        "every config-struct field is named in its validate()/pinning functions"
     }
 
     fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
@@ -55,7 +65,7 @@ impl Rule for ConfigCoverage {
                 message: format!("config file declaring `{}` not found", self.struct_name),
             }];
         };
-        let fields = struct_fields(file, &self.struct_name);
+        let (fields, struct_line) = struct_fields(file, &self.struct_name);
         let mut out = Vec::new();
         if fields.is_empty() {
             out.push(Diagnostic {
@@ -68,7 +78,7 @@ impl Rule for ConfigCoverage {
             return out;
         }
         for fn_name in &self.fns {
-            let Some(body) = fn_body(file, fn_name) else {
+            let Some(body) = fn_body(file, fn_name, struct_line) else {
                 out.push(Diagnostic {
                     code: self.code(),
                     rule: self.id(),
@@ -101,16 +111,19 @@ impl Rule for ConfigCoverage {
     }
 }
 
-/// Public fields of `struct_name`: (name, 1-based declaration line).
-fn struct_fields(file: &SourceFile, struct_name: &str) -> Vec<(String, usize)> {
+/// Public fields of `struct_name` (name, 1-based declaration line), plus
+/// the 0-based line the struct itself is declared on.
+fn struct_fields(file: &SourceFile, struct_name: &str) -> (Vec<(String, usize)>, usize) {
     let header = format!("struct {struct_name}");
     let mut out = Vec::new();
+    let mut struct_line = 0usize;
     let mut depth: i64 = 0;
     let mut in_struct = false;
     for (idx, line) in file.code.iter().enumerate() {
         if !in_struct {
             if line.contains(&header) && line.contains('{') {
                 in_struct = true;
+                struct_line = idx;
                 for c in line.chars() {
                     match c {
                         '{' => depth += 1,
@@ -142,13 +155,16 @@ fn struct_fields(file: &SourceFile, struct_name: &str) -> Vec<(String, usize)> {
             break;
         }
     }
-    out
+    (out, struct_line)
 }
 
-/// The stripped body text of `fn <name>(…) { … }`, brace-matched.
-fn fn_body(file: &SourceFile, name: &str) -> Option<String> {
+/// The stripped body text of `fn <name>(…) { … }`, brace-matched. The
+/// search starts at `from` (the struct declaration line) so a file with
+/// several config structs resolves each struct's own `validate()` — impl
+/// blocks follow their struct in this codebase.
+fn fn_body(file: &SourceFile, name: &str, from: usize) -> Option<String> {
     let header = format!("fn {name}(");
-    let start = file.code.iter().position(|l| l.contains(&header))?;
+    let start = from + file.code.iter().skip(from).position(|l| l.contains(&header))?;
     let mut depth: i64 = 0;
     let mut opened = false;
     let mut body = String::new();

@@ -40,6 +40,12 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Randomness),
         Box::new(FaultVocab::default()),
         Box::new(ConfigCoverage::default()),
+        Box::new(ConfigCoverage::of(
+            "crates/sched/src/config.rs",
+            "SchedConfig",
+            &["validate", "scaled_for_tests"],
+        )),
+        Box::new(ConfigCoverage::of("crates/sched/src/config.rs", "TenantSpec", &["validate"])),
         Box::new(LockOrder::default()),
     ]
 }

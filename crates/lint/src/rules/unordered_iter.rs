@@ -64,7 +64,7 @@ pub struct UnorderedIter {
 impl Default for UnorderedIter {
     fn default() -> Self {
         UnorderedIter {
-            scopes: ["des", "sim", "core", "chaos", "types", "workloads"]
+            scopes: ["des", "sim", "core", "chaos", "types", "workloads", "sched"]
                 .iter()
                 .map(|c| format!("crates/{c}/src/"))
                 .collect(),

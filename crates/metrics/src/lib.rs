@@ -16,6 +16,6 @@ pub mod timeline;
 
 pub use report::ExperimentReport;
 pub use series::Series;
-pub use stats::Summary;
+pub use stats::{p50, p99, percentile, Summary};
 pub use table::TextTable;
 pub use timeline::Timeline;

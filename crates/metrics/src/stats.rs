@@ -49,6 +49,30 @@ pub fn slowdown_pct(baseline: f64, candidate: f64) -> f64 {
     -improvement_pct(baseline, candidate)
 }
 
+/// Nearest-rank percentile of `samples` (`p` in 0..=100). Sorts a copy —
+/// callers keep their ordering. Empty input yields 0; NaNs sort last.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank: the smallest value with at least p% of samples <= it.
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Median (50th percentile, nearest-rank).
+pub fn p50(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// Tail latency (99th percentile, nearest-rank).
+pub fn p99(samples: &[f64]) -> f64 {
+    percentile(samples, 99.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +105,17 @@ mod tests {
         assert_eq!(improvement_pct(0.0, 5.0), 0.0);
     }
 
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(p50(&v), 3.0);
+        assert_eq!(p99(&v), 5.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(p50(&[7.0]), 7.0);
+    }
+
     proptest! {
         #[test]
         fn mean_within_min_max(samples in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
@@ -88,6 +123,19 @@ mod tests {
             prop_assert!(s.min <= s.mean + 1e-9);
             prop_assert!(s.mean <= s.max + 1e-9);
             prop_assert!(s.std_dev >= 0.0);
+        }
+
+        #[test]
+        fn percentile_is_a_sample_and_monotone(
+            samples in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            lo in 0.0f64..100.0,
+            hi in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let a = percentile(&samples, lo);
+            let b = percentile(&samples, hi);
+            prop_assert!(samples.contains(&a));
+            prop_assert!(a <= b);
         }
     }
 }

@@ -1,0 +1,82 @@
+//! Integration-level determinism and scale acceptance for the warehouse
+//! engine.
+//!
+//! The whole subsystem's contract is that a `(spec, seed)` pair names one
+//! exact simulation: same events, same report bytes, on any machine, at
+//! any parallelism. These tests pin that contract at realistic scale —
+//! the unit tests inside the crate cover it on small topologies.
+
+use alm_sched::{run_seeds, SchedPolicyKind, WarehouseCampaign, WarehouseFault};
+use alm_types::RecoveryMode;
+
+/// The ISSUE acceptance campaign: 3 tenants, 8 concurrent jobs each, on a
+/// 200-node cluster, with a rack crash mid-flight.
+fn acceptance_200(policy: SchedPolicyKind, seed: u64) -> WarehouseCampaign {
+    WarehouseCampaign::synthetic(200, 3, 8, policy, RecoveryMode::SfmAlg, seed)
+        .with_fault(WarehouseFault::CrashRack { rack: 2, at_secs: 90.0 })
+}
+
+#[test]
+fn multi_tenant_campaign_is_byte_identical_across_runs() {
+    for policy in [SchedPolicyKind::Fifo, SchedPolicyKind::Capacity, SchedPolicyKind::Fair] {
+        let a = acceptance_200(policy, 7).run().expect("run a");
+        let b = acceptance_200(policy, 7).run().expect("run b");
+        assert_eq!(a.canonical_json(), b.canonical_json(), "{policy:?} must be reproducible");
+        assert!(a.succeeded(), "{policy:?} campaign must finish");
+    }
+}
+
+#[test]
+fn parallel_executor_is_thread_count_invariant() {
+    let make = |seed| acceptance_200(SchedPolicyKind::Fair, seed);
+    let seeds: Vec<u64> = (1..=6).collect();
+    let serial = run_seeds(make, &seeds, 1).expect("serial");
+    for threads in [2usize, 4, 8] {
+        let parallel = run_seeds(make, &seeds, threads).expect("parallel");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.canonical_json(), p.canonical_json(), "threads={threads} seed={}", s.seed);
+        }
+    }
+}
+
+/// ISSUE acceptance: the fixed-seed 1000-node / 3-tenant / 24-job campaign
+/// completes deterministically under both FIFO and fair policies.
+#[test]
+fn warehouse_1000_nodes_24_jobs_deterministic_under_fifo_and_fair() {
+    for policy in [SchedPolicyKind::Fifo, SchedPolicyKind::Fair] {
+        let mk = || {
+            WarehouseCampaign::synthetic(1000, 3, 8, policy, RecoveryMode::SfmAlg, 42)
+                .with_fault(WarehouseFault::CrashRack { rack: 3, at_secs: 120.0 })
+        };
+        let a = mk().run().expect("1000-node campaign");
+        let b = mk().run().expect("1000-node campaign");
+        assert_eq!(a.canonical_json(), b.canonical_json(), "{policy:?}");
+        assert_eq!(a.jobs.len(), 24);
+        assert!(a.succeeded(), "{policy:?}: all 24 jobs must finish");
+        // worker_nodes(): one of the 1000 is the master.
+        assert_eq!(a.nodes, 999);
+    }
+}
+
+/// Recovery-mode ordering must survive scale and multi-tenancy: on the
+/// crashed campaign, full treatment (SFM+ALG) cannot be slower than no
+/// treatment (baseline) for the tenant that ate the crash.
+#[test]
+fn recovery_modes_keep_their_ordering_at_scale() {
+    let slow = |mode: RecoveryMode| {
+        let r = WarehouseCampaign::synthetic(200, 3, 8, SchedPolicyKind::Fair, mode, 7)
+            .with_fault(WarehouseFault::CrashRack { rack: 2, at_secs: 90.0 })
+            .run()
+            .expect("run");
+        let rows = r.per_tenant_rows();
+        let hit = rows.iter().max_by(|a, b| a.failures.cmp(&b.failures)).expect("rows");
+        hit.mean_slowdown
+    };
+    let baseline = slow(RecoveryMode::Baseline);
+    let treated = slow(RecoveryMode::SfmAlg);
+    assert!(
+        treated <= baseline + 1e-9,
+        "SFM+ALG must not slow the wounded tenant down: treated={treated} baseline={baseline}"
+    );
+}

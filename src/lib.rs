@@ -56,6 +56,7 @@
 //! | [`types`] | `alm-types` | ids, configs (Table I), failure vocabulary |
 //! | [`metrics`] | `alm-metrics` | series, timelines, experiment reports |
 //! | [`chaos`] | `alm-chaos` | declarative fault campaigns + differential cross-engine validation |
+//! | [`sched`] | `alm-sched` | multi-tenant warehouse scheduler (FIFO / capacity / fair) over the DES |
 
 #![forbid(unsafe_code)]
 
@@ -65,6 +66,7 @@ pub use alm_des as des;
 pub use alm_dfs as dfs;
 pub use alm_metrics as metrics;
 pub use alm_runtime as runtime;
+pub use alm_sched as sched;
 pub use alm_shuffle as shuffle;
 pub use alm_sim as sim;
 pub use alm_types as types;
@@ -81,6 +83,10 @@ pub mod prelude {
     };
     pub use alm_runtime::am::run_job;
     pub use alm_runtime::{FaultPlan, JobDef, JobReport, MiniCluster};
+    pub use alm_sched::{
+        run_seeds, SchedConfig, SchedPolicyKind, TenantSpec, WarehouseCampaign, WarehouseFault,
+        WarehouseReport,
+    };
     pub use alm_sim::{ExperimentEnv, SimFault, SimJobSpec, Simulation};
     pub use alm_types::{
         AlmConfig, AttemptId, ClusterSpec, FailureKind, JobId, NodeId, RecoveryMode, ReplicationLevel,
