@@ -71,6 +71,24 @@ pub struct ScenarioOutcome {
     /// whose blocks were later lost does not) — `num_reduces` here means
     /// no MOF loss went unrecovered.
     pub partitions_committed: Option<u32>,
+    /// Rotten committed-output replicas the verified DFS read path skipped
+    /// over (each charged to the faulted scenario and queued for repair).
+    pub dfs_read_failovers: u32,
+    /// Payload bytes the DFS repair pipeline copied to restore the
+    /// replication level after corruption or node death.
+    pub dfs_repair_bytes: u64,
+    /// Corrupt replicas still present after post-job repair — the
+    /// `dfs-verified-read` invariant requires zero on succeeded runs.
+    pub dfs_corrupt_replicas: u32,
+}
+
+/// DFS replica-management counters for one runtime run, collected by the
+/// campaign harness after its verification reads and `repair()` pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfsAudit {
+    pub read_failovers: u32,
+    pub repair_bytes: u64,
+    pub corrupt_replicas: u32,
 }
 
 fn spatial_of(failures: impl Iterator<Item = (TaskId, FailureKind)>) -> usize {
@@ -135,6 +153,9 @@ pub fn analyze_sim(
         recoveries_bounded: None,
         output_verified: None,
         partitions_committed: None,
+        dfs_read_failovers: report.dfs_read_failovers,
+        dfs_repair_bytes: report.dfs_repair_bytes,
+        dfs_corrupt_replicas: report.dfs_corrupt_replicas,
     }
 }
 
@@ -151,6 +172,7 @@ pub fn analyze_runtime(
     profile: &LoweringProfile,
     output_verified: bool,
     partitions_committed: u32,
+    dfs: DfsAudit,
 ) -> ScenarioOutcome {
     ScenarioOutcome {
         scenario: scenario.name.clone(),
@@ -169,6 +191,9 @@ pub fn analyze_runtime(
         recoveries_bounded: Some(report.recoveries_bounded()),
         output_verified: Some(output_verified),
         partitions_committed: Some(partitions_committed),
+        dfs_read_failovers: dfs.read_failovers,
+        dfs_repair_bytes: dfs.repair_bytes,
+        dfs_corrupt_replicas: dfs.corrupt_replicas,
     }
 }
 

@@ -20,7 +20,7 @@ use alm_workloads::reference::{canonicalize, reference_output};
 use alm_workloads::{Record, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::analyze::{analyze_runtime, analyze_sim, EngineKind, ScenarioOutcome};
+use crate::analyze::{analyze_runtime, analyze_sim, DfsAudit, EngineKind, ScenarioOutcome};
 use crate::scenario::{ChaosScenario, LoweringProfile};
 use crate::space::FaultSpace;
 use crate::warehouse::TenantImpactRow;
@@ -154,10 +154,22 @@ impl RuntimeCampaign {
         let profile = LoweringProfile::runtime(self.nodes, cluster.racks(), self.ms_per_scenario_sec);
         let plan = scenario.lower(job.id, &profile);
         let report = run_job(cluster.clone(), job.clone(), plan);
+        // The oracle comparison reads every committed partition through the
+        // verified path: rotten replicas are detected here, charged as read
+        // failovers, and queued for repair...
         let verified =
             report.succeeded && Self::committed(&cluster, &job).is_some_and(|got| got == self.oracle());
+        // ...then the background repair pipeline runs to quiescence, and
+        // commit status is counted on the healed DFS.
+        cluster.dfs.repair();
         let partitions = Self::committed_partitions(&cluster, &job);
-        analyze_runtime(scenario, mode, &report, &profile, verified, partitions)
+        let stats = cluster.dfs.stats();
+        let dfs = DfsAudit {
+            read_failovers: stats.read_failovers as u32,
+            repair_bytes: stats.repair_bytes,
+            corrupt_replicas: cluster.dfs.corrupt_replica_count() as u32,
+        };
+        analyze_runtime(scenario, mode, &report, &profile, verified, partitions, dfs)
     }
 
     /// Every scenario under every mode.
@@ -354,6 +366,18 @@ impl CampaignReport {
                 if let Some(p) = o.partitions_committed {
                     fields.push(("partitions_committed", Value::U64(p as u64)));
                 }
+                // DFS replica-management counters appear only when a run
+                // actually exercised failover/repair, so golden files from
+                // campaigns without DfsBlock faults stay byte-identical.
+                if o.dfs_read_failovers > 0 {
+                    fields.push(("dfs_read_failovers", Value::U64(o.dfs_read_failovers as u64)));
+                }
+                if o.dfs_repair_bytes > 0 {
+                    fields.push(("dfs_repair_bytes", Value::U64(o.dfs_repair_bytes)));
+                }
+                if o.dfs_corrupt_replicas > 0 {
+                    fields.push(("dfs_corrupt_replicas", Value::U64(o.dfs_corrupt_replicas as u64)));
+                }
                 Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
             })
             .collect();
@@ -464,6 +488,9 @@ mod tests {
             recoveries_bounded: None,
             output_verified: None,
             partitions_committed: None,
+            dfs_read_failovers: 0,
+            dfs_repair_bytes: 0,
+            dfs_corrupt_replicas: 0,
         };
         let mut r = CampaignReport::new("unit", 1);
         r.extend(vec![

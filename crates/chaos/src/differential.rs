@@ -346,6 +346,61 @@ pub fn validate_at(
         });
     }
 
+    // Committed-output rot must be invisible to consumers: with up to
+    // R−1 replicas of a block corrupted, the verified read path serves
+    // clean bytes by failing over (charged to the faulted scenario as
+    // `dfs_read_failovers`), and the repair pipeline re-replicates until
+    // no corrupt replica remains — replication restored, repair bytes
+    // charged. Both engines must agree.
+    let dfs_rot: std::collections::BTreeSet<(u32, u32)> = scenario
+        .faults
+        .iter()
+        .filter_map(|f| match f {
+            crate::scenario::ChaosFault::CorruptData {
+                target: alm_types::CorruptTarget::DfsBlock { reduce_index, block },
+                ..
+            } => Some((*reduce_index, *block)),
+            _ => None,
+        })
+        .collect();
+    if !dfs_rot.is_empty() {
+        let want_failovers = dfs_rot.len() as u32;
+        let bad: Vec<String> = outcomes
+            .iter()
+            .filter(|o| {
+                let engine_ok = match o.engine {
+                    EngineKind::Runtime => {
+                        o.succeeded
+                            && o.output_verified == Some(true)
+                            && o.partitions_committed == Some(scale.num_reduces)
+                    }
+                    EngineKind::Simulator => o.succeeded,
+                };
+                !engine_ok
+                    || o.dfs_read_failovers < want_failovers
+                    || o.dfs_corrupt_replicas > 0
+                    || o.dfs_repair_bytes == 0
+            })
+            .map(|o| {
+                format!(
+                    "{}/{:?} (failovers {}, corrupt replicas {}, repair bytes {})",
+                    o.engine, o.mode, o.dfs_read_failovers, o.dfs_corrupt_replicas, o.dfs_repair_bytes
+                )
+            })
+            .collect();
+        invariants.push(Invariant {
+            name: "dfs-verified-read".into(),
+            passed: bad.is_empty(),
+            detail: if bad.is_empty() {
+                format!(
+                    "committed-output rot absorbed: ≥{want_failovers} read failover(s) served clean bytes and repair restored replication in both engines"
+                )
+            } else {
+                format!("rotten bytes surfaced or replication unrepaired under: {}", bad.join(", "))
+            },
+        });
+    }
+
     DifferentialReport { scenario: scenario.name.clone(), modes: modes.to_vec(), invariants, outcomes }
 }
 

@@ -25,7 +25,7 @@ pub mod scenario;
 pub mod space;
 pub mod warehouse;
 
-pub use analyze::{analyze_runtime, analyze_sim, EngineKind, ScenarioOutcome};
+pub use analyze::{analyze_runtime, analyze_sim, DfsAudit, EngineKind, ScenarioOutcome};
 pub use calibrate::{
     calibrate, calibration_suite, validate_calibrated, CalibrationReport, ModeCurve, SlowdownPoint,
     ToleranceBands,

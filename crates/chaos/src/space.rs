@@ -235,6 +235,9 @@ mod tests {
                             alm_types::CorruptTarget::AlgRecord { reduce_index, .. } => {
                                 assert!(*reduce_index < 20);
                             }
+                            alm_types::CorruptTarget::DfsBlock { reduce_index, .. } => {
+                                assert!(*reduce_index < 20);
+                            }
                         }
                     }
                 }

@@ -2,10 +2,10 @@
 //! tolerance): a network partition that heals inside the liveness window
 //! and checksummed data corruption must be absorbed by BOTH engines
 //! without node-loss declarations, map re-executions or retry-budget
-//! burn — the `transient-no-node-loss` and `corruption-bounded-recovery`
-//! invariants.
+//! burn — the `transient-no-node-loss`, `corruption-bounded-recovery`
+//! and `dfs-verified-read` invariants.
 
-use alm_chaos::{validate_scenario, ChaosFault, ChaosScenario};
+use alm_chaos::{validate_scenario, ChaosFault, ChaosScenario, EngineKind};
 use alm_types::{CorruptTarget, RecoveryMode};
 
 const MODES: &[RecoveryMode] = &[RecoveryMode::Baseline, RecoveryMode::SfmAlg];
@@ -50,6 +50,64 @@ fn corrupted_mof_chunk_recovers_bounded_in_both_engines() {
     for o in &report.outcomes {
         assert!(o.succeeded, "{o:?}");
         assert_eq!(o.spatial_amplification, 0, "corruption burned retry budget: {o:?}");
+    }
+}
+
+#[test]
+fn flapping_partition_keeps_retry_budget_across_heal_cycles() {
+    // Sever/heal the same link three times (ROADMAP gray-failures item).
+    // Each heal unparks the waiting fetches and the next sever re-parks
+    // them; the exponential fetch backoff caps at half the liveness
+    // window, so repeated cycles must never accumulate enough misses to
+    // burn the retry budget — zero FetchFailureLimit preemptions, zero
+    // node-loss declarations, zero map re-executions, in both engines.
+    let mut scenario = ChaosScenario::new("transient-flap");
+    for i in 0..3u32 {
+        let from = f64::from(i) * 15.0;
+        scenario =
+            scenario.with(ChaosFault::PartitionLink { a: 0, b: 2, from_secs: from, heal_secs: from + 10.0 });
+    }
+    let report = validate_scenario(&scenario, MODES);
+    assert!(report.ok(), "{}", report.render_text());
+    assert!(invariant(&report, "transient-no-node-loss").passed);
+    for o in &report.outcomes {
+        assert!(o.succeeded, "{o:?}");
+        assert_eq!(o.total_failures, 0, "flapping link burned the retry budget: {o:?}");
+        assert_eq!(o.node_loss_failures, 0, "flapping link declared a node lost: {o:?}");
+        assert_eq!(o.map_attempts, 5, "flapping link re-executed a map: {o:?}");
+        assert_eq!(o.spatial_amplification, 0, "flapping link preempted a reducer: {o:?}");
+    }
+}
+
+#[test]
+fn dfs_block_rot_fails_over_and_repairs_in_both_engines() {
+    // Rot one replica of two different reduces' committed output. The
+    // verified read path must serve clean bytes (runtime output stays
+    // oracle-identical), charge the failovers to the scenario, and end
+    // with replication restored — the `dfs-verified-read` invariant.
+    let scenario = ChaosScenario::new("dfs-rot")
+        .with(ChaosFault::CorruptData {
+            node: 1,
+            target: CorruptTarget::DfsBlock { reduce_index: 0, block: 0 },
+            at_secs: 30.0,
+        })
+        .with(ChaosFault::CorruptData {
+            node: 3,
+            target: CorruptTarget::DfsBlock { reduce_index: 2, block: 0 },
+            at_secs: 45.0,
+        });
+    let report = validate_scenario(&scenario, MODES);
+    assert!(report.ok(), "{}", report.render_text());
+    assert!(invariant(&report, "dfs-verified-read").passed);
+    for o in &report.outcomes {
+        assert!(o.succeeded, "{o:?}");
+        assert!(o.dfs_read_failovers >= 2, "both rotten replicas must be detected: {o:?}");
+        assert_eq!(o.dfs_corrupt_replicas, 0, "repair left a rotten replica: {o:?}");
+        assert!(o.dfs_repair_bytes > 0, "repair copied no bytes: {o:?}");
+        if o.engine == EngineKind::Runtime {
+            assert_eq!(o.output_verified, Some(true), "rotten bytes reached the reader: {o:?}");
+            assert_eq!(o.partitions_committed, Some(3), "{o:?}");
+        }
     }
 }
 

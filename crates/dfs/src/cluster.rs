@@ -1,5 +1,18 @@
-//! The DFS itself: files → blocks → replicas, with liveness semantics.
+//! The DFS itself: files → blocks → per-replica checksummed copies.
+//!
+//! Every replica stores its *own* CRC32-framed copy of the block payload
+//! (the [`alm_shuffle::frame`] format), so corruption is a per-replica
+//! event: a verified read detects a rotten replica, fails over to a
+//! healthy one, and queues the block for re-replication; only when every
+//! live replica fails its checksum does the read surface an error — and a
+//! *distinct* one ([`DfsError::AllReplicasCorrupt`]) from the
+//! no-live-replica case ([`DfsError::BlockUnavailable`]). A background
+//! style [`DfsCluster::repair`] pipeline restores the configured
+//! replication level after node death or detected rot, rack-aware via the
+//! same placement policy writes use, with per-repair byte accounting for
+//! the Fig. 13 replication-cost axis.
 
+use alm_shuffle::frame::{frame, unframe, FRAME_HEADER_LEN};
 use alm_types::{NodeId, ReplicationLevel};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -21,6 +34,14 @@ pub enum DfsError {
         path: String,
         block: usize,
     },
+    /// Every live replica of the block failed its checksum — the data is
+    /// *present* but rotten everywhere. Distinct from
+    /// [`DfsError::BlockUnavailable`]: the nodes are healthy, the bytes
+    /// are not, so retrying against liveness cannot help.
+    AllReplicasCorrupt {
+        path: String,
+        block: usize,
+    },
     /// No live node satisfied the placement request at all.
     NoLiveReplicaTarget,
 }
@@ -31,6 +52,9 @@ impl fmt::Display for DfsError {
             DfsError::NotFound(p) => write!(f, "dfs: not found: {p}"),
             DfsError::BlockUnavailable { path, block } => {
                 write!(f, "dfs: block {block} of {path} has no live replica")
+            }
+            DfsError::AllReplicasCorrupt { path, block } => {
+                write!(f, "dfs: every live replica of block {block} of {path} failed its checksum")
             }
             DfsError::NoLiveReplicaTarget => write!(f, "dfs: no live node to place replicas on"),
         }
@@ -64,10 +88,40 @@ impl DfsFileMeta {
     }
 }
 
+/// Repair and verified-read counters, for charging replica management to
+/// a scenario's cost ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DfsStats {
+    /// Rotten replicas skipped over by verified reads.
+    pub read_failovers: u64,
+    /// Blocks the repair pipeline re-replicated.
+    pub repaired_blocks: u64,
+    /// Payload bytes copied to new replicas by repair (the Fig. 13 axis).
+    pub repair_bytes: u64,
+}
+
+/// One replica: its host node and its own framed copy of the payload.
+/// Validity is computed from the bytes, never cached — the frame is truth.
+#[derive(Debug)]
+struct Replica {
+    node: NodeId,
+    framed: Bytes,
+}
+
+impl Replica {
+    fn healthy(&self) -> bool {
+        unframe(&self.framed).is_ok()
+    }
+}
+
 #[derive(Debug)]
 struct Block {
-    data: Bytes,
-    replicas: Vec<NodeId>,
+    /// Payload length (every replica frames the same logical bytes).
+    len: u64,
+    /// The level the block was written at — repair restores *this* level's
+    /// replica count, with the same rack-awareness.
+    level: ReplicationLevel,
+    replicas: Vec<Replica>,
 }
 
 #[derive(Debug)]
@@ -80,6 +134,10 @@ struct Inner {
     files: BTreeMap<String, DfsFile>,
     blocks: BTreeMap<u64, Block>,
     alive: BTreeSet<NodeId>,
+    /// Blocks whose replication needs restoring: fed by verified-read
+    /// corruption detection and by node death; drained by `repair`.
+    repair_queue: BTreeSet<u64>,
+    stats: DfsStats,
 }
 
 /// A shared, thread-safe simulated HDFS instance.
@@ -87,18 +145,44 @@ pub struct DfsCluster {
     topo: Topology,
     block_size: u64,
     replication: u16,
+    verify_on_read: bool,
+    repair_concurrency: u32,
     inner: Mutex<Inner>,
     next_block: AtomicU64,
 }
 
 impl DfsCluster {
+    /// A cluster with the default policy: verified reads on, repair
+    /// concurrency 2 (the `YarnConfig` defaults).
     pub fn new(topo: Topology, block_size: u64, replication: u16) -> DfsCluster {
+        DfsCluster::with_policy(topo, block_size, replication, true, 2)
+    }
+
+    /// A cluster with explicit read-verification and repair-concurrency
+    /// policy. `verify_on_read: false` is the unsafe pre-checksum
+    /// behaviour (reads trust the first live replica), kept as an
+    /// experiment ablation.
+    pub fn with_policy(
+        topo: Topology,
+        block_size: u64,
+        replication: u16,
+        verify_on_read: bool,
+        repair_concurrency: u32,
+    ) -> DfsCluster {
         let alive = topo.nodes().collect();
         DfsCluster {
             topo,
             block_size: block_size.max(1),
             replication,
-            inner: Mutex::new(Inner { files: BTreeMap::new(), blocks: BTreeMap::new(), alive }),
+            verify_on_read,
+            repair_concurrency: repair_concurrency.max(1),
+            inner: Mutex::new(Inner {
+                files: BTreeMap::new(),
+                blocks: BTreeMap::new(),
+                alive,
+                repair_queue: BTreeSet::new(),
+                stats: DfsStats::default(),
+            }),
             next_block: AtomicU64::new(0),
         }
     }
@@ -111,13 +195,23 @@ impl DfsCluster {
         self.block_size
     }
 
-    /// Mark a node dead (crash) or alive (replacement).
+    /// Mark a node dead (crash) or alive (replacement). Death enqueues
+    /// every block with a replica on the node for repair; the replicas
+    /// themselves stay until repair decides, so a node that returns
+    /// before repair runs serves its copies again.
     pub fn set_node_alive(&self, node: NodeId, alive: bool) {
         let mut inner = self.inner.lock();
         if alive {
             inner.alive.insert(node);
         } else {
             inner.alive.remove(&node);
+            let hosted: Vec<u64> = inner
+                .blocks
+                .iter()
+                .filter(|(_, b)| b.replicas.iter().any(|r| r.node == node))
+                .map(|(id, _)| *id)
+                .collect();
+            inner.repair_queue.extend(hosted);
         }
     }
 
@@ -127,7 +221,12 @@ impl DfsCluster {
 
     /// Write (or overwrite) a file from `writer` at the given replication
     /// level. Data is split into blocks; each block gets its own replica
-    /// set per the placement policy.
+    /// set per the placement policy, and each replica its own framed copy.
+    ///
+    /// The overwrite is atomic: every block is staged and placed first,
+    /// and the previous version is swapped out only after the whole new
+    /// version is placeable. A placement failure leaves the old version
+    /// readable and leaks no blocks.
     pub fn write(
         &self,
         path: &str,
@@ -139,44 +238,101 @@ impl DfsCluster {
         if inner.alive.is_empty() {
             return Err(DfsError::NoLiveReplicaTarget);
         }
-        // Drop any previous version's blocks.
-        if let Some(old) = inner.files.remove(path) {
-            for b in old.blocks {
-                inner.blocks.remove(&b);
-            }
-        }
         let len = data.len() as u64;
         let nblocks = (len.div_ceil(self.block_size)).max(1) as usize;
-        let mut blocks = Vec::with_capacity(nblocks);
+        let mut staged: Vec<(u64, Block)> = Vec::with_capacity(nblocks);
         let mut replicas_meta = Vec::with_capacity(nblocks);
         for i in 0..nblocks {
             let start = (i as u64 * self.block_size) as usize;
             let end = (((i + 1) as u64 * self.block_size) as usize).min(data.len());
             let chunk = data.slice(start..end);
             let id = self.next_block.fetch_add(1, Ordering::Relaxed);
-            let replicas = choose_replicas(&self.topo, writer, level, self.replication, &inner.alive, id);
-            if replicas.is_empty() {
+            let nodes = choose_replicas(&self.topo, writer, level, self.replication, &inner.alive, id);
+            if nodes.is_empty() {
+                // Nothing committed yet: the old version (if any) is intact.
                 return Err(DfsError::NoLiveReplicaTarget);
             }
-            replicas_meta.push(replicas.clone());
-            inner.blocks.insert(id, Block { data: chunk, replicas });
+            let framed = Bytes::from(frame(&chunk));
+            let replicas = nodes.iter().map(|&node| Replica { node, framed: framed.clone() }).collect();
+            replicas_meta.push(nodes);
+            staged.push((id, Block { len: chunk.len() as u64, level, replicas }));
+        }
+        // Every block placed — now swap: drop the previous version's blocks
+        // and commit the staged ones.
+        if let Some(old) = inner.files.remove(path) {
+            for b in old.blocks {
+                inner.blocks.remove(&b);
+                inner.repair_queue.remove(&b);
+            }
+        }
+        let mut blocks = Vec::with_capacity(nblocks);
+        for (id, block) in staged {
+            inner.blocks.insert(id, block);
             blocks.push(id);
         }
         inner.files.insert(path.to_string(), DfsFile { blocks, len });
         Ok(DfsFileMeta { path: path.to_string(), len, num_blocks: nblocks, replicas: replicas_meta })
     }
 
-    /// Read a whole file; fails if any block lost all live replicas.
+    /// Read a whole file, verifying each block replica's checksum (unless
+    /// verification is off). A rotten replica is skipped — counted as a
+    /// read failover and queued for repair — and the next live replica
+    /// serves the block. Fails with [`DfsError::AllReplicasCorrupt`] only
+    /// when every live replica of a block is rotten, and with
+    /// [`DfsError::BlockUnavailable`] when a block has no live replica.
     pub fn read(&self, path: &str) -> Result<Bytes, DfsError> {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
         let file = inner.files.get(path).ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let block_ids = file.blocks.clone();
         let mut out = Vec::with_capacity(file.len as usize);
-        for (i, bid) in file.blocks.iter().enumerate() {
+        for (i, bid) in block_ids.iter().enumerate() {
             let block = inner.blocks.get(bid).expect("file block must exist");
-            if !block.replicas.iter().any(|n| inner.alive.contains(n)) {
-                return Err(DfsError::BlockUnavailable { path: path.to_string(), block: i });
+            let mut chosen: Option<Bytes> = None;
+            let mut rotten_live = 0u64;
+            let mut any_live = false;
+            for r in &block.replicas {
+                if !inner.alive.contains(&r.node) {
+                    continue;
+                }
+                any_live = true;
+                if self.verify_on_read {
+                    // Verify every live replica, not just until one passes:
+                    // serving from the first clean copy while skipping the
+                    // scan would let rot on a later-ordered replica survive
+                    // unreported until the healthy copies die. The framed
+                    // bytes are already in memory, so the full scan is a
+                    // free read-triggered scrub.
+                    match unframe(&r.framed) {
+                        Ok(payload) => {
+                            if chosen.is_none() {
+                                chosen = Some(payload);
+                            }
+                        }
+                        Err(_) => rotten_live += 1,
+                    }
+                } else {
+                    // Ablation mode: trust the first live replica blindly.
+                    chosen = Some(if r.framed.len() >= FRAME_HEADER_LEN {
+                        r.framed.slice(FRAME_HEADER_LEN..)
+                    } else {
+                        Bytes::new()
+                    });
+                    break;
+                }
             }
-            out.extend_from_slice(&block.data);
+            if rotten_live > 0 {
+                inner.stats.read_failovers += rotten_live;
+                inner.repair_queue.insert(*bid);
+            }
+            match chosen {
+                Some(payload) => out.extend_from_slice(&payload),
+                None if any_live => {
+                    return Err(DfsError::AllReplicasCorrupt { path: path.to_string(), block: i });
+                }
+                None => {
+                    return Err(DfsError::BlockUnavailable { path: path.to_string(), block: i });
+                }
+            }
         }
         Ok(Bytes::from(out))
     }
@@ -197,6 +353,7 @@ impl DfsCluster {
             Some(f) => {
                 for b in f.blocks {
                     inner.blocks.remove(&b);
+                    inner.repair_queue.remove(&b);
                 }
                 true
             }
@@ -214,16 +371,159 @@ impl DfsCluster {
             .collect()
     }
 
-    /// Number of blocks that currently have no live replica.
+    /// Number of blocks with no live *healthy* replica — per-replica
+    /// truth: a block whose only live copies are rotten is lost for
+    /// reading even though the bytes exist.
     pub fn lost_block_count(&self) -> usize {
         let inner = self.inner.lock();
-        inner.blocks.values().filter(|b| !b.replicas.iter().any(|n| inner.alive.contains(n))).count()
+        inner
+            .blocks
+            .values()
+            .filter(|b| !b.replicas.iter().any(|r| inner.alive.contains(&r.node) && r.healthy()))
+            .count()
     }
 
-    /// Total bytes stored across all replicas (capacity accounting).
+    /// Total payload bytes stored across live, checksum-valid replicas
+    /// (capacity accounting). A corrupt replica is repair-pending, not
+    /// stored-healthy, so it does not count.
     pub fn stored_bytes(&self) -> u64 {
         let inner = self.inner.lock();
-        inner.blocks.values().map(|b| b.data.len() as u64 * b.replicas.len() as u64).sum()
+        inner
+            .blocks
+            .values()
+            .map(|b| {
+                let healthy =
+                    b.replicas.iter().filter(|r| inner.alive.contains(&r.node) && r.healthy()).count();
+                b.len * healthy as u64
+            })
+            .sum()
+    }
+
+    /// Stored replicas (on any node, live or dead) whose framed bytes fail
+    /// verification — what the `dfs-verified-read` invariant checks is
+    /// driven back to zero by repair.
+    pub fn corrupt_replica_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.blocks.values().map(|b| b.replicas.iter().filter(|r| !r.healthy()).count()).sum()
+    }
+
+    /// Blocks currently queued for re-replication.
+    pub fn repair_queue_len(&self) -> usize {
+        self.inner.lock().repair_queue.len()
+    }
+
+    /// Verified-read and repair counters.
+    pub fn stats(&self) -> DfsStats {
+        self.inner.lock().stats
+    }
+
+    /// Flip a payload byte in one stored replica of `path`'s block
+    /// `block_index` — the fault-injection hook behind
+    /// `CorruptTarget::DfsBlock`. Prefers the replica hosted on
+    /// `prefer_node` when one lives there, the first replica otherwise.
+    /// An out-of-range block index clamps to the last block so a sampled
+    /// fault always lands once the file exists. Returns false when the
+    /// file does not exist yet (the fault stays pending until commit).
+    pub fn corrupt_replica(&self, path: &str, block_index: usize, prefer_node: Option<NodeId>) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(file) = inner.files.get(path) else { return false };
+        let Some(&bid) = file.blocks.get(block_index.min(file.blocks.len().saturating_sub(1))) else {
+            return false;
+        };
+        let Some(block) = inner.blocks.get_mut(&bid) else { return false };
+        if block.replicas.is_empty() {
+            return false;
+        }
+        let idx = prefer_node.and_then(|n| block.replicas.iter().position(|r| r.node == n)).unwrap_or(0);
+        let mut bytes = block.replicas[idx].framed.to_vec();
+        if bytes.len() > FRAME_HEADER_LEN {
+            // Rot a payload byte: detected as a checksum mismatch, and the
+            // unverified-read ablation really does return rotten bytes.
+            bytes[FRAME_HEADER_LEN] ^= 0x40;
+        } else if bytes.len() >= FRAME_HEADER_LEN {
+            // Empty payload: rot the stored CRC instead.
+            bytes[4] ^= 0x40;
+        } else {
+            return false;
+        }
+        block.replicas[idx].framed = Bytes::from(bytes);
+        true
+    }
+
+    /// One repair pass: re-replicate up to `repair_concurrency` queued
+    /// blocks. Returns the number of queue entries processed (including
+    /// currently-unrepairable ones, which are dropped — a block whose
+    /// every replica is dead or rotten has no healthy source to copy
+    /// from). Call from a maintenance tick for background-style repair.
+    pub fn repair_step(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let take: Vec<u64> =
+            inner.repair_queue.iter().copied().take(self.repair_concurrency as usize).collect();
+        for id in &take {
+            inner.repair_queue.remove(id);
+        }
+        let processed = take.len();
+        for id in take {
+            self.repair_block(&mut inner, id);
+        }
+        processed
+    }
+
+    /// Drain the repair queue, restoring each block's replication level.
+    /// Returns the payload bytes copied to new replicas by this call.
+    pub fn repair(&self) -> u64 {
+        let before = self.stats().repair_bytes;
+        while self.repair_step() > 0 {}
+        self.stats().repair_bytes - before
+    }
+
+    /// Restore one block's replication: drop dead-node and rotten
+    /// replicas, then copy from a healthy live replica onto fresh nodes —
+    /// rack-aware relative to the source via the placement policy.
+    fn repair_block(&self, inner: &mut Inner, id: u64) {
+        let Inner { blocks, alive, stats, .. } = inner;
+        let Some(block) = blocks.get_mut(&id) else { return };
+        if !block.replicas.iter().any(|r| alive.contains(&r.node) && r.healthy()) {
+            return; // no healthy live source — unrepairable for now
+        }
+        block.replicas.retain(|r| alive.contains(&r.node) && r.healthy());
+        let want = block.level.replica_count(self.replication) as usize;
+        if block.replicas.len() >= want {
+            return;
+        }
+        let src = block.replicas[0].node;
+        let src_framed = block.replicas[0].framed.clone();
+        let holders: BTreeSet<NodeId> = block.replicas.iter().map(|r| r.node).collect();
+        let fresh: BTreeSet<NodeId> = alive.difference(&holders).copied().collect();
+        let targets = choose_replicas(&self.topo, src, block.level, self.replication, &fresh, id);
+        let mut copied = 0u64;
+        for node in targets {
+            if block.replicas.len() >= want {
+                break;
+            }
+            block.replicas.push(Replica { node, framed: src_framed.clone() });
+            copied += block.len;
+        }
+        if copied > 0 {
+            stats.repaired_blocks += 1;
+            stats.repair_bytes += copied;
+        }
+    }
+
+    /// Live, checksum-valid replica count of every block of `path`, in
+    /// block order — what "replication restored" means concretely.
+    pub fn healthy_replica_counts(&self, path: &str) -> Option<Vec<usize>> {
+        let inner = self.inner.lock();
+        let file = inner.files.get(path)?;
+        Some(
+            file.blocks
+                .iter()
+                .map(|bid| {
+                    let block = inner.blocks.get(bid).expect("file block must exist");
+                    block.replicas.iter().filter(|r| inner.alive.contains(&r.node) && r.healthy()).count()
+                })
+                .collect(),
+        )
     }
 }
 
@@ -338,5 +638,132 @@ mod tests {
             d.write("/f", Bytes::from_static(b"x"), NodeId(0), ReplicationLevel::Node),
             Err(DfsError::NoLiveReplicaTarget)
         );
+    }
+
+    #[test]
+    fn verified_read_fails_over_and_repair_restores_replication() {
+        let d = dfs(6, 2, 10);
+        let data = Bytes::from((0..25u8).collect::<Vec<u8>>());
+        d.write("/f", data.clone(), NodeId(0), ReplicationLevel::Rack).unwrap();
+        assert!(d.corrupt_replica("/f", 1, Some(NodeId(0))));
+        assert_eq!(d.corrupt_replica_count(), 1);
+
+        // The read never surfaces rotten bytes: it fails over past the
+        // corrupt replica and queues the block for repair.
+        assert_eq!(d.read("/f").unwrap(), data);
+        assert_eq!(d.stats().read_failovers, 1);
+        assert_eq!(d.repair_queue_len(), 1);
+        // Per-replica accounting: the rotten copy is repair-pending, not
+        // stored-healthy (3 blocks x 2 replicas x payload, minus block 1's
+        // rotten 10-byte copy).
+        assert_eq!(d.stored_bytes(), 50 - 10);
+
+        let copied = d.repair();
+        assert_eq!(copied, 10, "one 10-byte block re-replicated once");
+        assert_eq!(d.corrupt_replica_count(), 0);
+        assert_eq!(d.stats().repaired_blocks, 1);
+        assert_eq!(d.healthy_replica_counts("/f").unwrap(), vec![2, 2, 2]);
+        assert_eq!(d.stored_bytes(), 50);
+        assert_eq!(d.read("/f").unwrap(), data);
+    }
+
+    #[test]
+    fn corrupting_every_replica_is_a_checksum_failure_not_unavailable() {
+        let d = dfs(6, 2, 1024);
+        let meta = d.write("/f", Bytes::from_static(b"payload"), NodeId(0), ReplicationLevel::Rack).unwrap();
+        assert_eq!(d.healthy_replica_counts("/f").unwrap(), vec![2]);
+        for &n in &meta.replicas[0] {
+            assert!(d.corrupt_replica("/f", 0, Some(n)));
+        }
+        assert_eq!(d.corrupt_replica_count(), 2, "both replicas rotten");
+        assert!(matches!(d.read("/f"), Err(DfsError::AllReplicasCorrupt { block: 0, .. })));
+        assert_eq!(d.lost_block_count(), 1, "no healthy live replica left");
+    }
+
+    #[test]
+    fn repair_restores_replication_after_node_death() {
+        let d = dfs(6, 2, 1024);
+        let data = Bytes::from_static(b"progress");
+        let meta = d.write("/log", data.clone(), NodeId(0), ReplicationLevel::Rack).unwrap();
+        let holders = meta.replicas[0].clone();
+        d.set_node_alive(holders[1], false);
+        assert_eq!(d.repair_queue_len(), 1, "node death queues hosted blocks");
+
+        let copied = d.repair();
+        assert_eq!(copied, data.len() as u64);
+        assert_eq!(d.healthy_replica_counts("/log").unwrap(), vec![2]);
+        // The new replica is real: kill the surviving original holder and
+        // the file must still be readable from the repaired copy.
+        d.set_node_alive(holders[0], false);
+        d.repair();
+        assert_eq!(d.read("/log").unwrap(), data);
+    }
+
+    #[test]
+    fn repair_skips_unrepairable_blocks() {
+        let d = dfs(4, 2, 1024);
+        d.write("/log", Bytes::from_static(b"x"), NodeId(1), ReplicationLevel::Node).unwrap();
+        d.set_node_alive(NodeId(1), false);
+        assert_eq!(d.repair(), 0, "no healthy live source to copy from");
+        assert_eq!(d.repair_queue_len(), 0, "unrepairable entries are dropped, not spun on");
+        assert_eq!(d.lost_block_count(), 1);
+        // The dead node's replica was not discarded: the node returning
+        // makes the block readable again.
+        d.set_node_alive(NodeId(1), true);
+        assert!(d.is_available("/log"));
+    }
+
+    #[test]
+    fn failed_overwrite_keeps_old_version_and_leaks_nothing() {
+        let d = dfs(6, 2, 10);
+        let data = Bytes::from((0..25u8).collect::<Vec<u8>>());
+        d.write("/f", data.clone(), NodeId(1), ReplicationLevel::Rack).unwrap();
+        let before = d.stored_bytes();
+
+        // Node-level overwrite from a dead writer: placement fails.
+        d.set_node_alive(NodeId(0), false);
+        assert_eq!(
+            d.write("/f", Bytes::from_static(b"new"), NodeId(0), ReplicationLevel::Node),
+            Err(DfsError::NoLiveReplicaTarget)
+        );
+
+        // The old version is untouched and nothing leaked.
+        assert_eq!(d.read("/f").unwrap(), data);
+        assert_eq!(d.stored_bytes(), before, "failed overwrite must not change stored bytes");
+    }
+
+    #[test]
+    fn unverified_reads_return_rotten_bytes() {
+        // The ablation: with verification off, corruption flows straight
+        // through to the reader — the bug this module exists to fix.
+        let d = DfsCluster::with_policy(Topology::even(6, 2), 1024, 2, false, 2);
+        let data = Bytes::from_static(b"precious output bytes");
+        d.write("/f", data.clone(), NodeId(0), ReplicationLevel::Rack).unwrap();
+        d.corrupt_replica("/f", 0, Some(NodeId(0)));
+        let got = d.read("/f").unwrap();
+        assert_ne!(got, data, "unverified read serves the rotten replica");
+        assert_eq!(d.stats().read_failovers, 0);
+    }
+
+    #[test]
+    fn repair_is_rack_aware_for_cluster_level_blocks() {
+        let d = DfsCluster::new(Topology::even(8, 2), 1024, 2);
+        let meta = d.write("/f", Bytes::from_static(b"data"), NodeId(0), ReplicationLevel::Cluster).unwrap();
+        let holders = meta.replicas[0].clone();
+        assert!(!d.topology().same_rack(holders[0], holders[1]), "cluster level crosses racks");
+        // Kill the off-rack holder; repair must pick a fresh off-rack node
+        // relative to the surviving source.
+        d.set_node_alive(holders[1], false);
+        d.repair();
+        let counts = d.healthy_replica_counts("/f").unwrap();
+        assert_eq!(counts, vec![2]);
+        // Read back fine even after the whole source rack dies: the
+        // repaired replica must have landed off-rack.
+        let src_rack_peers: Vec<NodeId> =
+            d.topology().rack_peers(holders[0]).into_iter().chain([holders[0]]).collect();
+        for n in src_rack_peers {
+            d.set_node_alive(n, false);
+        }
+        assert!(d.is_available("/f"), "repair preserved cross-rack durability");
     }
 }

@@ -8,11 +8,15 @@
 //!
 //! * a rack [`topology::Topology`],
 //! * a rack-aware [`placement`] policy implementing the three levels,
-//! * a [`cluster::DfsCluster`] storing real bytes per block with replica
-//!   sets and node-liveness-dependent readability: crash a node and every
-//!   block whose only replicas lived there becomes unreadable — the
-//!   condition a recovering ReduceTask (and ALG's HDFS log lookup) runs
-//!   into.
+//! * a [`cluster::DfsCluster`] storing real bytes per block — each replica
+//!   holding its *own* CRC32-framed copy — with node-liveness-dependent
+//!   readability: crash a node and every block whose only replicas lived
+//!   there becomes unreadable — the condition a recovering ReduceTask
+//!   (and ALG's HDFS log lookup) runs into,
+//! * a verified read path that detects a rotten replica, fails over to a
+//!   healthy one, and queues re-replication, plus a [`DfsCluster::repair`]
+//!   pipeline restoring the configured replication level after node death
+//!   or corruption, with per-repair byte accounting ([`DfsStats`]).
 
 #![forbid(unsafe_code)]
 
@@ -20,6 +24,6 @@ pub mod cluster;
 pub mod placement;
 pub mod topology;
 
-pub use cluster::{DfsCluster, DfsError, DfsFileMeta};
+pub use cluster::{DfsCluster, DfsError, DfsFileMeta, DfsStats};
 pub use placement::choose_replicas;
 pub use topology::Topology;

@@ -93,6 +93,17 @@ impl Default for FaultVocab {
                     decl_file: "crates/sim/src/spec.rs",
                     groups: vec![("sim engine", vec!["crates/sim/src/engine.rs"])],
                 },
+                // CorruptData lowers per artifact: every corruption target —
+                // MOF partitions, ALG records, committed DFS blocks — must be
+                // handled by both engines' injection paths.
+                EnumCoverage {
+                    enum_name: "CorruptTarget",
+                    decl_file: "crates/types/src/failure.rs",
+                    groups: vec![
+                        ("sim corruption handling", vec!["crates/sim/src/engine.rs"]),
+                        ("runtime corruption injection", vec!["crates/runtime/src/am.rs"]),
+                    ],
+                },
             ],
         }
     }

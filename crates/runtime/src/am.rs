@@ -478,6 +478,16 @@ impl JobRunner {
                 self.corrupt_mof_blob(host, &mof, partition);
                 true
             }
+            CorruptTarget::DfsBlock { reduce_index, block } => {
+                if reduce_index >= self.job.num_reduces {
+                    return true;
+                }
+                // Rot one replica of the committed reduce output — prefer
+                // the copy hosted on the fault's victim node. False until
+                // the reduce commits; the fault stays pending.
+                let path = self.job.output_path(reduce_index);
+                self.cluster.dfs.corrupt_replica(&path, block as usize, Some(node))
+            }
             CorruptTarget::AlgRecord { reduce_index, seq } => {
                 if reduce_index >= self.job.num_reduces {
                     return true;
@@ -657,6 +667,22 @@ impl JobRunner {
                 }
                 TaskEvent::MapProgress { .. } => {}
             }
+        }
+
+        // The loop breaks the instant the last reduce commits, so a
+        // DfsBlock corruption aimed at committed output may still be
+        // pending — flush those now (and only those: firing leftover
+        // crash/partition faults after the job ended would change
+        // outcomes the job itself already decided).
+        let leftover: Vec<(NodeId, CorruptTarget, u64)> = self
+            .pending_corruptions
+            .iter()
+            .filter(|(_, t, _)| matches!(t, CorruptTarget::DfsBlock { .. }))
+            .copied()
+            .collect();
+        self.pending_corruptions.retain(|(_, t, _)| !matches!(t, CorruptTarget::DfsBlock { .. }));
+        for (n, t, _) in leftover {
+            let _ = self.apply_corruption(n, t);
         }
 
         // Tear down: cancel all still-running attempts and reap threads.

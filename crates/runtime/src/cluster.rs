@@ -130,7 +130,13 @@ impl MiniCluster {
     /// A cluster of `n` nodes over `racks` racks with the given config.
     pub fn new(n: u32, racks: u32, config: YarnConfig) -> MiniCluster {
         let topo = Topology::even(n, racks);
-        let dfs = Arc::new(DfsCluster::new(topo, config.dfs_block_size, config.dfs_replication));
+        let dfs = Arc::new(DfsCluster::with_policy(
+            topo,
+            config.dfs_block_size,
+            config.dfs_replication,
+            config.dfs_verify_on_read,
+            config.dfs_repair_concurrency,
+        ));
         let nodes = (0..n).map(|i| Arc::new(NodeHandle::new(NodeId(i)))).collect();
         MiniCluster { nodes, dfs, links: Arc::new(LinkTable::default()), config }
     }

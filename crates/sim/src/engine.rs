@@ -236,6 +236,11 @@ pub struct Simulation {
     /// chunk fails checksum validation. Consumed on observation (the
     /// high-priority regeneration rewrites clean bytes).
     corrupt_mofs: BTreeSet<(u32, u32)>,
+    /// Armed committed-output rot: `(reduce_index, block)` whose verified
+    /// read will detect a rotten replica, fail over, and re-replicate —
+    /// settled into the DFS counters at end of run, mirroring the chaos
+    /// harness's post-job verification read + `repair()` on the runtime.
+    corrupt_dfs_blocks: BTreeSet<(u32, u32)>,
     seed: u64,
     report: SimReport,
     rr: u32,
@@ -347,6 +352,7 @@ impl Simulation {
             faults_corrupt,
             severed: BTreeSet::new(),
             corrupt_mofs: BTreeSet::new(),
+            corrupt_dfs_blocks: BTreeSet::new(),
             seed,
             report: SimReport::default(),
             rr: 0,
@@ -1736,6 +1742,16 @@ impl Simulation {
                         None => {}
                     }
                 }
+                CorruptTarget::DfsBlock { reduce_index, block } => {
+                    match self.reduces.get(reduce_index as usize) {
+                        // The output exists only once the reduce committed.
+                        Some(r) if r.completed => {
+                            self.corrupt_dfs_blocks.insert((reduce_index, block));
+                        }
+                        Some(_) => keep.push((node, target, at)),
+                        None => {}
+                    }
+                }
             }
         }
         self.faults_corrupt = keep;
@@ -1841,6 +1857,51 @@ impl Simulation {
         }
     }
 
+    /// Mirror the runtime's post-job handling of committed-output rot.
+    ///
+    /// The event loop breaks the instant the last reduce commits, so a
+    /// `DfsBlock` corruption may still be pending — flush those whose
+    /// reduce did commit (like the runtime AM's post-loop flush), then
+    /// charge what the verified read + repair pipeline does per rotten
+    /// replica: one read failover, one block re-replicated (its payload
+    /// bytes copied). A single-replica output has nowhere to fail over
+    /// to, so its rotten copy stays corrupt and unrepaired. Background
+    /// work after job end: `job_secs` is never touched.
+    fn settle_dfs_corruption(&mut self) {
+        for (_, target, _) in std::mem::take(&mut self.faults_corrupt) {
+            if let CorruptTarget::DfsBlock { reduce_index, block } = target {
+                if self.reduces.get(reduce_index as usize).is_some_and(|r| r.completed) {
+                    self.corrupt_dfs_blocks.insert((reduce_index, block));
+                }
+            }
+        }
+        if self.corrupt_dfs_blocks.is_empty() {
+            return;
+        }
+        // Committed output replicates at the same level `output_flows` used.
+        let level = if self.env.alm.mode.logs_enabled() {
+            self.env.alm.log_replication
+        } else {
+            alm_types::ReplicationLevel::Cluster
+        };
+        let replicas = level.replica_count(self.env.yarn.dfs_replication);
+        let block_size = self.env.yarn.dfs_block_size.max(1);
+        let out_bytes = self.qty.reduce_out_bytes;
+        let nblocks = out_bytes.div_ceil(block_size).max(1);
+        for (_, block) in std::mem::take(&mut self.corrupt_dfs_blocks) {
+            // An out-of-range sampled block clamps to the last, like the
+            // runtime's `corrupt_replica`.
+            let idx = (block as u64).min(nblocks - 1);
+            let bytes = if idx == nblocks - 1 { out_bytes - idx * block_size } else { block_size };
+            if replicas >= 2 {
+                self.report.dfs_read_failovers += 1;
+                self.report.dfs_repair_bytes += bytes;
+            } else {
+                self.report.dfs_corrupt_replicas += 1;
+            }
+        }
+    }
+
     /// Run the simulation to completion.
     pub fn run(mut self) -> SimReport {
         // Initial dispatch: all maps queued; reduces wait for the first wave.
@@ -1893,6 +1954,7 @@ impl Simulation {
         if !self.report.succeeded {
             self.report.job_secs = self.now_secs();
         }
+        self.settle_dfs_corruption();
         // Close out the timelines with the final state.
         let end = self.report.job_secs;
         for r in 0..self.qty.num_reduces {

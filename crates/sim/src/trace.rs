@@ -41,6 +41,14 @@ pub struct SimReport {
     pub log_truncations: u32,
     /// Bytes moved across rack uplinks (replication / cross-rack shuffle).
     pub uplink_bytes: u64,
+    /// Rotten committed-output replicas a verified DFS read skipped over
+    /// (each also queued the block for re-replication).
+    pub dfs_read_failovers: u32,
+    /// Payload bytes the DFS repair pipeline copied to restore the
+    /// replication level (the Fig. 13 replica-management axis).
+    pub dfs_repair_bytes: u64,
+    /// Corrupt committed-output replicas still un-repaired at end of run.
+    pub dfs_corrupt_replicas: u32,
     /// Events processed (diagnostic).
     pub events: u64,
 }

@@ -81,6 +81,17 @@ pub struct YarnConfig {
     pub dfs_replication: u16,
     /// `dfs.block.size`, bytes.
     pub dfs_block_size: u64,
+    /// Whether DFS reads verify each block replica's CRC32 frame and fail
+    /// over to a healthy replica on a mismatch (HDFS-style end-to-end
+    /// checksums). Off, reads trust the first live replica — the unsafe
+    /// pre-checksum behaviour, kept as an experiment ablation.
+    pub dfs_verify_on_read: bool,
+    /// Maximum blocks the DFS re-replicates per repair pass — the
+    /// background repair pipeline's concurrency (HDFS's replication work
+    /// multiplier). Bounds how fast replication is restored after node
+    /// death or detected rot, trading repair traffic against recovery
+    /// latency.
+    pub dfs_repair_concurrency: u32,
     /// `io.file.buffer.size`, bytes.
     pub io_file_buffer_size: u64,
     /// `yarn.nodemanager.vmem-pmem-ratio`.
@@ -130,6 +141,8 @@ impl Default for YarnConfig {
             io_sort_factor: 100,
             dfs_replication: 2,
             dfs_block_size: 128 * MB,
+            dfs_verify_on_read: true,
+            dfs_repair_concurrency: 2,
             io_file_buffer_size: 8 * MB,
             vmem_pmem_ratio: 2.1,
             min_allocation_bytes: 1024 * MB,
@@ -169,6 +182,8 @@ impl YarnConfig {
             io_sort_factor: 10,
             dfs_replication: 2,
             dfs_block_size: 256 * KB,
+            dfs_verify_on_read: true,
+            dfs_repair_concurrency: 2,
             io_file_buffer_size: 8 * KB,
             vmem_pmem_ratio: 2.1,
             min_allocation_bytes: 1024 * MB,
@@ -198,6 +213,11 @@ impl YarnConfig {
         }
         if self.dfs_block_size == 0 {
             return Err("dfs.block.size must be nonzero".into());
+        }
+        if self.dfs_verify_on_read && self.dfs_repair_concurrency == 0 {
+            return Err(
+                "verify-on-read detects rot but a zero dfs repair concurrency can never heal it".into()
+            );
         }
         if self.io_file_buffer_size == 0 {
             return Err("io.file.buffer.size must be nonzero".into());
@@ -407,6 +427,7 @@ mod tests {
             |c: &mut YarnConfig| c.map_heap_bytes = 0,
             |c: &mut YarnConfig| c.reduce_heap_bytes = 0,
             |c: &mut YarnConfig| c.dfs_replication = 0,
+            |c: &mut YarnConfig| c.dfs_repair_concurrency = 0,
             |c: &mut YarnConfig| c.io_file_buffer_size = 0,
             |c: &mut YarnConfig| c.vmem_pmem_ratio = 0.5,
             |c: &mut YarnConfig| c.heartbeat_interval_ms = 0,
@@ -432,6 +453,8 @@ mod tests {
         assert!((c.reducer_fetch_failure_fraction - 0.5).abs() < 1e-9);
         assert!((c.shuffle_buffer_fraction - 0.70).abs() < 1e-9);
         assert!((c.merge_spill_fraction - 0.66).abs() < 1e-9);
+        assert!(c.dfs_verify_on_read, "golden reports assume verified DFS reads");
+        assert_eq!(c.dfs_repair_concurrency, 2);
     }
 
     #[test]

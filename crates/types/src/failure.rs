@@ -184,17 +184,24 @@ impl FailureReport {
     }
 }
 
-/// What a [`Fault::CorruptData`] injection flips bytes in: the two durable
-/// artifacts the recovery paths read back — shuffle MOF partitions and ALG
-/// analytics-log records. Both are CRC32-framed so corruption is *detected*
-/// (distinct checksum-mismatch error) and then *tolerated* (re-fetch /
-/// truncate-and-resume) instead of escalating.
+/// What a [`Fault::CorruptData`] injection flips bytes in: the durable
+/// artifacts the recovery paths read back — shuffle MOF partitions, ALG
+/// analytics-log records, and committed DFS output blocks. All three are
+/// CRC32-framed so corruption is *detected* (distinct checksum-mismatch
+/// error) and then *tolerated* (re-fetch / truncate-and-resume / replica
+/// failover + re-replication) instead of escalating.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CorruptTarget {
     /// One partition of map `map_index`'s MOF on the target node.
     MofPartition { map_index: u32, partition: u32 },
     /// The ALG log record with sequence `seq` of reduce `reduce_index`.
     AlgRecord { reduce_index: u32, seq: u64 },
+    /// One replica of block `block` of reduce `reduce_index`'s committed
+    /// output file on the DFS (the replica hosted on the fault's `node`
+    /// when one lives there, the first replica otherwise). A verified read
+    /// must fail over to a healthy replica and queue re-replication; only
+    /// rotting every replica may surface as a (checksum-failure) error.
+    DfsBlock { reduce_index: u32, block: u32 },
 }
 
 /// One planned fault, in engine-neutral terms (§V-A's injection
@@ -487,6 +494,11 @@ mod tests {
                 NodeId(4),
                 CorruptTarget::MofPartition { map_index: 3, partition: 1 },
                 250,
+            ))
+            .and(FaultPlan::corrupt_data(
+                NodeId(1),
+                CorruptTarget::DfsBlock { reduce_index: 2, block: 0 },
+                300,
             ));
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
