@@ -15,6 +15,11 @@
 //! spatial/temporal amplification or FCM attempts on any of the 80 runs
 //! fails the gate with a line-level diff; re-bless deliberately and
 //! review the golden diff in the PR.
+//!
+//! Every run also writes the ranked root-cause triage of the same 80
+//! outcomes to `triage_report.md` (override with `TRIAGE_REPORT_PATH`);
+//! CI uploads it as an artifact so a drifting gate comes with its own
+//! failure taxonomy attached.
 
 use alm_chaos::{CampaignReport, SimCampaign};
 
@@ -27,13 +32,23 @@ fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/campaign_gate.json")
 }
 
-fn run_campaign() -> String {
+/// Canonical JSON for the golden diff plus the triage markdown derived
+/// from the same outcomes.
+fn run_campaign() -> (String, String) {
     let (campaign, scenarios) = SimCampaign::golden_gate(SEED, SCENARIOS);
     let mut report = CampaignReport::new("campaign-gate", SEED);
     report.extend(campaign.run(&scenarios));
     let mut json = report.canonical_json();
     json.push('\n');
-    json
+    (json, report.triage().render_markdown())
+}
+
+/// Where the triage artifact lands: `TRIAGE_REPORT_PATH` if set, else
+/// `triage_report.md` in the working directory (what CI uploads).
+fn triage_path() -> std::path::PathBuf {
+    std::env::var_os("TRIAGE_REPORT_PATH")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("triage_report.md"))
 }
 
 /// First differing line between expected and actual, for a focused diff.
@@ -49,7 +64,13 @@ fn first_divergence(expected: &str, actual: &str) -> String {
 fn main() {
     let bless = std::env::args().any(|a| a == "--bless");
     let path = golden_path();
-    let actual = run_campaign();
+    let (actual, triage) = run_campaign();
+
+    let triage_to = triage_path();
+    match std::fs::write(&triage_to, &triage) {
+        Ok(()) => println!("campaign_gate: triage report written to {}", triage_to.display()),
+        Err(e) => eprintln!("campaign_gate: cannot write triage report {} ({e})", triage_to.display()),
+    }
 
     if bless {
         std::fs::create_dir_all(path.parent().expect("golden path has a parent")).expect("create golden dir");

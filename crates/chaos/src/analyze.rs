@@ -60,6 +60,9 @@ pub struct ScenarioOutcome {
     /// Fetched chunks that failed arrival-checksum validation and were
     /// transparently re-fetched (never charged to the retry budget).
     pub corruption_refetches: u32,
+    /// Fetch transfers dropped by gray-degraded links and transparently
+    /// re-fetched (never charged to the retry budget).
+    pub degraded_drops: u32,
     /// Runtime only: every analytics-log recovery stayed within one
     /// logging interval of work (vacuously true with no recoveries).
     pub recoveries_bounded: Option<bool>,
@@ -150,6 +153,7 @@ pub fn analyze_sim(
         map_attempts: report.map_attempts,
         node_loss_failures: report.failures.iter().filter(|f| counts_as_node_loss(f.kind)).count(),
         corruption_refetches: report.corruption_refetches,
+        degraded_drops: report.degraded_drops,
         recoveries_bounded: None,
         output_verified: None,
         partitions_committed: None,
@@ -188,6 +192,7 @@ pub fn analyze_runtime(
         map_attempts: report.map_attempts,
         node_loss_failures: report.failures.iter().filter(|f| counts_as_node_loss(f.kind)).count(),
         corruption_refetches: report.corruption_refetches,
+        degraded_drops: report.degraded_drops,
         recoveries_bounded: Some(report.recoveries_bounded()),
         output_verified: Some(output_verified),
         partitions_committed: Some(partitions_committed),

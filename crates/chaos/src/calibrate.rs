@@ -69,6 +69,31 @@ impl ToleranceBands {
         }
     }
 
+    /// The bands measured at [`MatchedScale::default`] over
+    /// [`transient_calibration_suite`] (see `EXPERIMENTS.md`, "Transient
+    /// calibration"). Worst per-mode gaps across 3 calibration runs (min
+    /// over 3 runtime repeats each): Baseline 2.38, Alg 0.40, Sfm 1.56,
+    /// SfmAlg 0.63. The tail comes from the partition scenarios: when a
+    /// parked fetch straddles one backoff window on a ~10 wall-ms runtime
+    /// job, the wait alone moves the normalized slowdown by 1–2.5x, while
+    /// the simulator rides out the same window against a ~8-virtual-second
+    /// job for ~1.0x. Corruption scenarios agree tightly (≤ 0.6 — one
+    /// re-fetched chunk in both clocks). Windows in the suite are kept
+    /// short (≤3 scenario seconds) to bound the structural gap; longer
+    /// windows are deliberately excluded (same clock-incommensurability
+    /// argument that excludes node crashes from the kill suite).
+    pub fn transient_measured() -> ToleranceBands {
+        ToleranceBands {
+            bands: vec![
+                (RecoveryMode::Baseline, 3.5),
+                (RecoveryMode::Alg, 3.5),
+                (RecoveryMode::Sfm, 3.5),
+                (RecoveryMode::SfmAlg, 3.5),
+            ],
+            default_band: 3.5,
+        }
+    }
+
     /// The band for `mode`.
     pub fn band(&self, mode: RecoveryMode) -> f64 {
         self.bands.iter().find(|(m, _)| *m == mode).map(|(_, b)| *b).unwrap_or(self.default_band)
@@ -198,6 +223,45 @@ pub fn calibration_suite() -> Vec<ChaosScenario> {
     ]
 }
 
+/// The transient calibration suite: short healed partitions (symmetric
+/// and asymmetric) and checksummed corruption. These are the absorbed
+/// fault classes — none may record a failure — so the magnitude claim is
+/// about *overhead*, not recovery cost: the normalized slowdown of riding
+/// out the window / re-fetching the chunk. Windows are kept short (≤3
+/// scenario seconds) to bound the structural clock gap documented on
+/// [`ToleranceBands::transient_measured`].
+pub fn transient_calibration_suite() -> Vec<ChaosScenario> {
+    use alm_types::{CorruptTarget, LinkDirection};
+    vec![
+        ChaosScenario::new("cal-partition-brief").with(ChaosFault::PartitionLink {
+            a: 0,
+            b: 2,
+            direction: LinkDirection::Both,
+            from_secs: 1.0,
+            heal_secs: 3.0,
+            flap: None,
+        }),
+        ChaosScenario::new("cal-partition-asym").with(ChaosFault::PartitionLink {
+            a: 1,
+            b: 3,
+            direction: LinkDirection::AToB,
+            from_secs: 1.0,
+            heal_secs: 3.0,
+            flap: None,
+        }),
+        ChaosScenario::new("cal-corrupt-mof").with(ChaosFault::CorruptData {
+            node: 1,
+            target: CorruptTarget::MofPartition { map_index: 1, partition: 1 },
+            at_secs: 1.0,
+        }),
+        ChaosScenario::new("cal-corrupt-alg").with(ChaosFault::CorruptData {
+            node: 2,
+            target: CorruptTarget::AlgRecord { reduce_index: 0, seq: 0 },
+            at_secs: 2.0,
+        }),
+    ]
+}
+
 /// Floor for wall-clock durations: the runtime reports whole milliseconds,
 /// so a sub-ms job must not divide by zero.
 const MIN_WALL_SECS: f64 = 0.001;
@@ -268,6 +332,26 @@ pub fn validate_calibrated(
     (report, calibration)
 }
 
+/// Calibrated magnitude validation of the *absorbed* fault classes: run
+/// [`transient_calibration_suite`] at `scale` and check each mode's worst
+/// cross-engine overhead gap against `bands` (typically
+/// [`ToleranceBands::transient_measured`]).
+pub fn validate_calibrated_transient(
+    modes: &[RecoveryMode],
+    scale: &MatchedScale,
+    bands: &ToleranceBands,
+    repeats: u32,
+) -> (DifferentialReport, CalibrationReport) {
+    let calibration = calibrate(&transient_calibration_suite(), modes, scale, repeats);
+    let report = DifferentialReport {
+        scenario: "transient-calibration-suite".into(),
+        modes: modes.to_vec(),
+        invariants: calibration.check(bands),
+        outcomes: Vec::new(),
+    };
+    (report, calibration)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +414,23 @@ mod tests {
         };
         let back: CalibrationReport = serde_json::from_str(&report.to_json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn transient_suite_contains_only_absorbed_faults() {
+        let suite = transient_calibration_suite();
+        assert!(suite.iter().any(|s| s.name.contains("partition")));
+        assert!(suite.iter().any(|s| s.name.contains("corrupt")));
+        for s in suite {
+            assert!(!s.faults.is_empty(), "{} is fault-free", s.name);
+            for f in &s.faults {
+                assert!(
+                    matches!(f, ChaosFault::PartitionLink { .. } | ChaosFault::CorruptData { .. }),
+                    "transient suite must hold only absorbed faults: {f:?}"
+                );
+                assert!(!f.produces_failures(), "absorbed fault may not produce failures: {f:?}");
+            }
+        }
     }
 
     #[test]

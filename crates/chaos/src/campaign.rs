@@ -305,6 +305,13 @@ impl CampaignReport {
         Some(t)
     }
 
+    /// Ranked root-cause triage over every outcome in the campaign (see
+    /// [`crate::triage`]): failure signatures grouped and ordered by
+    /// severity × blast radius, each with a remediation.
+    pub fn triage(&self) -> crate::triage::TriageReport {
+        crate::triage::triage(&self.outcomes)
+    }
+
     pub fn render_text(&self) -> String {
         let mut out = self.mode_table().render_text();
         if let Some(t) = self.tenant_table() {
@@ -357,6 +364,12 @@ impl CampaignReport {
                     ("node_loss_failures", Value::U64(o.node_loss_failures as u64)),
                     ("corruption_refetches", Value::U64(o.corruption_refetches as u64)),
                 ];
+                // Gray-link drops appear only when a run actually crossed a
+                // degraded link, so golden files from campaigns without
+                // DegradedLink faults stay byte-identical.
+                if o.degraded_drops > 0 {
+                    fields.push(("degraded_drops", Value::U64(o.degraded_drops as u64)));
+                }
                 if let Some(b) = o.recoveries_bounded {
                     fields.push(("recoveries_bounded", Value::Bool(b)));
                 }
@@ -485,6 +498,7 @@ mod tests {
             map_attempts: 5,
             node_loss_failures: 0,
             corruption_refetches: 0,
+            degraded_drops: 0,
             recoveries_bounded: None,
             output_verified: None,
             partitions_committed: None,

@@ -257,8 +257,9 @@ pub fn validate_at(
     // A network partition that heals inside the liveness window is the
     // transient trigger of §II-C's amplification: neither engine may
     // declare a node lost over it. When the scenario injects *only*
-    // transient faults (partitions, slow nodes — nothing that legitimately
-    // fails), the bar is higher still: zero map re-executions and zero
+    // transient faults (partitions, slow nodes, degraded links — nothing
+    // that legitimately fails), the bar is higher still: zero map
+    // re-executions and zero
     // failure records, in every recovery mode including Baseline. A crash
     // fault in the same scenario legitimises NodeCrash records, so the
     // check is skipped entirely in that mix.
@@ -278,6 +279,7 @@ pub fn validate_at(
                 f,
                 crate::scenario::ChaosFault::PartitionLink { .. }
                     | crate::scenario::ChaosFault::SlowNode { .. }
+                    | crate::scenario::ChaosFault::DegradedLink { .. }
             )
         });
         let bad: Vec<String> = outcomes
@@ -304,6 +306,72 @@ pub fn validate_at(
                 }
             } else {
                 format!("partition mistaken for node loss under: {}", bad.join(", "))
+            },
+        });
+    }
+
+    // An *asymmetric* partition is the half-open gray link: one direction
+    // cut, the reverse (and with it heartbeats) healthy. Absent a crash
+    // fault, neither engine may ever declare a node lost over it — the
+    // fetcher parks, the source keeps serving everyone else, and the run
+    // completes.
+    let has_asymmetric = scenario.faults.iter().any(|f| {
+        matches!(
+            f,
+            crate::scenario::ChaosFault::PartitionLink { direction, .. }
+                if *direction != alm_types::LinkDirection::Both
+        )
+    });
+    if has_asymmetric && !has_crash {
+        let bad: Vec<String> = outcomes
+            .iter()
+            .filter(|o| o.node_loss_failures > 0 || !o.succeeded)
+            .map(|o| {
+                format!(
+                    "{}/{:?} (succeeded {}, node_loss {})",
+                    o.engine, o.mode, o.succeeded, o.node_loss_failures
+                )
+            })
+            .collect();
+        invariants.push(Invariant {
+            name: "asymmetric-partition-no-node-loss".into(),
+            passed: bad.is_empty(),
+            detail: if bad.is_empty() {
+                "half-open link absorbed: both engines complete with zero node-lost declarations".into()
+            } else {
+                format!("asymmetric partition mistaken for node loss under: {}", bad.join(", "))
+            },
+        });
+    }
+
+    // A flapping link (bounded sever→heal cycles) is the backoff stress
+    // case: each heal re-pumps parked fetches and each re-sever parks them
+    // again, and the exponential-backoff retry budget must survive every
+    // cycle. When nothing else in the scenario can legitimately fail, no
+    // reducer may be preempted through FetchFailureLimit and no failure may
+    // be recorded at all, in either engine, in any mode.
+    let has_flap = scenario
+        .faults
+        .iter()
+        .any(|f| matches!(f, crate::scenario::ChaosFault::PartitionLink { flap: Some(_), .. }));
+    if has_flap && scenario.faults.iter().all(|f| !f.produces_failures()) {
+        let bad: Vec<String> = outcomes
+            .iter()
+            .filter(|o| !o.succeeded || o.spatial_amplification > 0 || o.total_failures > 0)
+            .map(|o| {
+                format!(
+                    "{}/{:?} (succeeded {}, spatial {}, failures {})",
+                    o.engine, o.mode, o.succeeded, o.spatial_amplification, o.total_failures
+                )
+            })
+            .collect();
+        invariants.push(Invariant {
+            name: "flap-backoff-budget".into(),
+            passed: bad.is_empty(),
+            detail: if bad.is_empty() {
+                "flap cycles absorbed: retry budget intact across every heal, zero preemptions and zero failures in both engines".into()
+            } else {
+                format!("flap cycles exhausted the retry budget under: {}", bad.join(", "))
             },
         });
     }

@@ -14,6 +14,7 @@
 //! | [`differential`] | differential validator: the same scenario on both engines at matched scale, asserting invariant agreement |
 //! | [`calibrate`]    | magnitude calibration: per-mode normalized-slowdown curves across engines, checked against recorded tolerance bands |
 //! | [`warehouse`]    | warehouse-scale bridge: scenarios lowered onto the `alm-sched` multi-tenant engine, per-tenant impact rows (faulted vs clean slowdown) and cross-tenant amplification |
+//! | [`triage`]       | ranked root-cause triage: outcomes grouped by failure signature (stuck → amplified → absorbed), ranked by severity × blast radius, each with a remediation |
 
 #![forbid(unsafe_code)]
 
@@ -23,15 +24,17 @@ pub mod campaign;
 pub mod differential;
 pub mod scenario;
 pub mod space;
+pub mod triage;
 pub mod warehouse;
 
 pub use analyze::{analyze_runtime, analyze_sim, DfsAudit, EngineKind, ScenarioOutcome};
 pub use calibrate::{
-    calibrate, calibration_suite, validate_calibrated, CalibrationReport, ModeCurve, SlowdownPoint,
-    ToleranceBands,
+    calibrate, calibration_suite, transient_calibration_suite, validate_calibrated,
+    validate_calibrated_transient, CalibrationReport, ModeCurve, SlowdownPoint, ToleranceBands,
 };
 pub use campaign::{CampaignReport, RuntimeCampaign, SimCampaign};
 pub use differential::{validate_at, validate_scenario, DifferentialReport, Invariant, MatchedScale};
-pub use scenario::{ChaosFault, ChaosScenario, LoweringProfile};
+pub use scenario::{ChaosFault, ChaosFlap, ChaosScenario, LoweringProfile};
 pub use space::{FaultSpace, FaultWeights};
+pub use triage::{triage, Severity, TriageGroup, TriageReport};
 pub use warehouse::{lower_warehouse, TenantImpactRow, WarehouseChaosCampaign};

@@ -9,8 +9,20 @@
 //! [`FaultPlan`] both engines consume (the simulator via
 //! `alm_sim::SimFault::lower_plan`, the threaded runtime directly).
 
-use alm_types::{CorruptTarget, Fault, FaultPlan, JobId, NodeId, TaskId};
+use alm_types::{CorruptTarget, Fault, FaultPlan, FlapSchedule, JobId, LinkDirection, NodeId, TaskId};
 use serde::{Deserialize, Serialize};
+
+/// A flapping-link schedule in scenario seconds: `cycles` bounded
+/// sever→heal windows starting `period_secs` apart, each staying down a
+/// seeded, jittered fraction of `down_secs`. Lowered to the engine-neutral
+/// [`FlapSchedule`] (milliseconds) by [`ChaosScenario::lower`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosFlap {
+    pub seed: u64,
+    pub cycles: u32,
+    pub period_secs: f64,
+    pub down_secs: f64,
+}
 
 /// One declarative fault. Times are in scenario seconds; the lowering
 /// profile decides what a scenario second means to each engine.
@@ -34,10 +46,35 @@ pub enum ChaosFault {
     /// placement both engines inherit from `Topology::even`.
     CrashRack { rack: u32, at_secs: f64 },
     /// Sever the data-plane link between two *alive, heartbeating* workers
-    /// from one scenario time until another. The transient half of §II-C:
-    /// a partition that heals inside the liveness window must not be
-    /// mistaken for node loss by either engine.
-    PartitionLink { a: u32, b: u32, from_secs: f64, heal_secs: f64 },
+    /// from one scenario time until another, in the given direction(s). The
+    /// transient half of §II-C: a partition that heals inside the liveness
+    /// window must not be mistaken for node loss by either engine. An
+    /// asymmetric direction leaves the reverse path (and heartbeats)
+    /// healthy; a `flap` schedule replaces the single window with bounded
+    /// sever→heal cycles (`heal_secs` is then advisory — the schedule's
+    /// final heal wins).
+    PartitionLink {
+        a: u32,
+        b: u32,
+        direction: LinkDirection,
+        from_secs: f64,
+        heal_secs: f64,
+        flap: Option<ChaosFlap>,
+    },
+    /// Gray-degrade the link between two alive workers: fetch transfers
+    /// crossing a degraded direction are stretched by `factor` and dropped
+    /// (then transparently re-fetched, never charged to the retry budget)
+    /// with probability `loss`. The canonical gray failure: slow and lossy,
+    /// but never dead.
+    DegradedLink {
+        a: u32,
+        b: u32,
+        direction: LinkDirection,
+        from_secs: f64,
+        heal_secs: f64,
+        factor: f64,
+        loss: f64,
+    },
     /// Rot one durable artifact (a MOF partition chunk or an analytics-log
     /// record) on a node at a scenario time. Arrival checksums catch it;
     /// recovery must stay bounded and never burn retry budget.
@@ -53,7 +90,10 @@ impl ChaosFault {
     pub fn produces_failures(&self) -> bool {
         !matches!(
             self,
-            ChaosFault::SlowNode { .. } | ChaosFault::PartitionLink { .. } | ChaosFault::CorruptData { .. }
+            ChaosFault::SlowNode { .. }
+                | ChaosFault::PartitionLink { .. }
+                | ChaosFault::DegradedLink { .. }
+                | ChaosFault::CorruptData { .. }
         )
     }
 }
@@ -188,15 +228,39 @@ impl ChaosScenario {
                         crash(&mut plan, NodeId(w), profile.to_ms(*at_secs));
                     }
                 }
-                ChaosFault::PartitionLink { a, b, from_secs, heal_secs } => {
+                ChaosFault::PartitionLink { a, b, direction, from_secs, heal_secs, flap } => {
                     let from_ms = profile.to_ms(*from_secs);
+                    let flap = flap.map(|f| FlapSchedule {
+                        seed: f.seed,
+                        cycles: f.cycles,
+                        period_ms: profile.to_ms(f.period_secs).max(2),
+                        down_ms: profile.to_ms(f.down_secs).max(1),
+                    });
                     plan.faults.push(Fault::PartitionLink {
                         a: node(*a),
                         b: node(*b),
+                        direction: *direction,
                         from_ms,
                         // A heal can never precede its sever, even if
-                        // rounding to engine milliseconds collapses them.
+                        // rounding to engine milliseconds collapses them;
+                        // with a flap schedule the final cycle's heal wins.
+                        heal_ms: match &flap {
+                            Some(f) => f.end_ms(from_ms),
+                            None => profile.to_ms(*heal_secs).max(from_ms),
+                        },
+                        flap,
+                    });
+                }
+                ChaosFault::DegradedLink { a, b, direction, from_secs, heal_secs, factor, loss } => {
+                    let from_ms = profile.to_ms(*from_secs);
+                    plan.faults.push(Fault::DegradedLink {
+                        a: node(*a),
+                        b: node(*b),
+                        direction: *direction,
+                        from_ms,
                         heal_ms: profile.to_ms(*heal_secs).max(from_ms),
+                        factor: factor.max(1.0),
+                        loss: loss.clamp(0.0, 1.0),
                     });
                 }
                 ChaosFault::CorruptData { node: n, target, at_secs } => {
@@ -209,6 +273,42 @@ impl ChaosScenario {
             }
         }
         plan
+    }
+
+    /// Validate the scenario's link faults under `profile`: for every
+    /// directed link touched by at least one *flapping* partition, the
+    /// lowered sever→heal windows must not overlap — an overlap would let
+    /// one window's heal erase another's cut, silently shortening the
+    /// outage both engines think they injected.
+    pub fn validate(&self, profile: &LoweringProfile) -> Result<(), String> {
+        let plan = self.lower(JobId(0), profile);
+        let mut flapping: std::collections::BTreeSet<(NodeId, NodeId)> = std::collections::BTreeSet::new();
+        for f in &plan.faults {
+            if let Fault::PartitionLink { a, b, direction, flap: Some(_), .. } = f {
+                flapping.extend(direction.directed_keys(*a, *b));
+            }
+        }
+        let mut by_link: std::collections::BTreeMap<(NodeId, NodeId), Vec<(u64, u64)>> = Default::default();
+        for w in plan.partition_windows() {
+            for key in w.direction.directed_keys(w.a, w.b) {
+                if flapping.contains(&key) {
+                    by_link.entry(key).or_default().push((w.from_ms, w.heal_ms));
+                }
+            }
+        }
+        for ((from, to), mut windows) in by_link {
+            windows.sort_unstable();
+            for pair in windows.windows(2) {
+                if pair[1].0 < pair[0].1 {
+                    return Err(format!(
+                        "scenario '{}': flap windows on link {from} → {to} overlap \
+                         ([{}, {}] ms vs [{}, {}] ms)",
+                        self.name, pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -330,7 +430,23 @@ mod tests {
             .with(ChaosFault::CrashNodeAtReduceProgress { node: 1, reduce_index: 5, at_progress: 0.1 })
             .with(ChaosFault::CrashRack { rack: 0, at_secs: 12.5 })
             .with(ChaosFault::SlowNode { node: 2, at_secs: 3.0, factor: 2.5 })
-            .with(ChaosFault::PartitionLink { a: 0, b: 3, from_secs: 2.0, heal_secs: 9.0 })
+            .with(ChaosFault::PartitionLink {
+                a: 0,
+                b: 3,
+                direction: LinkDirection::AToB,
+                from_secs: 2.0,
+                heal_secs: 9.0,
+                flap: Some(ChaosFlap { seed: 5, cycles: 3, period_secs: 4.0, down_secs: 2.0 }),
+            })
+            .with(ChaosFault::DegradedLink {
+                a: 2,
+                b: 5,
+                direction: LinkDirection::Both,
+                from_secs: 1.0,
+                heal_secs: 8.0,
+                factor: 3.0,
+                loss: 0.25,
+            })
             .with(ChaosFault::CorruptData {
                 node: 4,
                 target: CorruptTarget::AlgRecord { reduce_index: 1, seq: 2 },
@@ -344,7 +460,14 @@ mod tests {
     #[test]
     fn transient_faults_lower_with_clamping_and_rescaling() {
         let s = ChaosScenario::new("transient")
-            .with(ChaosFault::PartitionLink { a: 1, b: 8, from_secs: 4.0, heal_secs: 20.0 })
+            .with(ChaosFault::PartitionLink {
+                a: 1,
+                b: 8,
+                direction: LinkDirection::Both,
+                from_secs: 4.0,
+                heal_secs: 20.0,
+                flap: None,
+            })
             .with(ChaosFault::CorruptData {
                 node: 9,
                 target: CorruptTarget::MofPartition { map_index: 2, partition: 1 },
@@ -354,7 +477,14 @@ mod tests {
         assert_eq!(
             plan.faults,
             vec![
-                Fault::PartitionLink { a: NodeId(1), b: NodeId(2), from_ms: 20, heal_ms: 100 },
+                Fault::PartitionLink {
+                    a: NodeId(1),
+                    b: NodeId(2),
+                    direction: LinkDirection::Both,
+                    from_ms: 20,
+                    heal_ms: 100,
+                    flap: None,
+                },
                 Fault::CorruptData {
                     node: NodeId(3),
                     target: CorruptTarget::MofPartition { map_index: 2, partition: 1 },
@@ -368,7 +498,23 @@ mod tests {
     #[test]
     fn transient_faults_do_not_count_as_injected_failures() {
         let s = ChaosScenario::new("transient-only")
-            .with(ChaosFault::PartitionLink { a: 0, b: 1, from_secs: 1.0, heal_secs: 5.0 })
+            .with(ChaosFault::PartitionLink {
+                a: 0,
+                b: 1,
+                direction: LinkDirection::Both,
+                from_secs: 1.0,
+                heal_secs: 5.0,
+                flap: None,
+            })
+            .with(ChaosFault::DegradedLink {
+                a: 1,
+                b: 2,
+                direction: LinkDirection::BToA,
+                from_secs: 0.0,
+                heal_secs: 9.0,
+                factor: 2.0,
+                loss: 0.1,
+            })
             .with(ChaosFault::CorruptData {
                 node: 2,
                 target: CorruptTarget::AlgRecord { reduce_index: 0, seq: 0 },
@@ -385,13 +531,96 @@ mod tests {
         let s = ChaosScenario::new("tiny").with(ChaosFault::PartitionLink {
             a: 0,
             b: 1,
+            direction: LinkDirection::Both,
             from_secs: 10.0,
             heal_secs: 10.04,
+            flap: None,
         });
         let plan = s.lower(JobId(0), &LoweringProfile::runtime(6, 2, 5.0));
         match plan.faults[0] {
             Fault::PartitionLink { from_ms, heal_ms, .. } => assert!(heal_ms >= from_ms),
             ref other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn flapping_partition_lowers_cycles_and_direction() {
+        let s = ChaosScenario::new("flap").with(ChaosFault::PartitionLink {
+            a: 0,
+            b: 2,
+            direction: LinkDirection::AToB,
+            from_secs: 5.0,
+            heal_secs: 0.0, // advisory: the schedule's final heal wins
+            flap: Some(ChaosFlap { seed: 3, cycles: 4, period_secs: 10.0, down_secs: 6.0 }),
+        });
+        let plan = s.lower(JobId(0), &profile());
+        let windows = plan.partition_windows();
+        assert_eq!(windows.len(), 4, "one window per cycle");
+        assert!(windows.iter().all(|w| w.direction == LinkDirection::AToB));
+        match &plan.faults[0] {
+            Fault::PartitionLink { heal_ms, flap: Some(f), .. } => {
+                assert_eq!(*heal_ms, f.end_ms(5_000), "advisory heal pinned to the final cycle's");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_flap_windows() {
+        // Two flapping faults on the same directed link whose cycles
+        // interleave: one's heal would erase the other's cut.
+        let flap = |seed| Some(ChaosFlap { seed, cycles: 3, period_secs: 10.0, down_secs: 8.0 });
+        let bad = ChaosScenario::new("clash")
+            .with(ChaosFault::PartitionLink {
+                a: 0,
+                b: 1,
+                direction: LinkDirection::Both,
+                from_secs: 0.0,
+                heal_secs: 0.0,
+                flap: flap(1),
+            })
+            .with(ChaosFault::PartitionLink {
+                a: 0,
+                b: 1,
+                direction: LinkDirection::Both,
+                from_secs: 2.0,
+                heal_secs: 0.0,
+                flap: flap(2),
+            });
+        let err = bad.validate(&profile()).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+
+        // A single flapping fault can never overlap itself (heal strictly
+        // precedes the next sever by construction)…
+        let good = ChaosScenario::new("solo").with(ChaosFault::PartitionLink {
+            a: 0,
+            b: 1,
+            direction: LinkDirection::Both,
+            from_secs: 0.0,
+            heal_secs: 0.0,
+            flap: flap(1),
+        });
+        assert_eq!(good.validate(&profile()), Ok(()));
+
+        // …and flapping faults on *different* directions of the same pair
+        // never collide either.
+        let split = ChaosScenario::new("split")
+            .with(ChaosFault::PartitionLink {
+                a: 0,
+                b: 1,
+                direction: LinkDirection::AToB,
+                from_secs: 0.0,
+                heal_secs: 0.0,
+                flap: flap(1),
+            })
+            .with(ChaosFault::PartitionLink {
+                a: 0,
+                b: 1,
+                direction: LinkDirection::BToA,
+                from_secs: 2.0,
+                heal_secs: 0.0,
+                flap: flap(2),
+            });
+        assert_eq!(split.validate(&profile()), Ok(()));
     }
 }

@@ -12,7 +12,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{ChaosFault, ChaosScenario};
+use alm_types::LinkDirection;
+
+use crate::scenario::{ChaosFault, ChaosFlap, ChaosScenario};
 
 /// Relative weights of each fault kind (0 disables a kind).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,6 +27,10 @@ pub struct FaultWeights {
     pub crash_rack: u32,
     pub partition_link: u32,
     pub corrupt_data: u32,
+    /// Weight of the gray degraded-link fault. Defaults to 0 so existing
+    /// recorded spaces (and the golden gate campaign) keep their exact
+    /// draw sequence; enable via [`FaultSpace::gray_like`].
+    pub degraded_link: u32,
 }
 
 impl Default for FaultWeights {
@@ -38,6 +44,7 @@ impl Default for FaultWeights {
             crash_rack: 1,
             partition_link: 2,
             corrupt_data: 2,
+            degraded_link: 0,
         }
     }
 }
@@ -52,6 +59,7 @@ impl FaultWeights {
             + self.crash_rack
             + self.partition_link
             + self.corrupt_data
+            + self.degraded_link
     }
 }
 
@@ -75,6 +83,18 @@ pub struct FaultSpace {
     /// scenario seconds. Keep the upper bound under the engines' liveness
     /// window so sampled partitions are genuinely transient.
     pub partition_secs: (f64, f64),
+    /// Probability a sampled partition is *asymmetric* (one direction cut,
+    /// the reverse healthy). 0.0 keeps legacy symmetric-only sampling —
+    /// and, crucially, the legacy RNG draw sequence.
+    pub asymmetric_prob: f64,
+    /// Probability a sampled partition carries a seeded flap schedule
+    /// (bounded sever→heal cycles) instead of a single window. 0.0 keeps
+    /// the legacy draw sequence.
+    pub flap_prob: f64,
+    /// Slowdown-factor window for sampled degraded links.
+    pub degraded_factor: (f64, f64),
+    /// Loss-probability window for sampled degraded links.
+    pub degraded_loss: (f64, f64),
     pub weights: FaultWeights,
 }
 
@@ -92,7 +112,37 @@ impl FaultSpace {
             at_secs: (5.0, 60.0),
             slow_factor: (1.5, 6.0),
             partition_secs: (10.0, 40.0),
+            asymmetric_prob: 0.0,
+            flap_prob: 0.0,
+            degraded_factor: (2.0, 6.0),
+            degraded_loss: (0.05, 0.3),
             weights: FaultWeights::default(),
+        }
+    }
+
+    /// The gray-failure sweep space: the paper-like shape plus asymmetric
+    /// partitions, flap schedules, and weighted degraded links — the
+    /// acceptance sweep for the directed-link invariants.
+    pub fn gray_like(workers: u32, racks: u32, num_maps: u32, num_reduces: u32) -> FaultSpace {
+        let mut space = FaultSpace::paper_like(workers, racks, num_maps, num_reduces);
+        space.asymmetric_prob = 0.5;
+        space.flap_prob = 0.4;
+        space.weights.degraded_link = 2;
+        space
+    }
+
+    /// Sample a link direction: symmetric unless the space enables
+    /// asymmetric partitions (probability draws only happen when enabled,
+    /// preserving legacy draw sequences).
+    fn sample_direction(&self, rng: &mut SmallRng) -> LinkDirection {
+        if self.asymmetric_prob > 0.0 && rng.random_bool(self.asymmetric_prob.min(1.0)) {
+            if rng.random_range(0..2u32) == 0 {
+                LinkDirection::AToB
+            } else {
+                LinkDirection::BToA
+            }
+        } else {
+            LinkDirection::Both
         }
     }
 
@@ -112,6 +162,7 @@ impl FaultSpace {
             (w.crash_rack, 5),
             (w.partition_link, 6),
             (w.corrupt_data, 7),
+            (w.degraded_link, 8),
         ] {
             if pick < weight {
                 return match kind {
@@ -135,11 +186,39 @@ impl FaultSpace {
                         factor: rng.random_range(self.slow_factor.0..=self.slow_factor.1),
                     },
                     5 => ChaosFault::CrashRack { rack: rng.random_range(0..self.racks.max(1)), at_secs },
-                    6 => ChaosFault::PartitionLink {
+                    6 => {
+                        let b = rng.random_range(0..self.workers.max(1));
+                        let heal_secs =
+                            at_secs + rng.random_range(self.partition_secs.0..=self.partition_secs.1);
+                        let direction = self.sample_direction(rng);
+                        let flap = if self.flap_prob > 0.0 && rng.random_bool(self.flap_prob.min(1.0)) {
+                            let period_secs = rng.random_range(self.partition_secs.0..=self.partition_secs.1);
+                            Some(ChaosFlap {
+                                seed: rng.random(),
+                                cycles: rng.random_range(2..=4),
+                                period_secs,
+                                down_secs: period_secs * rng.random_range(0.3..=0.7),
+                            })
+                        } else {
+                            None
+                        };
+                        ChaosFault::PartitionLink {
+                            a: node,
+                            b,
+                            direction,
+                            from_secs: at_secs,
+                            heal_secs,
+                            flap,
+                        }
+                    }
+                    8 => ChaosFault::DegradedLink {
                         a: node,
                         b: rng.random_range(0..self.workers.max(1)),
+                        direction: self.sample_direction(rng),
                         from_secs: at_secs,
                         heal_secs: at_secs + rng.random_range(self.partition_secs.0..=self.partition_secs.1),
+                        factor: rng.random_range(self.degraded_factor.0..=self.degraded_factor.1),
+                        loss: rng.random_range(self.degraded_loss.0..=self.degraded_loss.1),
                     },
                     _ => ChaosFault::CorruptData {
                         node,
@@ -220,11 +299,16 @@ mod tests {
                         assert!(*node < 20 && (1.5..=6.0).contains(factor));
                     }
                     ChaosFault::CrashRack { rack, .. } => assert!(*rack < 2),
-                    ChaosFault::PartitionLink { a, b, from_secs, heal_secs } => {
+                    ChaosFault::PartitionLink { a, b, direction, from_secs, heal_secs, flap } => {
                         assert!(*a < 20 && *b < 20);
                         assert!((5.0..=60.0).contains(from_secs));
                         let dur = heal_secs - from_secs;
                         assert!((10.0..=40.0).contains(&dur), "partition must be transient: {dur}");
+                        assert_eq!(*direction, LinkDirection::Both, "paper_like samples symmetric only");
+                        assert!(flap.is_none(), "paper_like samples no flap schedules");
+                    }
+                    ChaosFault::DegradedLink { .. } => {
+                        panic!("paper_like weights the gray degraded-link fault at 0")
                     }
                     ChaosFault::CorruptData { node, target, at_secs } => {
                         assert!(*node < 20 && (5.0..=60.0).contains(at_secs));
@@ -274,9 +358,57 @@ mod tests {
             crash_rack: 0,
             partition_link: 0,
             corrupt_data: 0,
+            degraded_link: 0,
         };
         for s in sp.sample(16, 3) {
             assert!(s.faults.iter().all(|f| matches!(f, ChaosFault::KillReduce { .. })));
+        }
+    }
+
+    #[test]
+    fn gray_space_samples_the_gray_vocabulary_within_bounds() {
+        let sweep = FaultSpace::gray_like(20, 2, 80, 20).sample(64, 11);
+        let faults: Vec<&ChaosFault> = sweep.iter().flat_map(|s| &s.faults).collect();
+        let mut saw_asym = false;
+        let mut saw_flap = false;
+        let mut saw_degraded = false;
+        for f in &faults {
+            match f {
+                ChaosFault::PartitionLink { direction, flap, .. } => {
+                    saw_asym |= *direction != LinkDirection::Both;
+                    if let Some(flap) = flap {
+                        saw_flap = true;
+                        assert!((2..=4).contains(&flap.cycles));
+                        assert!(flap.down_secs > 0.0 && flap.down_secs < flap.period_secs);
+                    }
+                }
+                ChaosFault::DegradedLink { a, b, factor, loss, .. } => {
+                    saw_degraded = true;
+                    assert!(*a < 20 && *b < 20);
+                    assert!((2.0..=6.0).contains(factor));
+                    assert!((0.05..=0.3).contains(loss));
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_asym, "gray space must sample asymmetric partitions");
+        assert!(saw_flap, "gray space must sample flap schedules");
+        assert!(saw_degraded, "gray space must sample degraded links");
+    }
+
+    #[test]
+    fn gray_knobs_default_off_preserves_legacy_sampling() {
+        // The golden gate campaign pins (paper_like, seed 42, n 20); the
+        // gray extensions must not perturb that draw sequence.
+        let legacy = space().sample(20, 42);
+        for s in &legacy {
+            for f in &s.faults {
+                if let ChaosFault::PartitionLink { direction, flap, .. } = f {
+                    assert_eq!(*direction, LinkDirection::Both);
+                    assert!(flap.is_none());
+                }
+                assert!(!matches!(f, ChaosFault::DegradedLink { .. }));
+            }
         }
     }
 }

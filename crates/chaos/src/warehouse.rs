@@ -40,6 +40,7 @@ pub fn lower_warehouse(scenario: &ChaosScenario) -> (Vec<WarehouseFault>, usize)
             | ChaosFault::CrashNodeAtReduceProgress { .. }
             | ChaosFault::SlowNode { .. }
             | ChaosFault::PartitionLink { .. }
+            | ChaosFault::DegradedLink { .. }
             | ChaosFault::CorruptData { .. } => dropped += 1,
         }
     }

@@ -4,8 +4,8 @@
 //! differentially end to end.
 
 use alm_chaos::{
-    calibrate, calibration_suite, validate_calibrated, ChaosFault, ChaosScenario, MatchedScale,
-    ToleranceBands,
+    calibrate, calibration_suite, transient_calibration_suite, validate_calibrated,
+    validate_calibrated_transient, ChaosFault, ChaosScenario, MatchedScale, ToleranceBands,
 };
 use alm_types::RecoveryMode;
 
@@ -37,6 +37,37 @@ fn magnitude_invariants_hold_at_default_scale_for_all_modes() {
         assert!(curve.runtime_baseline_secs > 0.0, "{curve:?}");
         for p in &curve.points {
             assert!(p.sim >= 1.0, "a fault cannot speed the simulator up: {p:?}");
+            assert!(p.runtime > 0.0, "{p:?}");
+        }
+    }
+}
+
+/// Gray-failure companion to the tentpole: the *absorbed* fault classes
+/// (healed partitions — symmetric and asymmetric — and checksummed
+/// corruption) must also agree in magnitude across engines, within the
+/// wider transient bands recorded in `ToleranceBands::transient_measured`
+/// / EXPERIMENTS.md.
+#[test]
+fn transient_magnitude_invariants_hold_at_default_scale_for_all_modes() {
+    let (report, calibration) = validate_calibrated_transient(
+        &ALL_MODES,
+        &MatchedScale::default(),
+        &ToleranceBands::transient_measured(),
+        3,
+    );
+    assert_eq!(report.invariants.len(), ALL_MODES.len());
+    assert!(
+        report.ok(),
+        "transient magnitude calibration out of band:\n{}\n{}",
+        report.render_text(),
+        calibration.render_text()
+    );
+    for curve in &calibration.curves {
+        assert_eq!(curve.points.len(), transient_calibration_suite().len());
+        for p in &curve.points {
+            // Absorbed faults may cost overhead but never a recovery
+            // cliff: the simulator's slowdown stays under 2x throughout.
+            assert!((1.0..2.0).contains(&p.sim), "absorbed fault shows a recovery cliff: {p:?}");
             assert!(p.runtime > 0.0, "{p:?}");
         }
     }

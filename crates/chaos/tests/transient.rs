@@ -3,10 +3,13 @@
 //! and checksummed data corruption must be absorbed by BOTH engines
 //! without node-loss declarations, map re-executions or retry-budget
 //! burn — the `transient-no-node-loss`, `corruption-bounded-recovery`
-//! and `dfs-verified-read` invariants.
+//! and `dfs-verified-read` invariants. Gray failures ride the same bar:
+//! asymmetric (half-open) partitions and seeded flap schedules must be
+//! absorbed too — `asymmetric-partition-no-node-loss` and
+//! `flap-backoff-budget`.
 
-use alm_chaos::{validate_scenario, ChaosFault, ChaosScenario, EngineKind};
-use alm_types::{CorruptTarget, RecoveryMode};
+use alm_chaos::{validate_scenario, ChaosFault, ChaosFlap, ChaosScenario, EngineKind};
+use alm_types::{CorruptTarget, LinkDirection, RecoveryMode};
 
 const MODES: &[RecoveryMode] = &[RecoveryMode::Baseline, RecoveryMode::SfmAlg];
 
@@ -23,8 +26,10 @@ fn healing_partition_causes_no_node_loss_in_either_engine() {
     let scenario = ChaosScenario::new("transient-partition").with(ChaosFault::PartitionLink {
         a: 0,
         b: 2,
+        direction: LinkDirection::Both,
         from_secs: 0.0,
         heal_secs: 40.0,
+        flap: None,
     });
     let report = validate_scenario(&scenario, MODES);
     assert!(report.ok(), "{}", report.render_text());
@@ -64,8 +69,14 @@ fn flapping_partition_keeps_retry_budget_across_heal_cycles() {
     let mut scenario = ChaosScenario::new("transient-flap");
     for i in 0..3u32 {
         let from = f64::from(i) * 15.0;
-        scenario =
-            scenario.with(ChaosFault::PartitionLink { a: 0, b: 2, from_secs: from, heal_secs: from + 10.0 });
+        scenario = scenario.with(ChaosFault::PartitionLink {
+            a: 0,
+            b: 2,
+            direction: LinkDirection::Both,
+            from_secs: from,
+            heal_secs: from + 10.0,
+            flap: None,
+        });
     }
     let report = validate_scenario(&scenario, MODES);
     assert!(report.ok(), "{}", report.render_text());
@@ -76,6 +87,65 @@ fn flapping_partition_keeps_retry_budget_across_heal_cycles() {
         assert_eq!(o.node_loss_failures, 0, "flapping link declared a node lost: {o:?}");
         assert_eq!(o.map_attempts, 5, "flapping link re-executed a map: {o:?}");
         assert_eq!(o.spatial_amplification, 0, "flapping link preempted a reducer: {o:?}");
+    }
+}
+
+#[test]
+fn asymmetric_partition_is_absorbed_in_both_engines() {
+    // Sever only the fetch direction (reducer node 2 cannot reach map
+    // node 0); the reverse path — and with it heartbeats — stays healthy.
+    // The half-open link must never be escalated to a node loss.
+    let scenario = ChaosScenario::new("gray-asymmetric").with(ChaosFault::PartitionLink {
+        a: 2,
+        b: 0,
+        direction: LinkDirection::AToB,
+        from_secs: 0.0,
+        heal_secs: 40.0,
+        flap: None,
+    });
+    let report = validate_scenario(&scenario, MODES);
+    assert!(report.ok(), "{}", report.render_text());
+    assert!(invariant(&report, "asymmetric-partition-no-node-loss").passed);
+    for o in &report.outcomes {
+        assert!(o.succeeded, "{o:?}");
+        assert_eq!(o.node_loss_failures, 0, "half-open link declared a node lost: {o:?}");
+        assert_eq!(o.total_failures, 0, "half-open link recorded a failure: {o:?}");
+    }
+}
+
+#[test]
+fn backoff_cap_and_retry_budget_hold_under_arbitrary_flap_schedules() {
+    // Property check (hand-rolled, deterministic seeds): for a spread of
+    // seeded `FlapSchedule`s — varying cycle count, period, duty cycle and
+    // jitter seed — the exponential fetch backoff stays capped at half the
+    // liveness window and the `FetchFailureLimit` retry budget survives
+    // every sever→heal cycle, in BOTH engines, in every recovery mode.
+    // Each seed produces a different jittered window layout inside the
+    // schedule (the seed feeds splitmix64 per-cycle draws), so this sweeps
+    // genuinely distinct flap shapes, not one schedule repeated.
+    for case in 0u64..6 {
+        let cycles = 2 + (case % 3) as u32;
+        let period_secs = 8.0 + case as f64 * 3.0;
+        let down_secs = period_secs * (0.25 + 0.1 * case as f64).min(0.75);
+        let flap =
+            ChaosFlap { seed: 0x5EED ^ (case.wrapping_mul(0x9E37_79B9)), cycles, period_secs, down_secs };
+        let scenario = ChaosScenario::new(format!("gray-flap-{case}")).with(ChaosFault::PartitionLink {
+            a: 0,
+            b: 2,
+            direction: if case % 2 == 0 { LinkDirection::Both } else { LinkDirection::AToB },
+            from_secs: 1.0 + case as f64,
+            heal_secs: 0.0, // ignored when flapping: the schedule bounds the fault
+            flap: Some(flap),
+        });
+        let report = validate_scenario(&scenario, MODES);
+        assert!(report.ok(), "flap case {case}:\n{}", report.render_text());
+        assert!(invariant(&report, "flap-backoff-budget").passed, "flap case {case}");
+        for o in &report.outcomes {
+            assert!(o.succeeded, "flap case {case}: {o:?}");
+            assert_eq!(o.total_failures, 0, "flap case {case} burned the retry budget: {o:?}");
+            assert_eq!(o.spatial_amplification, 0, "flap case {case} preempted a reducer: {o:?}");
+            assert_eq!(o.map_attempts, 5, "flap case {case} re-executed a map: {o:?}");
+        }
     }
 }
 
@@ -117,7 +187,14 @@ fn mixed_transient_faults_stay_invisible_to_failure_accounting() {
     // scenario may produce a failure record, so the amplification
     // denominator is zero and both conditional invariants apply.
     let scenario = ChaosScenario::new("transient-mix")
-        .with(ChaosFault::PartitionLink { a: 1, b: 3, from_secs: 2.0, heal_secs: 30.0 })
+        .with(ChaosFault::PartitionLink {
+            a: 1,
+            b: 3,
+            direction: LinkDirection::Both,
+            from_secs: 2.0,
+            heal_secs: 30.0,
+            flap: None,
+        })
         .with(ChaosFault::CorruptData {
             node: 0,
             target: CorruptTarget::MofPartition { map_index: 0, partition: 0 },

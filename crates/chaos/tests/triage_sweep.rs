@@ -1,0 +1,118 @@
+//! Acceptance sweep for the gray-failure tentpole: a 200+-run triage
+//! campaign over the gray fault space must produce a *ranked* root-cause
+//! report — categories ordered by severity then blast radius, every one
+//! carrying a non-empty remediation — and the two new differential
+//! invariants must pass over a seeded `FaultSpace` sample.
+
+use alm_chaos::{triage, validate_scenario, ChaosFault, FaultSpace, LoweringProfile, Severity, SimCampaign};
+use alm_sim::SimJobSpec;
+use alm_types::{LinkDirection, RecoveryMode};
+use alm_workloads::WorkloadKind;
+
+const ALL_MODES: [RecoveryMode; 4] =
+    [RecoveryMode::Baseline, RecoveryMode::Alg, RecoveryMode::Sfm, RecoveryMode::SfmAlg];
+
+#[test]
+fn gray_sweep_triages_200_plus_runs_into_ranked_categories() {
+    // 55 scenarios x 4 modes = 220 simulator runs at paper scale — the
+    // fault space draws its windows against ~100-virtual-second jobs, so
+    // the sweep must run the paper spec for gray windows to overlap the
+    // shuffle at all.
+    let campaign = SimCampaign::paper(SimJobSpec::paper(WorkloadKind::Terasort, 7), ALL_MODES.to_vec());
+    let profile = campaign.profile();
+    // Task indices in the space must match the job: one map per DFS block
+    // of input, and the spec's own reduce count.
+    let num_maps = campaign.spec.input_bytes.div_ceil(campaign.yarn.dfs_block_size).max(1) as u32;
+    let space = FaultSpace::gray_like(profile.workers, profile.racks, num_maps, campaign.spec.num_reduces);
+    let scenarios = space.sample(55, 7);
+    let outcomes = campaign.run(&scenarios);
+    assert!(outcomes.len() >= 200, "sweep too small: {} runs", outcomes.len());
+
+    let report = triage(&outcomes);
+    assert_eq!(report.runs, outcomes.len());
+    assert!(
+        report.groups.len() >= 3,
+        "a gray sweep must surface multiple signatures:\n{}",
+        report.render_text()
+    );
+
+    // Ranked: severity never increases down the list, and within one
+    // severity the blast radius (run count) never increases.
+    for pair in report.groups.windows(2) {
+        assert!(
+            pair[0].severity > pair[1].severity
+                || (pair[0].severity == pair[1].severity && pair[0].count >= pair[1].count),
+            "ranking violated between {} and {}:\n{}",
+            pair[0].category,
+            pair[1].category,
+            report.render_text()
+        );
+    }
+
+    // Every category is actionable and accounted for.
+    let mut total = 0;
+    for g in &report.groups {
+        assert!(!g.remediation.trim().is_empty(), "{} has no remediation", g.category);
+        assert!(g.count > 0 && g.distinct_scenarios > 0 && !g.examples.is_empty(), "{g:?}");
+        total += g.count;
+    }
+    assert_eq!(total, report.runs, "triage dropped runs");
+
+    // The gray vocabulary must actually show up in the signatures: some
+    // run crossed a degraded link, and the amplification machinery (the
+    // sweep also samples crashes) produced at least one High finding for
+    // the report to rank above the absorbed categories.
+    assert!(
+        report.groups.iter().any(|g| g.category == "gray-link-absorbed"),
+        "no degraded-link run surfaced:\n{}",
+        report.render_text()
+    );
+    assert!(report.at_least(Severity::Medium).count() >= 1, "{}", report.render_text());
+
+    // The markdown artifact CI uploads renders with the ranked rows.
+    let md = report.render_markdown();
+    assert!(md.contains("| rank |") && md.contains("| 1 |"), "{md}");
+}
+
+#[test]
+fn gray_invariants_hold_over_a_seeded_fault_space_sample() {
+    // Differential acceptance: sample gray scenarios and validate every
+    // one that carries the new vocabulary on BOTH engines. Keep the
+    // differential budget modest — each validation runs scenario x modes
+    // on the threaded runtime too.
+    let profile = LoweringProfile::runtime(5, 2, 5.0);
+    let space = FaultSpace::gray_like(profile.workers, profile.racks, 5, 3);
+    let scenarios = space.sample(24, 1907);
+    let modes = [RecoveryMode::Baseline, RecoveryMode::SfmAlg];
+
+    let mut asym_checked = 0;
+    let mut flap_checked = 0;
+    for s in &scenarios {
+        let has_asym = s.faults.iter().any(
+            |f| matches!(f, ChaosFault::PartitionLink { direction, .. } if *direction != LinkDirection::Both),
+        );
+        let has_flap = s.faults.iter().any(|f| matches!(f, ChaosFault::PartitionLink { flap: Some(_), .. }));
+        if !has_asym && !has_flap {
+            continue;
+        }
+        // The invariants are conditional (skipped when a crash fault
+        // legitimises node loss, or when a non-transient fault shares the
+        // scenario); whenever the validator emits one it must pass.
+        let report = validate_scenario(s, &modes);
+        for inv in &report.invariants {
+            match inv.name.as_str() {
+                "asymmetric-partition-no-node-loss" => {
+                    assert!(inv.passed, "{}:\n{}", s.name, report.render_text());
+                    asym_checked += 1;
+                }
+                "flap-backoff-budget" => {
+                    assert!(inv.passed, "{}:\n{}", s.name, report.render_text());
+                    flap_checked += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(asym_checked >= 2, "sample exercised too few asymmetric scenarios: {asym_checked}");
+    assert!(flap_checked >= 1, "sample exercised too few flapping scenarios: {flap_checked}");
+}

@@ -93,6 +93,19 @@ impl Default for FaultVocab {
                     decl_file: "crates/sim/src/spec.rs",
                     groups: vec![("sim engine", vec!["crates/sim/src/engine.rs"])],
                 },
+                // Gray-link directionality is single-sourced: both engines
+                // consume the expanded (from, to) keys of
+                // `directed_keys`, so a new direction variant must extend
+                // that derivation and the randomized sampler — not the
+                // engines — or it silently never fires.
+                EnumCoverage {
+                    enum_name: "LinkDirection",
+                    decl_file: "crates/types/src/failure.rs",
+                    groups: vec![
+                        ("directed-key derivation", vec!["crates/types/src/failure.rs"]),
+                        ("fault-space sampling", vec!["crates/chaos/src/space.rs"]),
+                    ],
+                },
                 // CorruptData lowers per artifact: every corruption target —
                 // MOF partitions, ALG records, committed DFS blocks — must be
                 // handled by both engines' injection paths.

@@ -41,6 +41,10 @@ fn seeded_fixture_fails_check_with_every_rule_firing() {
     ] {
         assert!(stdout.contains(site), "site {site} missing from report:\n{stdout}");
     }
+    // The gray-direction coverage fires precisely on the variant the
+    // seeded sampler omits, not on the ones it names.
+    assert!(stdout.contains("LinkDirection::BToA"), "seeded direction gap missing:\n{stdout}");
+    assert!(!stdout.contains("LinkDirection::AToB"), "named variants must not fire:\n{stdout}");
 }
 
 #[test]

@@ -1,0 +1,12 @@
+//! Fixture: fault-space sampling. Names `Both` and `AToB` but never
+//! `LinkDirection::BToA` — the seeded V1 gray-direction violation.
+
+use crate::failure::LinkDirection;
+
+pub fn sample_direction(coin: bool) -> LinkDirection {
+    if coin {
+        LinkDirection::AToB
+    } else {
+        LinkDirection::Both
+    }
+}

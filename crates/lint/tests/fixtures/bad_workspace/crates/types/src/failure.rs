@@ -1,5 +1,6 @@
 //! Fixture: fault vocabulary. `FailureKind::TaskOom` is deliberately never
-//! named in the chaos-analyzer group — the seeded V1 violation.
+//! named in the chaos-analyzer group, and `LinkDirection::BToA` is missing
+//! from the fault-space sampling group — the seeded V1 violations.
 
 pub enum Fault {
     CrashNode,
@@ -8,4 +9,22 @@ pub enum Fault {
 pub enum FailureKind {
     NodeCrash,
     TaskOom,
+}
+
+pub enum LinkDirection {
+    Both,
+    AToB,
+    BToA,
+}
+
+impl LinkDirection {
+    // The derivation group names every variant, so only the sampling
+    // group's seeded omission fires.
+    pub fn flip(self) -> LinkDirection {
+        match self {
+            LinkDirection::Both => LinkDirection::Both,
+            LinkDirection::AToB => LinkDirection::BToA,
+            LinkDirection::BToA => LinkDirection::AToB,
+        }
+    }
 }

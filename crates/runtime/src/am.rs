@@ -22,7 +22,10 @@ use std::time::{Duration, Instant};
 use alm_core::{schedule_recovery, ExecMode, LogPaths, PolicyCtx, SchedAction};
 use alm_shuffle::frame::FRAME_HEADER_LEN;
 use alm_shuffle::LocalFs;
-use alm_types::{AttemptId, CorruptTarget, FailureKind, FailureReport, NodeId, ReplicationLevel, TaskId};
+use alm_types::{
+    AttemptId, CorruptTarget, FailureKind, FailureReport, LinkDegradation, LinkDirection, NodeId,
+    ReplicationLevel, TaskId,
+};
 use bytes::Bytes;
 
 use crate::cluster::MiniCluster;
@@ -78,9 +81,14 @@ pub struct JobRunner {
     pending_crashes_ms: Vec<(NodeId, u64)>,
     pending_crashes_progress: Vec<(NodeId, u32, f64)>,
     pending_slow_ms: Vec<(NodeId, u64, f64)>,
-    /// Link severs and heals due at their timestamps (transient partitions).
-    pending_severs: Vec<(NodeId, NodeId, u64)>,
-    pending_heals: Vec<(NodeId, NodeId, u64)>,
+    /// Link severs and heals due at their timestamps (transient
+    /// partitions, one entry per expanded flap window), with the direction
+    /// each cut applies to.
+    pending_severs: Vec<(NodeId, NodeId, LinkDirection, u64)>,
+    pending_heals: Vec<(NodeId, NodeId, LinkDirection, u64)>,
+    /// Degraded-link activations and restorations due at their timestamps.
+    pending_degrades: Vec<LinkDegradation>,
+    pending_undegrades: Vec<(NodeId, NodeId, LinkDirection, u64)>,
     /// Data corruptions due at their timestamps. A corruption whose target
     /// has not materialised yet (MOF not committed, log record not written)
     /// stays pending and is retried each scheduling tick.
@@ -97,7 +105,16 @@ impl JobRunner {
         let mut pending_slow_ms = Vec::new();
         let mut pending_severs = Vec::new();
         let mut pending_heals = Vec::new();
+        let mut pending_degrades = Vec::new();
+        let mut pending_undegrades = Vec::new();
         let mut pending_corruptions = Vec::new();
+        // Partition windows (flap schedules included) come pre-expanded by
+        // the shared plan helper, so this engine and the simulator lower
+        // the exact same sever/heal timeline.
+        for w in faults.partition_windows() {
+            pending_severs.push((w.a, w.b, w.direction, w.from_ms));
+            pending_heals.push((w.a, w.b, w.direction, w.heal_ms));
+        }
         for f in &faults.faults {
             match f {
                 Fault::CrashNodeAtMs { node, at_ms } => pending_crashes_ms.push((*node, *at_ms)),
@@ -105,9 +122,9 @@ impl JobRunner {
                     pending_crashes_progress.push((*node, *reduce_index, *at_progress))
                 }
                 Fault::SlowNode { node, at_ms, factor } => pending_slow_ms.push((*node, *at_ms, *factor)),
-                Fault::PartitionLink { a, b, from_ms, heal_ms } => {
-                    pending_severs.push((*a, *b, *from_ms));
-                    pending_heals.push((*a, *b, *heal_ms));
+                Fault::PartitionLink { .. } => {} // expanded above
+                Fault::DegradedLink { a, b, direction, heal_ms, .. } => {
+                    pending_undegrades.push((*a, *b, *direction, *heal_ms));
                 }
                 Fault::CorruptData { node, target, at_ms } => {
                     pending_corruptions.push((*node, *target, *at_ms))
@@ -115,6 +132,7 @@ impl JobRunner {
                 Fault::KillTask { .. } => {}
             }
         }
+        pending_degrades.extend(faults.degradations());
         JobRunner {
             cluster,
             job: Arc::new(job),
@@ -135,6 +153,8 @@ impl JobRunner {
             pending_slow_ms,
             pending_severs,
             pending_heals,
+            pending_degrades,
+            pending_undegrades,
             pending_corruptions,
         }
     }
@@ -418,18 +438,47 @@ impl JobRunner {
             self.cluster.node(n).set_slow(f);
         }
         // Sever due links, then apply due heals — so a zero-length
-        // partition (from_ms == heal_ms) nets out healed.
-        let due_severs: Vec<(NodeId, NodeId)> =
-            self.pending_severs.iter().filter(|(_, _, at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
-        self.pending_severs.retain(|(_, _, at)| *at > now);
-        for (a, b) in due_severs {
-            self.cluster.links.sever(a, b);
+        // partition (from_ms == heal_ms) nets out healed. Flap schedules
+        // guarantee every heal lands strictly before the same link's next
+        // sever, so a heal here can never erase a later window's cut; a
+        // heal of an already-healed link is LinkTable's explicit no-op.
+        let due_severs: Vec<(NodeId, NodeId, LinkDirection)> = self
+            .pending_severs
+            .iter()
+            .filter(|(_, _, _, at)| *at <= now)
+            .map(|(a, b, d, _)| (*a, *b, *d))
+            .collect();
+        self.pending_severs.retain(|(_, _, _, at)| *at > now);
+        for (a, b, d) in due_severs {
+            self.cluster.links.sever(a, b, d);
         }
-        let due_heals: Vec<(NodeId, NodeId)> =
-            self.pending_heals.iter().filter(|(_, _, at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
-        self.pending_heals.retain(|(_, _, at)| *at > now);
-        for (a, b) in due_heals {
-            self.cluster.links.heal(a, b);
+        let due_heals: Vec<(NodeId, NodeId, LinkDirection)> = self
+            .pending_heals
+            .iter()
+            .filter(|(_, _, _, at)| *at <= now)
+            .map(|(a, b, d, _)| (*a, *b, *d))
+            .collect();
+        self.pending_heals.retain(|(_, _, _, at)| *at > now);
+        for (a, b, d) in due_heals {
+            self.cluster.links.heal(a, b, d);
+        }
+        // Activate due link degradations, then lift the expired ones (a
+        // zero-length degradation nets out healthy).
+        let due_deg: Vec<LinkDegradation> =
+            self.pending_degrades.iter().filter(|d| d.from_ms <= now).copied().collect();
+        self.pending_degrades.retain(|d| d.from_ms > now);
+        for d in due_deg {
+            self.cluster.links.degrade(d.a, d.b, d.direction, d.factor, d.loss);
+        }
+        let due_undeg: Vec<(NodeId, NodeId, LinkDirection)> = self
+            .pending_undegrades
+            .iter()
+            .filter(|(_, _, _, at)| *at <= now)
+            .map(|(a, b, d, _)| (*a, *b, *d))
+            .collect();
+        self.pending_undegrades.retain(|(_, _, _, at)| *at > now);
+        for (a, b, d) in due_undeg {
+            self.cluster.links.clear_degrade(a, b, d);
         }
         // Flip bytes for due corruptions; targets that have not
         // materialised yet stay pending for the next tick.
@@ -651,6 +700,13 @@ impl JobRunner {
                         self.maps[map_index as usize].completed = false;
                         self.launch_map(self.job.map_task(map_index), None);
                     }
+                }
+                TaskEvent::FetchDegraded { reducer: _, map_index: _, source: _ } => {
+                    // A gray link dropped a transfer: count it and let the
+                    // reducer re-fetch on its own backoff. Nothing is
+                    // regenerated and no budget is charged — the source
+                    // and its data are healthy, only the path is lossy.
+                    self.report.degraded_drops += 1;
                 }
                 TaskEvent::LogRecovered { attempt, report } => {
                     self.report.log_recoveries.push(LogRecoveryEvent {

@@ -23,6 +23,11 @@ pub enum TaskEvent {
     /// regenerates the MOF and the reducer transparently re-fetches; this
     /// never counts toward the fetch-failure limit.
     FetchCorruption { reducer: AttemptId, map_index: u32, source: NodeId },
+    /// A reducer's transfer of map `map_index`'s partition from a healthy
+    /// `source` was dropped by a degraded (gray) link. The reducer backs
+    /// off and transparently re-fetches; this never counts toward the
+    /// fetch-failure limit and never marks the source dead.
+    FetchDegraded { reducer: AttemptId, map_index: u32, source: NodeId },
     /// A reduce attempt recovered from analytics logs; the report carries
     /// the truncation forensics (how much, if anything, was discarded).
     LogRecovered { attempt: AttemptId, report: RecoveryReport },

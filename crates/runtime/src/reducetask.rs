@@ -401,6 +401,9 @@ fn shuffle_phase(
     let mut fail_counts: HashMap<u32, u32> = HashMap::new();
     let total = ctx.job.num_maps.max(1) as f64;
     let mut rng = ctx.backoff_rng();
+    // Deterministic per-attempt stream for degraded-link loss draws, on
+    // the same `(seed, label)` derivation as the backoff jitter.
+    let mut loss_rng = alm_des::rng::stream(ctx.job.seed, &format!("degraded-loss/{}", ctx.attempt));
     // Consecutive no-progress rounds that met a dead or partitioned
     // source — the exponent of the backoff.
     let mut stall_rounds: u32 = 0;
@@ -421,7 +424,28 @@ fn shuffle_phase(
         while i < pending.len() {
             let m = pending[i];
             match try_fetch(&ctx.nodes, &ctx.links, &ctx.registry, ctx.node.id, m, ctx.partition()) {
-                FetchOutcome::Data(data) => {
+                FetchOutcome::Data { node, data } => {
+                    if let Some((factor, loss)) = ctx.links.degradation(ctx.node.id, node) {
+                        // Gray link: the transfer may be dropped (seeded
+                        // deterministic draw) — park and re-fetch without
+                        // charging the retry budget, exactly like a
+                        // transient partition — and a surviving transfer
+                        // runs `factor`× slower.
+                        if loss > 0.0 && loss_rng.random_range(0..1_000_000u64) < (loss * 1e6) as u64 {
+                            let _ = ctx.events.send(TaskEvent::FetchDegraded {
+                                reducer: ctx.attempt,
+                                map_index: m,
+                                source: node,
+                            });
+                            backing_off = true;
+                            i += 1;
+                            continue;
+                        }
+                        if factor > 1.0 {
+                            let us = ((factor - 1.0) * 500.0).min(5_000.0) as u64;
+                            std::thread::sleep(Duration::from_micros(us));
+                        }
+                    }
                     if buffers.ingest(&ctx.node.fs, m, data).is_err() {
                         return Err(Exit::Silent); // our own store died
                     }

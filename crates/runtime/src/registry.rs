@@ -78,8 +78,10 @@ impl MofRegistry {
 /// Result of one fetch attempt.
 #[derive(Debug, Clone)]
 pub enum FetchOutcome {
-    /// The partition's bytes, CRC-verified.
-    Data(Bytes),
+    /// The partition's bytes, CRC-verified, with the node that served
+    /// them — the caller consults the [`LinkTable`] degradation state for
+    /// this `fetcher → node` direction to model gray (slow/lossy) links.
+    Data { node: NodeId, data: Bytes },
     /// Not available yet; wait without penalty.
     NotReady,
     /// Registered but unreachable: the host node is dead/wiped.
@@ -114,12 +116,14 @@ pub fn try_fetch(
         return FetchOutcome::SourceDead { node: node_id };
     }
     if links.is_severed(fetcher, node_id) {
-        // Alive and heartbeating, just cut off: this must never look like
-        // a dead source or the partition amplifies into task preemption.
+        // Alive and heartbeating, just cut off in the fetcher → source
+        // direction (an asymmetric partition leaves the reverse path — and
+        // with it heartbeats — healthy): this must never look like a dead
+        // source or the partition amplifies into task preemption.
         return FetchOutcome::Unreachable { node: node_id };
     }
     match mof.read_partition(&node.fs, partition) {
-        Ok(data) => FetchOutcome::Data(data),
+        Ok(data) => FetchOutcome::Data { node: node_id, data },
         Err(ShuffleError::ChecksumMismatch(_)) => {
             if registry.is_regenerating(map_index) {
                 FetchOutcome::NotReady
@@ -144,6 +148,7 @@ mod tests {
     use crate::cluster::MiniCluster;
     use alm_shuffle::mof::write_mof;
     use alm_shuffle::LocalFs;
+    use alm_types::LinkDirection;
 
     fn mini() -> (MiniCluster, MofData) {
         let c = MiniCluster::for_tests(3);
@@ -162,7 +167,7 @@ mod tests {
         assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::NotReady));
         // Registered + alive: data.
         reg.register(0, NodeId(1), mof);
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::Data(_)));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::Data { .. }));
         // Node crash: source dead.
         c.crash_node(NodeId(1));
         assert!(matches!(
@@ -179,19 +184,42 @@ mod tests {
         let (c, mof) = mini();
         let reg = MofRegistry::new();
         reg.register(0, NodeId(1), mof);
-        c.links.sever(NodeId(0), NodeId(1));
+        c.links.sever(NodeId(0), NodeId(1), LinkDirection::Both);
         // Fetcher behind the partition parks; the source is NOT dead.
         assert!(matches!(
             try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0),
             FetchOutcome::Unreachable { node } if node == NodeId(1)
         ));
         // A reducer on an unaffected node still fetches normally.
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(2), 0, 0), FetchOutcome::Data(_)));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(2), 0, 0), FetchOutcome::Data { .. }));
         // The map's own node always reaches itself.
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(1), 0, 0), FetchOutcome::Data(_)));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(1), 0, 0), FetchOutcome::Data { .. }));
         // Healing restores the flow.
-        c.links.heal(NodeId(0), NodeId(1));
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data(_)));
+        assert!(c.links.heal(NodeId(0), NodeId(1), LinkDirection::Both));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data { .. }));
+    }
+
+    #[test]
+    fn asymmetric_partition_gates_only_the_cut_direction() {
+        // Sever node 0 → node 1 only. Node 0 cannot fetch from node 1,
+        // but a MOF on node 0 is still fetchable *by* node 1 — the gray
+        // half-open link the symmetric model could not express.
+        let (c, mof) = mini();
+        let reg = MofRegistry::new();
+        reg.register(0, NodeId(1), mof);
+        let mut p0 = Vec::new();
+        alm_shuffle::codec::encode_into(&mut p0, b"k2", b"v2");
+        let mof0 = write_mof(&c.node(NodeId(0)).fs, "mof/m1", vec![p0]).unwrap();
+        reg.register(1, NodeId(0), mof0);
+        c.links.sever(NodeId(0), NodeId(1), LinkDirection::AToB);
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0),
+            FetchOutcome::Unreachable { node } if node == NodeId(1)
+        ));
+        assert!(
+            matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(1), 1, 0), FetchOutcome::Data { .. }),
+            "reverse direction must stay fetchable"
+        );
     }
 
     #[test]
@@ -229,7 +257,7 @@ mod tests {
         let mof2 = write_mof(&c.node(NodeId(2)).fs, "mof/m0r1", vec![p0]).unwrap();
         reg.register(0, NodeId(2), mof2);
         assert!(!reg.is_regenerating(0));
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data(_)));
+        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data { .. }));
         assert_eq!(reg.mofs_on_node(NodeId(2)), vec![0]);
         assert!(reg.mofs_on_node(NodeId(1)).is_empty());
     }

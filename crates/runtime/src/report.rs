@@ -43,6 +43,10 @@ pub struct JobReport {
     /// a map regeneration + transparent re-fetch — never a fetch-failure
     /// report, never a `FetchFailureLimit` preemption.
     pub corruption_refetches: u32,
+    /// Fetch transfers dropped by degraded (gray) links and transparently
+    /// retried — like `corruption_refetches`, never charged to the fetch
+    /// retry budget.
+    pub degraded_drops: u32,
     /// Every analytics-log recovery the AM observed, with forensics.
     pub log_recoveries: Vec<LogRecoveryEvent>,
 }

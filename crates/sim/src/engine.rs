@@ -28,6 +28,9 @@ use crate::trace::{SimFailure, SimReport};
 
 /// Hadoop's `mapreduce.reduce.shuffle.parallelcopies`.
 const MAX_PARALLEL_FETCHES: usize = 5;
+/// Deterministic cap on gray-link loss drops per (attempt, map): beyond
+/// this the transfer is let through, so `loss = 1.0` cannot livelock.
+const MAX_GRAY_DROPS: u32 = 16;
 /// Spill granularity during shuffle.
 const SPILL_FLOW_BYTES: u64 = 256 << 20;
 /// Progress-sampling / trigger-checking cadence.
@@ -160,6 +163,9 @@ struct RedAtt {
     active_fetches: HashMap<FlowId, u32>,
     fetched: BTreeSet<u32>,
     retry: HashMap<u32, u32>,
+    /// Per map index: deterministic loss-draw counter for gray links (the
+    /// RNG stream label includes it so every draw is fresh but replayable).
+    loss_draws: HashMap<u32, u32>,
     flows: HashSet<FlowId>,
     spill_debt: u64,
     spill_emitted: u64,
@@ -226,12 +232,22 @@ pub struct Simulation {
     faults_time: Vec<(u32, f64)>,
     faults_progress: Vec<(u32, u32, f64)>,
     faults_slow: Vec<(u32, f64, f64)>,
+    /// Pending severs/heals as *directed* `(from, to, at_secs)` entries —
+    /// expanded from each fault's `LinkDirection` via the shared
+    /// `directed_keys` helper, exactly like the runtime's `LinkTable`.
     faults_sever: Vec<(u32, u32, f64)>,
     faults_heal: Vec<(u32, u32, f64)>,
+    /// Pending gray-link activations: directed
+    /// `(from, to, at_secs, factor, loss)`.
+    faults_degrade: Vec<(u32, u32, f64, f64, f64)>,
+    faults_undegrade: Vec<(u32, u32, f64)>,
     faults_corrupt: Vec<(u32, CorruptTarget, f64)>,
-    /// Severed data-plane links, normalized `(min, max)` — undirected, like
-    /// the runtime's `LinkTable`.
+    /// Currently severed directed links: `(from, to)` means `from` cannot
+    /// open a fetch to `to`; an asymmetric partition leaves the reverse
+    /// entry absent so heartbeats and reverse fetches stay healthy.
     severed: BTreeSet<(u32, u32)>,
+    /// Currently degraded directed links: `(from, to)` → `(factor, loss)`.
+    degraded: BTreeMap<(u32, u32), (f64, f64)>,
     /// Armed MOF rot: `(map_index, reduce partition)` whose next arriving
     /// chunk fails checksum validation. Consumed on observation (the
     /// high-priority regeneration rewrites clean bytes).
@@ -294,6 +310,8 @@ impl Simulation {
         let mut faults_slow = Vec::new();
         let mut faults_sever = Vec::new();
         let mut faults_heal = Vec::new();
+        let mut faults_degrade = Vec::new();
+        let mut faults_undegrade = Vec::new();
         let mut faults_corrupt = Vec::new();
         for f in &faults {
             match f {
@@ -314,9 +332,17 @@ impl Simulation {
                 SimFault::SlowNodeAtSecs { node, at_secs, factor } => {
                     faults_slow.push((*node, *at_secs, factor.max(1.0)))
                 }
-                SimFault::PartitionLinkAtSecs { a, b, from_secs, heal_secs } => {
-                    faults_sever.push((*a, *b, *from_secs));
-                    faults_heal.push((*a, *b, heal_secs.max(*from_secs)));
+                SimFault::PartitionLinkAtSecs { a, b, direction, from_secs, heal_secs } => {
+                    for (from, to) in direction.directed_keys(*a, *b) {
+                        faults_sever.push((from, to, *from_secs));
+                        faults_heal.push((from, to, heal_secs.max(*from_secs)));
+                    }
+                }
+                SimFault::DegradedLinkAtSecs { a, b, direction, from_secs, heal_secs, factor, loss } => {
+                    for (from, to) in direction.directed_keys(*a, *b) {
+                        faults_degrade.push((from, to, *from_secs, factor.max(1.0), loss.clamp(0.0, 1.0)));
+                        faults_undegrade.push((from, to, heal_secs.max(*from_secs)));
+                    }
                 }
                 SimFault::CorruptDataAtSecs { node, target, at_secs } => {
                     faults_corrupt.push((*node, *target, *at_secs))
@@ -349,8 +375,11 @@ impl Simulation {
             faults_slow,
             faults_sever,
             faults_heal,
+            faults_degrade,
+            faults_undegrade,
             faults_corrupt,
             severed: BTreeSet::new(),
+            degraded: BTreeMap::new(),
             corrupt_mofs: BTreeSet::new(),
             corrupt_dfs_blocks: BTreeSet::new(),
             seed,
@@ -365,10 +394,20 @@ impl Simulation {
         self.q.now().as_secs_f64()
     }
 
-    /// Whether the data-plane link between two nodes is currently severed
-    /// (undirected; a node always reaches itself).
-    fn link_severed(&self, a: u32, b: u32) -> bool {
-        a != b && self.severed.contains(&(a.min(b), a.max(b)))
+    /// Whether `from` can currently not open a fetch connection to `to`
+    /// (directed; a node always reaches itself). Under an asymmetric
+    /// partition only the cut direction is severed.
+    fn link_severed(&self, from: u32, to: u32) -> bool {
+        from != to && self.severed.contains(&(from, to))
+    }
+
+    /// The gray-link `(factor, loss)` for fetches `from → to`, when
+    /// degraded (a node's path to itself is never degraded).
+    fn link_degradation(&self, from: u32, to: u32) -> Option<(f64, f64)> {
+        if from == to {
+            return None;
+        }
+        self.degraded.get(&(from, to)).copied()
     }
 
     /// Exponential backoff with deterministic seeded jitter for dead-source
@@ -585,6 +624,7 @@ impl Simulation {
                 active_fetches: HashMap::new(),
                 fetched,
                 retry: HashMap::new(),
+                loss_draws: HashMap::new(),
                 flows: HashSet::new(),
                 spill_debt: 0,
                 spill_emitted: 0,
@@ -835,8 +875,14 @@ impl Simulation {
         let dst_rack = self.nodes[node as usize].rack;
         let src_rack = self.nodes[src as usize].rack;
         let pool = if src_rack != dst_rack { PoolRef::Uplink(dst_rack) } else { PoolRef::NicIn(node) };
-        let net =
-            self.start_flow(pool, self.qty.chunk_bytes, attempt, Purpose::Fetch { map: m, source: src });
+        // A gray-degraded fetcher → source direction stretches the transfer
+        // by its factor (flow bytes scale; spill accounting keys off
+        // `fetched.len()`, so the stretch never inflates spills).
+        let bytes = match self.link_degradation(node, src) {
+            Some((factor, _)) if factor > 1.0 => (self.qty.chunk_bytes as f64 * factor) as u64,
+            _ => self.qty.chunk_bytes,
+        };
+        let net = self.start_flow(pool, bytes, attempt, Purpose::Fetch { map: m, source: src });
         let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
         att.active_fetches.insert(net, m);
     }
@@ -908,7 +954,44 @@ impl Simulation {
         }
     }
 
-    fn fetch_flow_done(&mut self, attempt: AttemptId, flow: FlowId, m: u32) {
+    fn fetch_flow_done(&mut self, attempt: AttemptId, flow: FlowId, m: u32, src: u32) {
+        // Gray loss: a degraded fetcher → source direction drops the
+        // arriving transfer with probability `loss`. The source heartbeats
+        // and the cause is unambiguous, so the reducer transparently
+        // re-fetches — no fetch-failure report, no retry-budget burn (the
+        // mirror of the runtime's `FetchDegraded` path). The draw comes
+        // from a labelled engine RNG stream with a per-(attempt, map)
+        // counter, so replays are bit-identical; a deterministic drop cap
+        // keeps pathological `loss = 1` schedules from livelocking.
+        if let Some((_, loss)) =
+            self.link_degradation(self.red_atts.get(&attempt).map_or(src, |a| a.node), src)
+        {
+            if loss > 0.0 {
+                let dropped = {
+                    let Some(att) = self.red_atts.get_mut(&attempt) else { return };
+                    if att.dead {
+                        return;
+                    }
+                    let k = att.loss_draws.entry(m).or_insert(0);
+                    let draw_ok = *k < MAX_GRAY_DROPS;
+                    *k += 1;
+                    let label = format!("sim-degraded-loss/{attempt}/{m}/{k}");
+                    let mut rng = alm_des::rng::stream(self.seed, &label);
+                    if draw_ok && rng.random_range(0..1_000_000u64) < (loss * 1e6) as u64 {
+                        att.active_fetches.remove(&flow);
+                        att.pending.insert(m);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if dropped {
+                    self.report.degraded_drops += 1;
+                    self.pump_fetches(attempt);
+                    return;
+                }
+            }
+        }
         // Checksum validation on arrival: an armed corruption of this MOF
         // partition fails the frame check. The reducer reports it (no retry
         // budget burned — the source heartbeats, so the cause is
@@ -1690,19 +1773,42 @@ impl Simulation {
         // window that opened and closed within one tick nets healed), then
         // re-pump the shuffles a heal may have unparked.
         let due: Vec<(u32, u32)> =
-            self.faults_sever.iter().filter(|(.., at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
+            self.faults_sever.iter().filter(|(.., at)| *at <= now).map(|(f, t, _)| (*f, *t)).collect();
         self.faults_sever.retain(|(.., at)| *at > now);
-        for (a, b) in due {
-            if a != b {
-                self.severed.insert((a.min(b), a.max(b)));
+        for (from, to) in due {
+            if from != to {
+                self.severed.insert((from, to));
             }
         }
         let due: Vec<(u32, u32)> =
-            self.faults_heal.iter().filter(|(.., at)| *at <= now).map(|(a, b, _)| (*a, *b)).collect();
+            self.faults_heal.iter().filter(|(.., at)| *at <= now).map(|(f, t, _)| (*f, *t)).collect();
         self.faults_heal.retain(|(.., at)| *at > now);
         let healed = !due.is_empty();
-        for (a, b) in due {
-            self.severed.remove(&(a.min(b), a.max(b)));
+        for (from, to) in due {
+            // Healing an already-healed (or never-severed) direction is an
+            // explicit no-op, same as the runtime's `LinkTable::heal`.
+            self.severed.remove(&(from, to));
+        }
+
+        // Gray-link activations and clears. Degraded links never park a
+        // fetch (bytes still flow), so no re-pump is needed here.
+        let due: Vec<(u32, u32, f64, f64)> = self
+            .faults_degrade
+            .iter()
+            .filter(|(.., at, _, _)| *at <= now)
+            .map(|(f, t, _, fac, loss)| (*f, *t, *fac, *loss))
+            .collect();
+        self.faults_degrade.retain(|(.., at, _, _)| *at > now);
+        for (from, to, factor, loss) in due {
+            if from != to {
+                self.degraded.insert((from, to), (factor, loss));
+            }
+        }
+        let due: Vec<(u32, u32)> =
+            self.faults_undegrade.iter().filter(|(.., at)| *at <= now).map(|(f, t, _)| (*f, *t)).collect();
+        self.faults_undegrade.retain(|(.., at)| *at > now);
+        for (from, to) in due {
+            self.degraded.remove(&(from, to));
         }
         if healed {
             let mut stuck: Vec<AttemptId> = self
@@ -1849,7 +1955,7 @@ impl Simulation {
         match info.purpose {
             Purpose::MapRead | Purpose::MapWrite => self.map_flow_done(info.attempt, info.purpose),
             Purpose::FetchRead { map, source } => self.fetch_read_done(info.attempt, id, map, source),
-            Purpose::Fetch { map, .. } => self.fetch_flow_done(info.attempt, id, map),
+            Purpose::Fetch { map, source } => self.fetch_flow_done(info.attempt, id, map, source),
             Purpose::Spill => self.spill_flow_done(info.attempt),
             Purpose::MergePass => self.merge_pass_done(info.attempt, id),
             Purpose::ReduceRead | Purpose::Output => self.reduce_flow_done(info.attempt, id),
@@ -1969,7 +2075,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use alm_types::units::GB;
-    use alm_types::RecoveryMode;
+    use alm_types::{LinkDirection, RecoveryMode};
     use alm_workloads::WorkloadKind;
 
     fn run(
@@ -2159,6 +2265,7 @@ mod tests {
                 vec![SimFault::PartitionLinkAtSecs {
                     a: red_node,
                     b: other,
+                    direction: LinkDirection::Both,
                     from_secs: 0.0,
                     heal_secs: heal,
                 }],
@@ -2178,6 +2285,99 @@ mod tests {
                 clean.job_secs
             );
         }
+    }
+
+    #[test]
+    fn asymmetric_partition_only_parks_the_cut_direction() {
+        // Sever only red_node → other. Reducers on `other` still fetch MOFs
+        // hosted on red_node, so the slowdown must be strictly smaller than
+        // under the symmetric cut — and nothing may fail in either case.
+        let mode = RecoveryMode::Baseline;
+        let clean = run(WorkloadKind::Terasort, 10, 8, mode, vec![]);
+        let red_node = clean.reduce_nodes[&0][0];
+        let workers = ExperimentEnv::paper(mode).cluster.worker_nodes();
+        let other = (red_node + 1) % workers;
+        let heal = clean.map_phase_secs + 30.0;
+        let part = |direction| {
+            run(
+                WorkloadKind::Terasort,
+                10,
+                8,
+                mode,
+                vec![SimFault::PartitionLinkAtSecs {
+                    a: red_node,
+                    b: other,
+                    direction,
+                    from_secs: 0.0,
+                    heal_secs: heal,
+                }],
+            )
+        };
+        let asym = part(LinkDirection::AToB);
+        let sym = part(LinkDirection::Both);
+        assert!(asym.succeeded && sym.succeeded);
+        assert!(asym.failures.is_empty(), "asymmetric cut must not fail anything: {:?}", asym.failures);
+        assert_eq!(asym.map_attempts, clean.map_attempts, "no map re-execution under a half-open link");
+        assert!(
+            asym.job_secs <= sym.job_secs,
+            "the half-open link must hurt no more than the full cut: {:.1}s vs {:.1}s",
+            asym.job_secs,
+            sym.job_secs
+        );
+    }
+
+    #[test]
+    fn degraded_link_drops_refetch_without_preemption() {
+        // A lossy, slow gray link between a reducer's node and a MOF host:
+        // the job completes, drops are observed and transparently
+        // re-fetched, and the retry budget is never charged.
+        let mode = RecoveryMode::Baseline;
+        let clean = run(WorkloadKind::Terasort, 10, 8, mode, vec![]);
+        let red_node = clean.reduce_nodes[&0][0];
+        let workers = ExperimentEnv::paper(mode).cluster.worker_nodes();
+        // Gray NIC on red_node: every fetch it issues is slow and lossy.
+        let faults = (0..workers)
+            .filter(|n| *n != red_node)
+            .map(|other| SimFault::DegradedLinkAtSecs {
+                a: red_node,
+                b: other,
+                direction: LinkDirection::AToB,
+                from_secs: 0.0,
+                heal_secs: 1.0e9,
+                factor: 4.0,
+                loss: 0.5,
+            })
+            .collect();
+        let faulty = run(WorkloadKind::Terasort, 10, 8, mode, faults);
+        assert!(faulty.succeeded, "{faulty:?}");
+        assert!(faulty.degraded_drops >= 1, "gray loss must be observed: {faulty:?}");
+        assert!(faulty.failures.is_empty(), "gray drops must never preempt: {:?}", faulty.failures);
+        assert_eq!(faulty.reduce_attempts, clean.reduce_attempts, "no reducer preemption");
+        assert!(
+            faulty.job_secs > clean.job_secs,
+            "slow + lossy fetches must delay the job: {:.1}s vs {:.1}s",
+            faulty.job_secs,
+            clean.job_secs
+        );
+    }
+
+    #[test]
+    fn flapping_partition_is_deterministic_and_harmless() {
+        use alm_types::{FaultPlan, FlapSchedule, NodeId};
+        let mode = RecoveryMode::SfmAlg;
+        let flap = FlapSchedule { seed: 7, cycles: 3, period_ms: 15_000, down_ms: 10_000 };
+        let plan = FaultPlan::flapping_link(NodeId(0), NodeId(1), LinkDirection::Both, 5_000, flap);
+        let faults = SimFault::lower_plan(&plan);
+        assert_eq!(faults.len(), 3, "one window per cycle");
+        let a = run(WorkloadKind::Terasort, 5, 4, mode, faults.clone());
+        let b = run(WorkloadKind::Terasort, 5, 4, mode, faults);
+        assert_eq!(a, b, "flap windows must preserve full determinism");
+        assert!(a.succeeded, "{a:?}");
+        assert!(
+            a.failures.iter().all(|f| f.kind != FailureKind::FetchFailureLimit),
+            "flap cycles must never exhaust the retry budget: {:?}",
+            a.failures
+        );
     }
 
     #[test]
@@ -2221,7 +2421,13 @@ mod tests {
         // Partition + corruption + a crash: jitter comes from the engine
         // RNG stream, so two runs must still be bit-identical.
         let faults = vec![
-            SimFault::PartitionLinkAtSecs { a: 0, b: 1, from_secs: 10.0, heal_secs: 60.0 },
+            SimFault::PartitionLinkAtSecs {
+                a: 0,
+                b: 1,
+                direction: LinkDirection::Both,
+                from_secs: 10.0,
+                heal_secs: 60.0,
+            },
             SimFault::CorruptDataAtSecs {
                 node: 0,
                 target: CorruptTarget::MofPartition { map_index: 3, partition: 1 },

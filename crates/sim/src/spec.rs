@@ -1,6 +1,8 @@
 //! Experiment inputs.
 
-use alm_types::{AlmConfig, ClusterSpec, CorruptTarget, Fault, FaultPlan, RecoveryMode, YarnConfig};
+use alm_types::{
+    AlmConfig, ClusterSpec, CorruptTarget, Fault, FaultPlan, LinkDirection, RecoveryMode, YarnConfig,
+};
 use alm_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
@@ -48,10 +50,25 @@ pub enum SimFault {
     /// Applies to CPU phases started after activation.
     SlowNodeAtSecs { node: u32, at_secs: f64, factor: f64 },
     /// Sever the data-plane link between two (alive, heartbeating) nodes
-    /// from `from_secs` until `heal_secs`. Fetch admission across the link
-    /// parks instead of burning retry budget — the transient-fault half of
-    /// §II-C's amplification story.
-    PartitionLinkAtSecs { a: u32, b: u32, from_secs: f64, heal_secs: f64 },
+    /// from `from_secs` until `heal_secs`, in the given direction(s). Fetch
+    /// admission across a severed direction parks instead of burning retry
+    /// budget — the transient-fault half of §II-C's amplification story. An
+    /// asymmetric direction leaves the reverse path (and heartbeats) healthy.
+    PartitionLinkAtSecs { a: u32, b: u32, direction: LinkDirection, from_secs: f64, heal_secs: f64 },
+    /// Gray-degrade the link between two alive nodes from `from_secs` until
+    /// `heal_secs`: fetch transfers crossing a degraded direction are
+    /// stretched by `factor` and each completion is dropped (and
+    /// transparently re-fetched, never charged to the retry budget) with
+    /// probability `loss`.
+    DegradedLinkAtSecs {
+        a: u32,
+        b: u32,
+        direction: LinkDirection,
+        from_secs: f64,
+        heal_secs: f64,
+        factor: f64,
+        loss: f64,
+    },
     /// Rot one durable artifact at `at_secs` (checksummed recovery path).
     CorruptDataAtSecs { node: u32, target: CorruptTarget, at_secs: f64 },
 }
@@ -61,48 +78,68 @@ impl SimFault {
     /// vocabulary. Map/reduce kills split by task kind; absolute
     /// millisecond triggers become virtual seconds. Kills of attempts
     /// other than 0 have no simulator equivalent (the simulator's kill
-    /// triggers fire once, on the first attempt) and lower to `None`.
-    pub fn lower(fault: &Fault) -> Option<SimFault> {
+    /// triggers fire once, on the first attempt) and lower to nothing. A
+    /// flapping partition expands into one sever→heal window per cycle via
+    /// the *shared* `FaultPlan::partition_windows` expansion, so the two
+    /// engines' timelines cannot drift.
+    pub fn lower(fault: &Fault) -> Vec<SimFault> {
         match fault {
-            Fault::KillTask { task, attempt_number: 0, at_progress } => Some(if task.is_reduce() {
+            Fault::KillTask { task, attempt_number: 0, at_progress } => vec![if task.is_reduce() {
                 SimFault::KillReduceAtProgress { reduce_index: task.index, at_progress: *at_progress }
             } else {
                 SimFault::KillMapAtProgress { map_index: task.index, at_progress: *at_progress }
-            }),
-            Fault::KillTask { .. } => None,
+            }],
+            Fault::KillTask { .. } => vec![],
             Fault::CrashNodeAtMs { node, at_ms } => {
-                Some(SimFault::CrashNodeAtSecs { node: node.0, at_secs: *at_ms as f64 / 1000.0 })
+                vec![SimFault::CrashNodeAtSecs { node: node.0, at_secs: *at_ms as f64 / 1000.0 }]
             }
             Fault::CrashNodeAtReduceProgress { node, reduce_index, at_progress } => {
-                Some(SimFault::CrashNodeAtReduceProgress {
+                vec![SimFault::CrashNodeAtReduceProgress {
                     node: node.0,
                     reduce_index: *reduce_index,
                     at_progress: *at_progress,
-                })
+                }]
             }
-            Fault::SlowNode { node, at_ms, factor } => Some(SimFault::SlowNodeAtSecs {
+            Fault::SlowNode { node, at_ms, factor } => vec![SimFault::SlowNodeAtSecs {
                 node: node.0,
                 at_secs: *at_ms as f64 / 1000.0,
                 factor: *factor,
-            }),
-            Fault::PartitionLink { a, b, from_ms, heal_ms } => Some(SimFault::PartitionLinkAtSecs {
-                a: a.0,
-                b: b.0,
-                from_secs: *from_ms as f64 / 1000.0,
-                heal_secs: *heal_ms as f64 / 1000.0,
-            }),
-            Fault::CorruptData { node, target, at_ms } => Some(SimFault::CorruptDataAtSecs {
+            }],
+            Fault::PartitionLink { .. } => FaultPlan { faults: vec![fault.clone()] }
+                .partition_windows()
+                .into_iter()
+                .map(|w| SimFault::PartitionLinkAtSecs {
+                    a: w.a.0,
+                    b: w.b.0,
+                    direction: w.direction,
+                    from_secs: w.from_ms as f64 / 1000.0,
+                    heal_secs: w.heal_ms.max(w.from_ms) as f64 / 1000.0,
+                })
+                .collect(),
+            Fault::DegradedLink { a, b, direction, from_ms, heal_ms, factor, loss } => {
+                vec![SimFault::DegradedLinkAtSecs {
+                    a: a.0,
+                    b: b.0,
+                    direction: *direction,
+                    from_secs: *from_ms as f64 / 1000.0,
+                    heal_secs: *heal_ms as f64 / 1000.0,
+                    factor: *factor,
+                    loss: *loss,
+                }]
+            }
+            Fault::CorruptData { node, target, at_ms } => vec![SimFault::CorruptDataAtSecs {
                 node: node.0,
                 target: *target,
                 at_secs: *at_ms as f64 / 1000.0,
-            }),
+            }],
         }
     }
 
     /// Lower a whole shared [`FaultPlan`] (dropping faults with no
-    /// simulator equivalent — see [`SimFault::lower`]).
+    /// simulator equivalent and expanding flap schedules — see
+    /// [`SimFault::lower`]).
     pub fn lower_plan(plan: &FaultPlan) -> Vec<SimFault> {
-        plan.faults.iter().filter_map(SimFault::lower).collect()
+        plan.faults.iter().flat_map(SimFault::lower).collect()
     }
 }
 
@@ -154,6 +191,7 @@ mod tests {
             .and(FaultPlan::crash_node_at_reduce_progress(NodeId(4), 0, 0.3))
             .and(FaultPlan::slow_node(NodeId(5), 10_000, 2.0))
             .and(FaultPlan::partition_link(NodeId(0), NodeId(6), 5_000, 45_000))
+            .and(FaultPlan::degraded_link(NodeId(2), NodeId(3), LinkDirection::AToB, 8_000, 20_000, 3.0, 0.1))
             .and(FaultPlan::corrupt_data(
                 NodeId(1),
                 CorruptTarget::MofPartition { map_index: 2, partition: 7 },
@@ -168,7 +206,22 @@ mod tests {
                 SimFault::CrashNodeAtSecs { node: 2, at_secs: 30.0 },
                 SimFault::CrashNodeAtReduceProgress { node: 4, reduce_index: 0, at_progress: 0.3 },
                 SimFault::SlowNodeAtSecs { node: 5, at_secs: 10.0, factor: 2.0 },
-                SimFault::PartitionLinkAtSecs { a: 0, b: 6, from_secs: 5.0, heal_secs: 45.0 },
+                SimFault::PartitionLinkAtSecs {
+                    a: 0,
+                    b: 6,
+                    direction: LinkDirection::Both,
+                    from_secs: 5.0,
+                    heal_secs: 45.0,
+                },
+                SimFault::DegradedLinkAtSecs {
+                    a: 2,
+                    b: 3,
+                    direction: LinkDirection::AToB,
+                    from_secs: 8.0,
+                    heal_secs: 20.0,
+                    factor: 3.0,
+                    loss: 0.1,
+                },
                 SimFault::CorruptDataAtSecs {
                     node: 1,
                     target: CorruptTarget::MofPartition { map_index: 2, partition: 7 },
@@ -182,6 +235,27 @@ mod tests {
     fn later_attempt_kills_have_no_sim_equivalent() {
         use alm_types::{JobId, TaskId};
         let f = Fault::KillTask { task: TaskId::reduce(JobId(0), 0), attempt_number: 1, at_progress: 0.5 };
-        assert_eq!(SimFault::lower(&f), None);
+        assert_eq!(SimFault::lower(&f), vec![]);
+    }
+
+    #[test]
+    fn flapping_partition_lowers_to_one_window_per_cycle() {
+        use alm_types::{FlapSchedule, NodeId};
+        let flap = FlapSchedule { seed: 9, cycles: 3, period_ms: 20_000, down_ms: 10_000 };
+        let plan = FaultPlan::flapping_link(NodeId(1), NodeId(4), LinkDirection::BToA, 5_000, flap);
+        let lowered = SimFault::lower_plan(&plan);
+        let windows = plan.partition_windows();
+        assert_eq!(lowered.len(), 3, "one sim window per flap cycle");
+        for (f, w) in lowered.iter().zip(&windows) {
+            match f {
+                SimFault::PartitionLinkAtSecs { a, b, direction, from_secs, heal_secs } => {
+                    assert_eq!((*a, *b), (1, 4));
+                    assert_eq!(*direction, LinkDirection::BToA);
+                    assert!((from_secs * 1000.0 - w.from_ms as f64).abs() < 1e-6);
+                    assert!((heal_secs * 1000.0 - w.heal_ms as f64).abs() < 1e-6);
+                }
+                other => panic!("unexpected lowering: {other:?}"),
+            }
+        }
     }
 }

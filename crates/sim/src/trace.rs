@@ -36,6 +36,9 @@ pub struct SimReport {
     /// transparently re-fetched after MOF regeneration (never charged to
     /// the retry budget).
     pub corruption_refetches: u32,
+    /// Fetch transfers dropped by gray-degraded links and transparently
+    /// re-fetched (never charged to the retry budget).
+    pub degraded_drops: u32,
     /// ALG snapshots lost to record rot (recovery truncated at the bad
     /// record and fell back one logging interval).
     pub log_truncations: u32,

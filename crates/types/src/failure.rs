@@ -184,6 +184,137 @@ impl FailureReport {
     }
 }
 
+/// Which way a link fault cuts. Real partitions are frequently
+/// *asymmetric* — a broken switch ACL or a one-way routing loop lets
+/// traffic flow `b → a` while `a → b` blackholes — so link faults carry a
+/// direction instead of assuming symmetry. `AToB` means traffic *from*
+/// `a` *to* `b` is affected (a cannot open a fetch connection to b) while
+/// the reverse path, and with it heartbeats and failure reports, stays
+/// healthy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LinkDirection {
+    /// Both directions cut — the classic symmetric partition.
+    #[default]
+    Both,
+    /// Only `a → b` traffic is affected; `b → a` stays healthy.
+    AToB,
+    /// Only `b → a` traffic is affected; `a → b` stays healthy.
+    BToA,
+}
+
+impl LinkDirection {
+    /// Every variant, for exhaustiveness tests.
+    pub const ALL: [LinkDirection; 3] = [LinkDirection::Both, LinkDirection::AToB, LinkDirection::BToA];
+
+    /// Stable kebab-case label for reports and rendered tables.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LinkDirection::Both => "both",
+            LinkDirection::AToB => "a-to-b",
+            LinkDirection::BToA => "b-to-a",
+        }
+    }
+
+    /// The concrete directed `(from, to)` keys this direction cuts on the
+    /// endpoint pair `(a, b)`. This is the ONE place directed-link keys
+    /// are derived: the runtime's `LinkTable` and the simulator's severed
+    /// set both store exactly these pairs, so the two engines' key
+    /// normalisation cannot drift.
+    pub fn directed_keys<N: Copy>(&self, a: N, b: N) -> Vec<(N, N)> {
+        match self {
+            LinkDirection::Both => vec![(a, b), (b, a)],
+            LinkDirection::AToB => vec![(a, b)],
+            LinkDirection::BToA => vec![(b, a)],
+        }
+    }
+}
+
+impl fmt::Display for LinkDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Deterministic arithmetic mixer (splitmix64 finalizer) used to jitter
+/// flap windows. Pure function of its inputs — no RNG state, no entropy
+/// source — so both engines expand byte-identical windows from the plan
+/// alone.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A bounded, seeded sever/heal flapping schedule layered on one
+/// [`Fault::PartitionLink`]. Cycle `i` severs at `from_ms + i *
+/// period_ms` and heals after a down-span jittered deterministically from
+/// `seed` into `[down_ms/2, down_ms]` (clamped to end strictly before the
+/// next cycle's sever, so windows from one schedule can never overlap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlapSchedule {
+    /// Jitter seed; two schedules with the same seed expand identically.
+    pub seed: u64,
+    /// Number of sever/heal cycles (bounded; clamped to 64).
+    pub cycles: u32,
+    /// Milliseconds from one sever to the next (clamped to >= 2).
+    pub period_ms: u64,
+    /// Nominal down-span per cycle; the realised span is jittered into
+    /// `[down_ms/2, down_ms]` and clamped to `period_ms - 1`.
+    pub down_ms: u64,
+}
+
+impl FlapSchedule {
+    /// Expand to concrete `(sever_ms, heal_ms)` windows starting at
+    /// `from_ms`. Windows are strictly increasing and non-overlapping:
+    /// every heal lands before the next sever.
+    pub fn windows(&self, from_ms: u64) -> Vec<(u64, u64)> {
+        let period = self.period_ms.max(2);
+        let hi = self.down_ms.clamp(1, period - 1);
+        let lo = (hi / 2).max(1);
+        (0..self.cycles.min(64))
+            .map(|i| {
+                let sever = from_ms + u64::from(i) * period;
+                let down = lo + mix64(self.seed ^ u64::from(i)) % (hi - lo + 1);
+                (sever, sever + down)
+            })
+            .collect()
+    }
+
+    /// The final heal time of the expanded schedule (equals `from_ms`
+    /// when the schedule has zero cycles).
+    pub fn end_ms(&self, from_ms: u64) -> u64 {
+        self.windows(from_ms).last().map_or(from_ms, |w| w.1)
+    }
+}
+
+/// One concrete sever→heal window of a (possibly flapping, possibly
+/// asymmetric) link partition, as consumed by the engines' lowering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionWindow {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub direction: LinkDirection,
+    pub from_ms: u64,
+    pub heal_ms: u64,
+}
+
+/// One planned degraded-link activation, as consumed by the engines'
+/// lowering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegradation {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub direction: LinkDirection,
+    pub from_ms: u64,
+    pub heal_ms: u64,
+    /// Transfer slowdown factor (>= 1; 2.0 = fetches take twice as long).
+    pub factor: f64,
+    /// Probability in `[0, 1)` that one fetch transfer is dropped and must
+    /// be transparently retried (never charged to the retry budget).
+    pub loss: f64,
+}
+
 /// What a [`Fault::CorruptData`] injection flips bytes in: the durable
 /// artifacts the recovery paths read back — shuffle MOF partitions, ALG
 /// analytics-log records, and committed DFS output blocks. All three are
@@ -232,10 +363,37 @@ pub enum Fault {
     /// rather than failure reports.
     SlowNode { node: NodeId, at_ms: u64, factor: f64 },
     /// Sever the data-plane link between nodes `a` and `b` from `from_ms`
-    /// until `heal_ms`. Both nodes stay alive and heartbeating but cannot
-    /// exchange shuffle or DFS traffic until the partition heals — the
-    /// ambiguous transient fault §II-C's amplification cascade starts from.
-    PartitionLink { a: NodeId, b: NodeId, from_ms: u64, heal_ms: u64 },
+    /// until `heal_ms`, in the given [`LinkDirection`]. The affected
+    /// node(s) stay alive and heartbeating but cannot fetch shuffle or DFS
+    /// traffic across the cut direction until the partition heals — the
+    /// ambiguous transient fault §II-C's amplification cascade starts
+    /// from. With a [`FlapSchedule`], the link instead severs and heals
+    /// repeatedly: `flap.windows(from_ms)` replaces the single
+    /// `(from_ms, heal_ms)` window and `heal_ms` is advisory (the
+    /// schedule's final heal).
+    PartitionLink {
+        a: NodeId,
+        b: NodeId,
+        direction: LinkDirection,
+        from_ms: u64,
+        heal_ms: u64,
+        flap: Option<FlapSchedule>,
+    },
+    /// The canonical *gray* failure: the link between `a` and `b` stays
+    /// up, but from `from_ms` until `heal_ms` transfers across the cut
+    /// direction run `factor`× slower and each transfer is dropped with
+    /// probability `loss` (deterministic seeded draws). Nothing is
+    /// unreachable, nothing fails — the stack must absorb the degradation
+    /// without charging the fetch retry budget or declaring anything dead.
+    DegradedLink {
+        a: NodeId,
+        b: NodeId,
+        direction: LinkDirection,
+        from_ms: u64,
+        heal_ms: u64,
+        factor: f64,
+        loss: f64,
+    },
     /// Flip bytes in a durable artifact on `node` at `at_ms`. The host
     /// stays healthy; readers must detect the damage via checksums and
     /// recover (re-fetch the partition / truncate the log) without
@@ -252,7 +410,13 @@ impl Fault {
     /// as injected failures would hide amplification behind a bigger
     /// denominator.
     pub fn produces_failures(&self) -> bool {
-        !matches!(self, Fault::SlowNode { .. } | Fault::PartitionLink { .. } | Fault::CorruptData { .. })
+        !matches!(
+            self,
+            Fault::SlowNode { .. }
+                | Fault::PartitionLink { .. }
+                | Fault::DegradedLink { .. }
+                | Fault::CorruptData { .. }
+        )
     }
 }
 
@@ -283,8 +447,48 @@ impl FaultPlan {
         FaultPlan { faults: vec![Fault::SlowNode { node, at_ms, factor }] }
     }
 
+    /// Symmetric single-window partition (the classic case).
     pub fn partition_link(a: NodeId, b: NodeId, from_ms: u64, heal_ms: u64) -> FaultPlan {
-        FaultPlan { faults: vec![Fault::PartitionLink { a, b, from_ms, heal_ms }] }
+        FaultPlan::partition_link_directed(a, b, LinkDirection::Both, from_ms, heal_ms)
+    }
+
+    /// Partition cutting only the given direction.
+    pub fn partition_link_directed(
+        a: NodeId,
+        b: NodeId,
+        direction: LinkDirection,
+        from_ms: u64,
+        heal_ms: u64,
+    ) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::PartitionLink { a, b, direction, from_ms, heal_ms, flap: None }] }
+    }
+
+    /// Flapping partition: `flap.windows(from_ms)` sever/heal cycles on
+    /// the link, cutting `direction`.
+    pub fn flapping_link(
+        a: NodeId,
+        b: NodeId,
+        direction: LinkDirection,
+        from_ms: u64,
+        flap: FlapSchedule,
+    ) -> FaultPlan {
+        let heal_ms = flap.end_ms(from_ms);
+        FaultPlan {
+            faults: vec![Fault::PartitionLink { a, b, direction, from_ms, heal_ms, flap: Some(flap) }],
+        }
+    }
+
+    /// Degraded (slow/lossy but alive) link across `direction`.
+    pub fn degraded_link(
+        a: NodeId,
+        b: NodeId,
+        direction: LinkDirection,
+        from_ms: u64,
+        heal_ms: u64,
+        factor: f64,
+        loss: f64,
+    ) -> FaultPlan {
+        FaultPlan { faults: vec![Fault::DegradedLink { a, b, direction, from_ms, heal_ms, factor, loss }] }
     }
 
     pub fn corrupt_data(node: NodeId, target: CorruptTarget, at_ms: u64) -> FaultPlan {
@@ -316,10 +520,46 @@ impl FaultPlan {
         })
     }
 
-    /// Planned link partitions as `(a, b, from_ms, heal_ms)` tuples.
-    pub fn partitions(&self) -> impl Iterator<Item = (NodeId, NodeId, u64, u64)> + '_ {
+    /// Planned link partitions expanded to concrete sever→heal windows:
+    /// one window per plain partition, one per flap cycle for flapping
+    /// partitions. Both engines lower from exactly this expansion.
+    pub fn partition_windows(&self) -> Vec<PartitionWindow> {
+        let mut out = Vec::new();
+        for f in &self.faults {
+            if let Fault::PartitionLink { a, b, direction, from_ms, heal_ms, flap } = f {
+                match flap {
+                    Some(schedule) => {
+                        out.extend(schedule.windows(*from_ms).into_iter().map(|(from_ms, heal_ms)| {
+                            PartitionWindow { a: *a, b: *b, direction: *direction, from_ms, heal_ms }
+                        }))
+                    }
+                    None => out.push(PartitionWindow {
+                        a: *a,
+                        b: *b,
+                        direction: *direction,
+                        from_ms: *from_ms,
+                        heal_ms: *heal_ms,
+                    }),
+                }
+            }
+        }
+        out
+    }
+
+    /// Planned degraded-link activations.
+    pub fn degradations(&self) -> impl Iterator<Item = LinkDegradation> + '_ {
         self.faults.iter().filter_map(|f| match f {
-            Fault::PartitionLink { a, b, from_ms, heal_ms } => Some((*a, *b, *from_ms, *heal_ms)),
+            Fault::DegradedLink { a, b, direction, from_ms, heal_ms, factor, loss } => {
+                Some(LinkDegradation {
+                    a: *a,
+                    b: *b,
+                    direction: *direction,
+                    from_ms: *from_ms,
+                    heal_ms: *heal_ms,
+                    factor: *factor,
+                    loss: *loss,
+                })
+            }
             _ => None,
         })
     }
@@ -499,24 +739,104 @@ mod tests {
                 NodeId(1),
                 CorruptTarget::DfsBlock { reduce_index: 2, block: 0 },
                 300,
-            ));
+            ))
+            .and(FaultPlan::flapping_link(
+                NodeId(0),
+                NodeId(4),
+                LinkDirection::AToB,
+                50,
+                FlapSchedule { seed: 7, cycles: 3, period_ms: 100, down_ms: 40 },
+            ))
+            .and(FaultPlan::degraded_link(NodeId(2), NodeId(3), LinkDirection::BToA, 0, 500, 3.0, 0.25));
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
     }
 
     #[test]
+    fn direction_expands_to_the_shared_directed_keys() {
+        assert_eq!(LinkDirection::Both.directed_keys(1u32, 2u32), vec![(1, 2), (2, 1)]);
+        assert_eq!(LinkDirection::AToB.directed_keys(1u32, 2u32), vec![(1, 2)]);
+        assert_eq!(LinkDirection::BToA.directed_keys(1u32, 2u32), vec![(2, 1)]);
+        // Exhaustiveness + label sanity, mirroring the FailureKind test.
+        let mut labels = std::collections::HashSet::new();
+        for d in LinkDirection::ALL {
+            match d {
+                LinkDirection::Both | LinkDirection::AToB | LinkDirection::BToA => {}
+            }
+            assert!(labels.insert(d.as_str()), "duplicate label {d}");
+            let back: LinkDirection = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+            assert_eq!(back, d);
+        }
+        assert_eq!(LinkDirection::default(), LinkDirection::Both);
+    }
+
+    #[test]
+    fn flap_windows_are_bounded_ordered_and_non_overlapping() {
+        for seed in 0..50u64 {
+            let flap = FlapSchedule { seed, cycles: 5, period_ms: 30, down_ms: 20 };
+            let windows = flap.windows(100);
+            assert_eq!(windows.len(), 5);
+            for (i, &(sever, heal)) in windows.iter().enumerate() {
+                assert_eq!(sever, 100 + i as u64 * 30);
+                assert!(heal > sever, "zero-length window at seed {seed}");
+                assert!(heal - sever <= 20, "down span beyond nominal at seed {seed}");
+                assert!(heal - sever >= 10, "down span under half nominal at seed {seed}");
+            }
+            for pair in windows.windows(2) {
+                assert!(pair[0].1 < pair[1].0, "windows overlap at seed {seed}: {windows:?}");
+            }
+            assert_eq!(flap.end_ms(100), windows.last().unwrap().1);
+            assert_eq!(flap.windows(100), windows, "expansion must be deterministic");
+        }
+        // Degenerate inputs clamp instead of panicking or overlapping.
+        let tight = FlapSchedule { seed: 3, cycles: 2, period_ms: 0, down_ms: 0 };
+        let w = tight.windows(0);
+        assert_eq!(w.len(), 2);
+        assert!(w[0].1 < w[1].0, "{w:?}");
+        assert_eq!(FlapSchedule { seed: 0, cycles: 0, period_ms: 10, down_ms: 5 }.end_ms(42), 42);
+    }
+
+    #[test]
     fn transient_faults_do_not_count_as_injected_failures() {
         let plan = FaultPlan::partition_link(NodeId(0), NodeId(1), 10, 90)
             .and(FaultPlan::corrupt_data(NodeId(2), CorruptTarget::AlgRecord { reduce_index: 0, seq: 3 }, 50))
+            .and(FaultPlan::degraded_link(NodeId(0), NodeId(2), LinkDirection::Both, 0, 100, 2.0, 0.1))
             .and(FaultPlan::crash_node_at_ms(NodeId(3), 200));
         assert_eq!(plan.injected_count(), 1, "only the crash produces failures");
-        let parts: Vec<_> = plan.partitions().collect();
-        assert_eq!(parts, vec![(NodeId(0), NodeId(1), 10, 90)]);
+        let parts = plan.partition_windows();
+        assert_eq!(
+            parts,
+            vec![PartitionWindow {
+                a: NodeId(0),
+                b: NodeId(1),
+                direction: LinkDirection::Both,
+                from_ms: 10,
+                heal_ms: 90
+            }]
+        );
+        let degs: Vec<_> = plan.degradations().collect();
+        assert_eq!(degs.len(), 1);
+        assert_eq!((degs[0].factor, degs[0].loss), (2.0, 0.1));
         let corr: Vec<_> = plan.corruptions().collect();
         assert_eq!(corr.len(), 1);
         assert_eq!(corr[0].0, NodeId(2));
         assert_eq!(corr[0].2, 50);
         assert!(matches!(corr[0].1, CorruptTarget::AlgRecord { reduce_index: 0, seq: 3 }));
+    }
+
+    #[test]
+    fn flapping_plan_expands_one_window_per_cycle() {
+        let flap = FlapSchedule { seed: 11, cycles: 4, period_ms: 60, down_ms: 30 };
+        let plan = FaultPlan::flapping_link(NodeId(1), NodeId(2), LinkDirection::AToB, 20, flap);
+        let windows = plan.partition_windows();
+        assert_eq!(windows.len(), 4);
+        assert!(windows.iter().all(|w| w.direction == LinkDirection::AToB));
+        assert_eq!(windows.last().unwrap().heal_ms, flap.end_ms(20));
+        match &plan.faults[0] {
+            Fault::PartitionLink { heal_ms, .. } => assert_eq!(*heal_ms, flap.end_ms(20)),
+            other => panic!("unexpected fault {other:?}"),
+        }
+        assert_eq!(plan.injected_count(), 0, "a flapping partition is still transient");
     }
 }

@@ -19,7 +19,10 @@ pub mod state;
 pub mod units;
 
 pub use config::{AlmConfig, ClusterSpec, RecoveryMode, ReplicationLevel, YarnConfig};
-pub use failure::{CorruptTarget, FailureKind, FailureReport, Fault, FaultPlan};
+pub use failure::{
+    CorruptTarget, FailureKind, FailureReport, Fault, FaultPlan, FlapSchedule, LinkDegradation,
+    LinkDirection, PartitionWindow,
+};
 pub use id::{AttemptId, JobId, NodeId, RackId, TaskId};
 pub use progress::Progress;
 pub use state::{JobState, ReducePhase, TaskKind, TaskState};

@@ -18,7 +18,7 @@
 use alm_mapreduce::chaos::{self, ChaosFault, ChaosScenario};
 use alm_mapreduce::prelude::*;
 use alm_mapreduce::sim::experiment::run_one;
-use alm_mapreduce::types::CorruptTarget;
+use alm_mapreduce::types::{CorruptTarget, LinkDirection};
 
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
@@ -39,6 +39,7 @@ fn main() {
             vec![SimFault::PartitionLinkAtSecs {
                 a: red_node,
                 b: partner,
+                direction: LinkDirection::Both,
                 from_secs: clean.map_phase_secs,
                 heal_secs: clean.map_phase_secs + 30.0,
             }],
@@ -113,8 +114,10 @@ fn main() {
         ChaosScenario::new("healing-partition").with(ChaosFault::PartitionLink {
             a: 0,
             b: 2,
+            direction: LinkDirection::Both,
             from_secs: 0.0,
             heal_secs: 40.0,
+            flap: None,
         }),
         ChaosScenario::new("corrupt-mof").with(ChaosFault::CorruptData {
             node: 1,
