@@ -83,6 +83,12 @@ pub struct ScenarioOutcome {
     /// Corrupt replicas still present after post-job repair — the
     /// `dfs-verified-read` invariant requires zero on succeeded runs.
     pub dfs_corrupt_replicas: u32,
+    /// Chain campaigns only: which iteration of the job chain this outcome
+    /// belongs to. Zero for ordinary single-job scenarios.
+    pub chain_iteration: u32,
+    /// Resident-cache hits (shuffle MOFs + chain state stripes) served
+    /// from RAM during the run; nonzero only in the in-memory mode.
+    pub resident_hits: u64,
 }
 
 /// DFS replica-management counters for one runtime run, collected by the
@@ -160,6 +166,8 @@ pub fn analyze_sim(
         dfs_read_failovers: report.dfs_read_failovers,
         dfs_repair_bytes: report.dfs_repair_bytes,
         dfs_corrupt_replicas: report.dfs_corrupt_replicas,
+        chain_iteration: 0,
+        resident_hits: report.resident_fetch_hits,
     }
 }
 
@@ -199,6 +207,8 @@ pub fn analyze_runtime(
         dfs_read_failovers: dfs.read_failovers,
         dfs_repair_bytes: dfs.repair_bytes,
         dfs_corrupt_replicas: dfs.corrupt_replicas,
+        chain_iteration: 0,
+        resident_hits: 0,
     }
 }
 

@@ -391,6 +391,14 @@ impl CampaignReport {
                 if o.dfs_corrupt_replicas > 0 {
                     fields.push(("dfs_corrupt_replicas", Value::U64(o.dfs_corrupt_replicas as u64)));
                 }
+                // Chain/resident counters appear only for in-memory chain
+                // campaigns, so single-job golden files stay byte-identical.
+                if o.chain_iteration > 0 {
+                    fields.push(("chain_iteration", Value::U64(o.chain_iteration as u64)));
+                }
+                if o.resident_hits > 0 {
+                    fields.push(("resident_hits", Value::U64(o.resident_hits)));
+                }
                 Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
             })
             .collect();
@@ -505,6 +513,8 @@ mod tests {
             dfs_read_failovers: 0,
             dfs_repair_bytes: 0,
             dfs_corrupt_replicas: 0,
+            chain_iteration: 0,
+            resident_hits: 0,
         };
         let mut r = CampaignReport::new("unit", 1);
         r.extend(vec![

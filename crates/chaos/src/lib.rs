@@ -15,12 +15,14 @@
 //! | [`calibrate`]    | magnitude calibration: per-mode normalized-slowdown curves across engines, checked against recorded tolerance bands |
 //! | [`warehouse`]    | warehouse-scale bridge: scenarios lowered onto the `alm-sched` multi-tenant engine, per-tenant impact rows (faulted vs clean slowdown) and cross-tenant amplification |
 //! | [`triage`]       | ranked root-cause triage: outcomes grouped by failure signature (stuck → amplified → absorbed), ranked by severity × blast radius, each with a remediation |
+//! | [`chain`]        | in-memory chain campaigns: the `alm-mem` iterative mode crashed mid-chain on both engines, `mem-amplification-bounded` differential invariant, iterations-lost table |
 
 #![forbid(unsafe_code)]
 
 pub mod analyze;
 pub mod calibrate;
 pub mod campaign;
+pub mod chain;
 pub mod differential;
 pub mod scenario;
 pub mod space;
@@ -33,6 +35,7 @@ pub use calibrate::{
     validate_calibrated_transient, CalibrationReport, ModeCurve, SlowdownPoint, ToleranceBands,
 };
 pub use campaign::{CampaignReport, RuntimeCampaign, SimCampaign};
+pub use chain::{ChainCampaign, ChainDifferentialReport, ChainModeRow};
 pub use differential::{validate_at, validate_scenario, DifferentialReport, Invariant, MatchedScale};
 pub use scenario::{ChaosFault, ChaosFlap, ChaosScenario, LoweringProfile};
 pub use space::{FaultSpace, FaultWeights};

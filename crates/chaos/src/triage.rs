@@ -281,6 +281,8 @@ mod tests {
             dfs_read_failovers: 0,
             dfs_repair_bytes: 0,
             dfs_corrupt_replicas: 0,
+            chain_iteration: 0,
+            resident_hits: 0,
         }
     }
 

@@ -106,6 +106,18 @@ impl Default for FaultVocab {
                         ("fault-space sampling", vec!["crates/chaos/src/space.rs"]),
                     ],
                 },
+                // A chain mode one engine cannot recover under would make the
+                // `mem-amplification-bounded` differential vacuous: both chain
+                // engines must branch on every MemMode variant (the durable
+                // checkpoint path is where the modes diverge).
+                EnumCoverage {
+                    enum_name: "MemMode",
+                    decl_file: "crates/types/src/config.rs",
+                    groups: vec![
+                        ("sim chain engine", vec!["crates/mem/src/sim_chain.rs"]),
+                        ("runtime chain engine", vec!["crates/mem/src/runtime_chain.rs"]),
+                    ],
+                },
                 // CorruptData lowers per artifact: every corruption target —
                 // MOF partitions, ALG records, committed DFS blocks — must be
                 // handled by both engines' injection paths.

@@ -46,6 +46,11 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
             &["validate", "scaled_for_tests"],
         )),
         Box::new(ConfigCoverage::of("crates/sched/src/config.rs", "TenantSpec", &["validate"])),
+        Box::new(ConfigCoverage::of(
+            "crates/types/src/config.rs",
+            "MemConfig",
+            &["validate", "scaled_for_tests"],
+        )),
         Box::new(LockOrder::default()),
     ]
 }

@@ -45,6 +45,15 @@ fn seeded_fixture_fails_check_with_every_rule_firing() {
     // seeded sampler omits, not on the ones it names.
     assert!(stdout.contains("LinkDirection::BToA"), "seeded direction gap missing:\n{stdout}");
     assert!(!stdout.contains("LinkDirection::AToB"), "named variants must not fire:\n{stdout}");
+    // The chain-mode coverage fires on the durable variant the seeded sim
+    // chain engine omits — and only there: the fixture runtime engine
+    // names both, and the replay variant is named by both groups.
+    assert!(stdout.contains("MemMode::AlgFcm"), "seeded chain-mode gap missing:\n{stdout}");
+    assert!(stdout.contains("sim chain engine"), "gap must point at the sim group:\n{stdout}");
+    assert!(!stdout.contains("MemMode::LineageReplay"), "named variants must not fire:\n{stdout}");
+    assert!(!stdout.contains("runtime chain engine"), "covered groups must not fire:\n{stdout}");
+    // The MemConfig coverage fires on the field scaled_for_tests() omits.
+    assert!(stdout.contains("mem_max_chain_iterations"), "seeded MemConfig gap missing:\n{stdout}");
 }
 
 #[test]

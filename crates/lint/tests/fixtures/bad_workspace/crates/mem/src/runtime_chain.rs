@@ -1,0 +1,13 @@
+//! Fixture: runtime chain engine that names every `MemMode` variant —
+//! proves V1 fires only on the group (sim) that omits one.
+
+use crate::config::MemMode;
+
+pub fn save_durable(mode: MemMode) {
+    match mode {
+        MemMode::LineageReplay => {}
+        MemMode::AlgFcm => write_checkpoint(),
+    }
+}
+
+fn write_checkpoint() {}

@@ -1,0 +1,13 @@
+//! Fixture: sim chain engine that only handles lineage replay — the
+//! seeded V1 violation for `MemMode` (never names `MemMode::AlgFcm`).
+
+use crate::config::MemMode;
+
+pub fn save_durable(mode: MemMode) {
+    // Only the replay arm exists; the durable-checkpoint arm is missing.
+    if matches!(mode, MemMode::LineageReplay) {
+        replay_prefix();
+    }
+}
+
+fn replay_prefix() {}

@@ -21,3 +21,39 @@ impl YarnConfig {
         YarnConfig { node_heap_bytes: 1024, ..Default::default() }
     }
 }
+
+/// Failure semantics of the in-memory chain (V1 coverage target: the
+/// fixture sim chain engine never names `AlgFcm`).
+pub enum MemMode {
+    LineageReplay,
+    AlgFcm,
+}
+
+/// `mem_max_chain_iterations` is validated but never pinned by
+/// `scaled_for_tests()` — the seeded C1 violation for `MemConfig`.
+pub struct MemConfig {
+    pub mem_mode: MemMode,
+    pub mem_resident_capacity_bytes: u64,
+    pub mem_max_chain_iterations: u32,
+}
+
+impl MemConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        let _ = &self.mem_mode;
+        if self.mem_resident_capacity_bytes == 0 {
+            return Err("mem_resident_capacity_bytes must be nonzero".into());
+        }
+        if self.mem_max_chain_iterations == 0 {
+            return Err("mem_max_chain_iterations must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    pub fn scaled_for_tests() -> MemConfig {
+        MemConfig {
+            mem_mode: MemMode::LineageReplay,
+            mem_resident_capacity_bytes: 4096,
+            ..Default::default()
+        }
+    }
+}

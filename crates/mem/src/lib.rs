@@ -1,0 +1,44 @@
+//! `alm-mem`: the in-memory iterative engine mode.
+//!
+//! MapReduce-style fault tolerance assumes every job starts from durable
+//! input — but iterative analytics (PageRank, k-means) re-enter the engine
+//! dozens of times, and in-memory variants (M3R-style) keep intermediate
+//! state resident in RAM between jobs for speed. That residency changes
+//! the failure-amplification math the paper studies: losing one node no
+//! longer loses one task's worth of work, it loses every iteration whose
+//! only copy lived in that node's RAM.
+//!
+//! This crate builds the chain layer that measures — and, with ALM,
+//! cracks down on — that amplification:
+//!
+//! * [`ResidentStore`] — per-node, capacity-bounded RAM store of
+//!   CRC-framed MOF partitions and chain state stripes, with
+//!   deterministic LRU + pinning eviction. Plugs into the runtime's
+//!   shuffle fetch path as [`alm_runtime::ResidentCache`] and into the
+//!   simulator via `Simulation::with_resident_mofs`.
+//! * [`chain`] — [`run_chain`] drives an `IterativeWorkload` through a
+//!   partition-stable job chain: state striped across reduce partitions,
+//!   each stripe resident on its home node, next state folded from reduce
+//!   outputs plus the *resident* previous state (never a driver
+//!   variable).
+//! * Failure semantics by [`alm_types::MemMode`]: `LineageReplay`
+//!   re-executes the whole chain prefix after state loss (the M3R-style
+//!   baseline), `AlgFcm` restores from per-generation ALG checkpoints and
+//!   recovers the in-flight job via SFM+ALG.
+//! * Two engines, one protocol: [`SimChainEngine`] (analytic, paper
+//!   scale) and [`RuntimeChainEngine`] (threaded, real bytes), which must
+//!   produce byte-identical state trajectories.
+
+#![forbid(unsafe_code)]
+
+pub mod chain;
+pub mod runtime_chain;
+pub mod sim_chain;
+pub mod store;
+
+pub use chain::{
+    run_chain, ChainEngine, ChainReport, CrashPlan, EngineRun, IterationOutcome, IterativeSpec, STATE_JOB,
+};
+pub use runtime_chain::RuntimeChainEngine;
+pub use sim_chain::SimChainEngine;
+pub use store::{ResidentStore, StoreStats};

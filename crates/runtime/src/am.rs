@@ -239,6 +239,7 @@ impl JobRunner {
             links: self.cluster.links.clone(),
             dfs: self.cluster.dfs.clone(),
             registry: self.registry.clone(),
+            resident: self.cluster.resident(),
             events: self.events_tx.clone(),
             config: self.cluster.config.clone(),
             kill_at: self.faults.kill_point(task, attempt.number),

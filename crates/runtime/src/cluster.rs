@@ -3,6 +3,8 @@
 use alm_dfs::{DfsCluster, Topology};
 use alm_shuffle::MemFs;
 use alm_types::{LinkDirection, NodeId, YarnConfig};
+
+use crate::resident::ResidentCache;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -161,6 +163,10 @@ pub struct MiniCluster {
     /// Data-plane link state consulted by the shuffle fetch path.
     pub links: Arc<LinkTable>,
     pub config: YarnConfig,
+    /// Chain-layer resident MOF cache, installed by `alm-mem` when a job
+    /// chain drives this cluster; [`MiniCluster::crash_node`] wipes a dead
+    /// node's entries (RAM does not survive a crash).
+    resident: Mutex<Option<Arc<dyn ResidentCache>>>,
 }
 
 impl MiniCluster {
@@ -175,7 +181,7 @@ impl MiniCluster {
             config.dfs_repair_concurrency,
         ));
         let nodes = (0..n).map(|i| Arc::new(NodeHandle::new(NodeId(i)))).collect();
-        MiniCluster { nodes, dfs, links: Arc::new(LinkTable::default()), config }
+        MiniCluster { nodes, dfs, links: Arc::new(LinkTable::default()), config, resident: Mutex::new(None) }
     }
 
     /// Test-scaled cluster (fast timeouts, small buffers).
@@ -200,10 +206,25 @@ impl MiniCluster {
         &self.nodes[id.0 as usize]
     }
 
-    /// Crash a node everywhere: local store, DFS replicas, liveness.
+    /// Install (or clear, with `None`) the chain layer's resident MOF
+    /// cache; subsequent jobs' fetches consult it before any disk path.
+    pub fn set_resident(&self, cache: Option<Arc<dyn ResidentCache>>) {
+        *self.resident.lock() = cache;
+    }
+
+    /// The installed resident MOF cache, if any.
+    pub fn resident(&self) -> Option<Arc<dyn ResidentCache>> {
+        self.resident.lock().clone()
+    }
+
+    /// Crash a node everywhere: local store, DFS replicas, liveness, and
+    /// any resident in-memory MOF copies it held.
     pub fn crash_node(&self, id: NodeId) {
         self.node(id).crash();
         self.dfs.set_node_alive(id, false);
+        if let Some(cache) = self.resident() {
+            cache.invalidate_node(id);
+        }
     }
 
     pub fn alive_nodes(&self) -> Vec<NodeId> {
@@ -318,6 +339,24 @@ mod tests {
         assert_eq!(c.links.degradation(NodeId(1), NodeId(2)), None);
         // Clearing a healthy link is a no-op.
         c.links.clear_degrade(NodeId(0), NodeId(2), LinkDirection::Both);
+    }
+
+    #[test]
+    fn crash_wipes_resident_entries() {
+        use crate::resident::testutil::MapResident;
+        use crate::resident::ResidentCache;
+        use alm_types::JobId;
+        let c = MiniCluster::for_tests(3);
+        assert!(c.resident().is_none(), "no cache installed by default");
+        let cache = Arc::new(MapResident::default());
+        c.set_resident(Some(cache.clone()));
+        cache.admit(NodeId(1), JobId(0), 0, 0, &Bytes::from_static(b"aa"));
+        cache.admit(NodeId(2), JobId(0), 1, 0, &Bytes::from_static(b"bb"));
+        c.crash_node(NodeId(1));
+        assert!(cache.lookup(JobId(0), 0, 0).is_none(), "dead node's RAM is gone");
+        assert!(cache.lookup(JobId(0), 1, 0).is_some(), "survivor entries stay");
+        c.set_resident(None);
+        assert!(c.resident().is_none());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod maptask;
 pub mod reducetask;
 pub mod registry;
 pub mod report;
+pub mod resident;
 
 pub use am::JobRunner;
 pub use cluster::{LinkTable, MiniCluster, NodeHandle};
@@ -39,3 +40,4 @@ pub use events::TaskEvent;
 pub use faults::{Fault, FaultPlan};
 pub use job::JobDef;
 pub use report::{FailureEvent, JobReport, LogRecoveryEvent};
+pub use resident::ResidentCache;

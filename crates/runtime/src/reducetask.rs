@@ -40,6 +40,8 @@ pub struct ReduceCtx {
     pub links: Arc<LinkTable>,
     pub dfs: Arc<DfsCluster>,
     pub registry: Arc<MofRegistry>,
+    /// Chain-layer resident MOF cache, when a job chain drives the cluster.
+    pub resident: Option<Arc<dyn crate::resident::ResidentCache>>,
     pub events: Sender<TaskEvent>,
     pub config: YarnConfig,
     /// Self-fail at this fraction of overall task progress.
@@ -423,7 +425,16 @@ fn shuffle_phase(
         let mut i = 0;
         while i < pending.len() {
             let m = pending[i];
-            match try_fetch(&ctx.nodes, &ctx.links, &ctx.registry, ctx.node.id, m, ctx.partition()) {
+            match try_fetch(
+                &ctx.nodes,
+                &ctx.links,
+                &ctx.registry,
+                ctx.resident.as_deref(),
+                ctx.node.id,
+                ctx.job.id,
+                m,
+                ctx.partition(),
+            ) {
                 FetchOutcome::Data { node, data } => {
                     if let Some((factor, loss)) = ctx.links.degradation(ctx.node.id, node) {
                         // Gray link: the transfer may be dropped (seeded

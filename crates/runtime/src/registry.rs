@@ -21,13 +21,14 @@
 //!   fetch-failure budget.
 
 use alm_shuffle::{MofData, ShuffleError};
-use alm_types::NodeId;
+use alm_types::{JobId, NodeId};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::cluster::{LinkTable, NodeHandle};
+use crate::resident::ResidentCache;
 
 /// Shared MOF location table.
 #[derive(Default)]
@@ -95,16 +96,32 @@ pub enum FetchOutcome {
     CorruptData { node: NodeId },
 }
 
-/// Fetch `partition` of map `map_index` for the reducer running on
-/// `fetcher`, honouring the cluster's data-plane link state.
+/// Fetch `partition` of map `map_index` of `job` for the reducer running
+/// on `fetcher`, honouring the cluster's data-plane link state.
+///
+/// When a chain-layer [`ResidentCache`] is installed, it is consulted
+/// *before* any disk path: a resident copy on a live, reachable node is
+/// served at memory speed (and shields the fetch from rotten disk bytes —
+/// the copy was CRC-framed into RAM at admission); a successful disk fetch
+/// admits its bytes back into the cache on the MOF's home node.
+#[allow(clippy::too_many_arguments)]
 pub fn try_fetch(
     nodes: &[Arc<NodeHandle>],
     links: &LinkTable,
     registry: &MofRegistry,
+    resident: Option<&dyn ResidentCache>,
     fetcher: NodeId,
+    job: JobId,
     map_index: u32,
     partition: u32,
 ) -> FetchOutcome {
+    if let Some(cache) = resident {
+        if let Some((holder, data)) = cache.lookup(job, map_index, partition) {
+            if nodes[holder.0 as usize].is_alive() && !links.is_severed(fetcher, holder) {
+                return FetchOutcome::Data { node: holder, data };
+            }
+        }
+    }
     let Some((node_id, mof)) = registry.lookup(map_index) else {
         return FetchOutcome::NotReady;
     };
@@ -123,7 +140,12 @@ pub fn try_fetch(
         return FetchOutcome::Unreachable { node: node_id };
     }
     match mof.read_partition(&node.fs, partition) {
-        Ok(data) => FetchOutcome::Data { node: node_id, data },
+        Ok(data) => {
+            if let Some(cache) = resident {
+                cache.admit(node_id, job, map_index, partition, &data);
+            }
+            FetchOutcome::Data { node: node_id, data }
+        }
         Err(ShuffleError::ChecksumMismatch(_)) => {
             if registry.is_regenerating(map_index) {
                 FetchOutcome::NotReady
@@ -164,19 +186,28 @@ mod tests {
         let reg = MofRegistry::new();
         let me = NodeId(0);
         // Unregistered: not ready.
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::NotReady));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, me, JobId(0), 0, 0),
+            FetchOutcome::NotReady
+        ));
         // Registered + alive: data.
         reg.register(0, NodeId(1), mof);
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::Data { .. }));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, me, JobId(0), 0, 0),
+            FetchOutcome::Data { .. }
+        ));
         // Node crash: source dead.
         c.crash_node(NodeId(1));
         assert!(matches!(
-            try_fetch(&c.nodes, &c.links, &reg, me, 0, 0),
+            try_fetch(&c.nodes, &c.links, &reg, None, me, JobId(0),0, 0),
             FetchOutcome::SourceDead { node } if node == NodeId(1)
         ));
         // SFM marks regenerating: reducers wait instead of failing.
         reg.mark_regenerating(0);
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, me, 0, 0), FetchOutcome::NotReady));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, me, JobId(0), 0, 0),
+            FetchOutcome::NotReady
+        ));
     }
 
     #[test]
@@ -187,16 +218,25 @@ mod tests {
         c.links.sever(NodeId(0), NodeId(1), LinkDirection::Both);
         // Fetcher behind the partition parks; the source is NOT dead.
         assert!(matches!(
-            try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0),
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(0), JobId(0),0, 0),
             FetchOutcome::Unreachable { node } if node == NodeId(1)
         ));
         // A reducer on an unaffected node still fetches normally.
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(2), 0, 0), FetchOutcome::Data { .. }));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(2), JobId(0), 0, 0),
+            FetchOutcome::Data { .. }
+        ));
         // The map's own node always reaches itself.
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(1), 0, 0), FetchOutcome::Data { .. }));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(1), JobId(0), 0, 0),
+            FetchOutcome::Data { .. }
+        ));
         // Healing restores the flow.
         assert!(c.links.heal(NodeId(0), NodeId(1), LinkDirection::Both));
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data { .. }));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(0), JobId(0), 0, 0),
+            FetchOutcome::Data { .. }
+        ));
     }
 
     #[test]
@@ -213,11 +253,14 @@ mod tests {
         reg.register(1, NodeId(0), mof0);
         c.links.sever(NodeId(0), NodeId(1), LinkDirection::AToB);
         assert!(matches!(
-            try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0),
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(0), JobId(0),0, 0),
             FetchOutcome::Unreachable { node } if node == NodeId(1)
         ));
         assert!(
-            matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(1), 1, 0), FetchOutcome::Data { .. }),
+            matches!(
+                try_fetch(&c.nodes, &c.links, &reg, None, NodeId(1), JobId(0), 1, 0),
+                FetchOutcome::Data { .. }
+            ),
             "reverse direction must stay fetchable"
         );
     }
@@ -235,12 +278,57 @@ mod tests {
         reg.register(0, NodeId(1), mof);
         // Healthy source, bad bytes: distinct from SourceDead.
         assert!(matches!(
-            try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0),
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(0), JobId(0),0, 0),
             FetchOutcome::CorruptData { node } if node == NodeId(1)
         ));
         // Once regeneration is underway, the reducer just waits.
         reg.mark_regenerating(0);
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::NotReady));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(0), JobId(0), 0, 0),
+            FetchOutcome::NotReady
+        ));
+    }
+
+    #[test]
+    fn resident_cache_serves_before_disk_and_admits_on_fetch() {
+        use crate::resident::testutil::MapResident;
+        let (c, mof) = mini();
+        let reg = MofRegistry::new();
+        reg.register(0, NodeId(1), mof.clone());
+        let cache = MapResident::default();
+        let job = JobId(0);
+
+        // First fetch reads disk and admits the bytes into the cache.
+        let first = try_fetch(&c.nodes, &c.links, &reg, Some(&cache), NodeId(0), job, 0, 0);
+        assert!(matches!(first, FetchOutcome::Data { node, .. } if node == NodeId(1)));
+        assert_eq!(cache.len(), 1, "fetched partition must be admitted");
+
+        // Rot the on-disk frame: the resident copy shields the fetch.
+        let fs = &c.node(NodeId(1)).fs;
+        let (off, _) = mof.frame_range(0).unwrap();
+        let mut blob = fs.read(&mof.path).unwrap().to_vec();
+        blob[off as usize + alm_shuffle::frame::FRAME_HEADER_LEN] ^= 0x55;
+        fs.write(&mof.path, Bytes::from(blob)).unwrap();
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, Some(&cache), NodeId(0), job, 0, 0),
+            FetchOutcome::Data { .. }
+        ));
+
+        // A severed fetcher → holder link skips the resident copy (and the
+        // disk path behind it): parked, never declared dead.
+        c.links.sever(NodeId(0), NodeId(1), LinkDirection::AToB);
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, Some(&cache), NodeId(0), job, 0, 0),
+            FetchOutcome::Unreachable { .. }
+        ));
+        assert!(c.links.heal(NodeId(0), NodeId(1), LinkDirection::AToB));
+
+        // Invalidation exposes the rotten disk bytes again.
+        cache.invalidate_node(NodeId(1));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, Some(&cache), NodeId(0), job, 0, 0),
+            FetchOutcome::CorruptData { node } if node == NodeId(1)
+        ));
     }
 
     #[test]
@@ -257,7 +345,10 @@ mod tests {
         let mof2 = write_mof(&c.node(NodeId(2)).fs, "mof/m0r1", vec![p0]).unwrap();
         reg.register(0, NodeId(2), mof2);
         assert!(!reg.is_regenerating(0));
-        assert!(matches!(try_fetch(&c.nodes, &c.links, &reg, NodeId(0), 0, 0), FetchOutcome::Data { .. }));
+        assert!(matches!(
+            try_fetch(&c.nodes, &c.links, &reg, None, NodeId(0), JobId(0), 0, 0),
+            FetchOutcome::Data { .. }
+        ));
         assert_eq!(reg.mofs_on_node(NodeId(2)), vec![0]);
         assert!(reg.mofs_on_node(NodeId(1)).is_empty());
     }

@@ -1,0 +1,96 @@
+//! The resident-MOF hook the chain layer (`alm-mem`) plugs into the
+//! shuffle fetch path.
+//!
+//! The runtime deliberately only defines the *interface*: a cache of
+//! CRC-verified MOF partition bytes pinned in RAM on their home node.
+//! [`crate::registry::try_fetch`] consults it before touching any disk
+//! path (a hit is served at memory speed and bypasses rotten disk bytes),
+//! admits freshly fetched partitions back into it, and
+//! [`crate::cluster::MiniCluster::crash_node`] wipes a dead node's entries
+//! — RAM does not survive a crash, which is exactly the amplification
+//! hazard the chain layer exists to measure.
+
+use alm_types::{JobId, NodeId};
+use bytes::Bytes;
+
+/// A per-node, capacity-bounded store of resident MOF partition bytes.
+///
+/// Implementations must be deterministic: identical admit/lookup/invalidate
+/// sequences must produce identical hit patterns, or chain runs stop being
+/// replayable.
+pub trait ResidentCache: Send + Sync {
+    /// The resident bytes for `(job, map_index, partition)` and the node
+    /// holding them, if cached. Implementations only return entries whose
+    /// frame checksum still verifies.
+    fn lookup(&self, job: JobId, map_index: u32, partition: u32) -> Option<(NodeId, Bytes)>;
+
+    /// Offer freshly fetched partition bytes for residency on `node` (the
+    /// MOF's home). Implementations may decline or evict (capacity).
+    fn admit(&self, node: NodeId, job: JobId, map_index: u32, partition: u32, data: &Bytes);
+
+    /// Drop every entry held on `node` (node crash); returns the number of
+    /// entries invalidated.
+    fn invalidate_node(&self, node: NodeId) -> u64;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+
+    type EntryKey = (u32, u32, u32);
+
+    /// Unbounded reference implementation for runtime-internal tests (the
+    /// real capacity-bounded store lives in `alm-mem`).
+    #[derive(Default)]
+    pub struct MapResident {
+        entries: Mutex<BTreeMap<EntryKey, (NodeId, Bytes)>>,
+    }
+
+    impl ResidentCache for MapResident {
+        fn lookup(&self, job: JobId, map_index: u32, partition: u32) -> Option<(NodeId, Bytes)> {
+            self.entries.lock().get(&(job.0, map_index, partition)).cloned()
+        }
+
+        fn admit(&self, node: NodeId, job: JobId, map_index: u32, partition: u32, data: &Bytes) {
+            self.entries.lock().insert((job.0, map_index, partition), (node, data.clone()));
+        }
+
+        fn invalidate_node(&self, node: NodeId) -> u64 {
+            let mut entries = self.entries.lock();
+            let before = entries.len();
+            entries.retain(|_, (n, _)| *n != node);
+            (before - entries.len()) as u64
+        }
+    }
+
+    impl MapResident {
+        pub fn len(&self) -> usize {
+            self.entries.lock().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::MapResident;
+    use super::*;
+
+    #[test]
+    fn reference_cache_round_trips_and_invalidates_per_node() {
+        let cache = MapResident::default();
+        let job = JobId(3);
+        assert!(cache.lookup(job, 0, 0).is_none());
+        cache.admit(NodeId(1), job, 0, 0, &Bytes::from_static(b"aa"));
+        cache.admit(NodeId(2), job, 1, 0, &Bytes::from_static(b"bb"));
+        let (node, data) = cache.lookup(job, 0, 0).expect("resident");
+        assert_eq!((node, data.as_ref()), (NodeId(1), b"aa".as_slice()));
+        assert!(cache.lookup(JobId(4), 0, 0).is_none(), "keys are per-job");
+        assert_eq!(cache.invalidate_node(NodeId(1)), 1);
+        assert!(cache.lookup(job, 0, 0).is_none());
+        assert!(cache.lookup(job, 1, 0).is_some(), "other nodes' entries survive");
+        assert_eq!(cache.invalidate_node(NodeId(1)), 0, "idempotent");
+        assert_eq!(cache.len(), 1);
+    }
+}

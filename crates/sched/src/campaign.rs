@@ -68,6 +68,10 @@ impl WarehouseCampaign {
                     WorkloadKind::Terasort => 20,
                     WorkloadKind::Wordcount => 4,
                     WorkloadKind::SecondarySort => 8,
+                    // The warehouse mix draws from the paper's three
+                    // single-job workloads only; iterative kinds are driven
+                    // by the `alm-mem` chain layer, not this campaign.
+                    WorkloadKind::Pagerank | WorkloadKind::KMeans => 8,
                 };
                 // Short gaps keep several jobs per tenant in flight, so
                 // policies actually arbitrate contention.

@@ -257,6 +257,11 @@ pub struct Simulation {
     /// settled into the DFS counters at end of run, mirroring the chaos
     /// harness's post-job verification read + `repair()` on the runtime.
     corrupt_dfs_blocks: BTreeSet<(u32, u32)>,
+    /// Chain-layer memory mode: completed maps keep their MOF resident in
+    /// RAM on the producing node, so fetches skip the Stage-1 disk read.
+    mem_resident: bool,
+    /// Map indices whose MOF is currently resident (on `mof_loc[m]`).
+    resident_mofs: BTreeSet<u32>,
     seed: u64,
     report: SimReport,
     rr: u32,
@@ -382,12 +387,24 @@ impl Simulation {
             degraded: BTreeMap::new(),
             corrupt_mofs: BTreeSet::new(),
             corrupt_dfs_blocks: BTreeSet::new(),
+            mem_resident: false,
+            resident_mofs: BTreeSet::new(),
             seed,
             report: SimReport::default(),
             rr: 0,
             failed: false,
             job: JobId(0),
         }
+    }
+
+    /// Chain-layer memory mode: keep every completed map's MOF resident in
+    /// RAM on its producing node. Fetches from a live source then skip the
+    /// Stage-1 disk read (memory-speed shuffle); a node crash wipes the
+    /// node's resident copies, after which fetches fall back to the normal
+    /// disk / regeneration paths.
+    pub fn with_resident_mofs(mut self) -> Simulation {
+        self.mem_resident = true;
+        self
     }
 
     fn now_secs(&self) -> f64 {
@@ -724,6 +741,9 @@ impl Simulation {
         task.completed = true;
         task.ever_completed = true;
         self.mof_loc.insert(attempt.task.index, att.node);
+        if self.mem_resident {
+            self.resident_mofs.insert(attempt.task.index);
+        }
         self.regenerating.remove(&attempt.task.index);
         if first {
             self.maps_done_once += 1;
@@ -806,7 +826,7 @@ impl Simulation {
     /// Start fetch flows up to the parallelism limit.
     fn pump_fetches(&mut self, attempt: AttemptId) {
         loop {
-            let (_node, candidate) = {
+            let (node, candidate) = {
                 let Some(att) = self.red_atts.get(&attempt) else { return };
                 if att.dead || att.phase != RedPhase::Shuffle {
                     return;
@@ -845,6 +865,26 @@ impl Simulation {
                 }
                 // Dead source: burn a retry.
                 self.fetch_failed(attempt, m, src);
+                continue;
+            }
+            // Resident shortcut: a live source holding the MOF in RAM
+            // serves it at memory speed — the chunk goes straight onto the
+            // network, skipping the Stage-1 disk read that makes shuffles
+            // lag map completions. This is what the chain layer buys.
+            if self.resident_mofs.contains(&m) {
+                self.report.resident_fetch_hits += 1;
+                let dst_rack = self.nodes[node as usize].rack;
+                let src_rack = self.nodes[src as usize].rack;
+                let pool =
+                    if src_rack != dst_rack { PoolRef::Uplink(dst_rack) } else { PoolRef::NicIn(node) };
+                let bytes = match self.link_degradation(node, src) {
+                    Some((factor, _)) if factor > 1.0 => (self.qty.chunk_bytes as f64 * factor) as u64,
+                    _ => self.qty.chunk_bytes,
+                };
+                let net = self.start_flow(pool, bytes, attempt, Purpose::Fetch { map: m, source: src });
+                let att = self.red_atts.get_mut(&attempt).expect("attempt exists");
+                att.pending.remove(&m);
+                att.active_fetches.insert(net, m);
                 continue;
             }
             // Stage 1: the source disk serves the chunk (this is what makes
@@ -997,7 +1037,10 @@ impl Simulation {
         // budget burned — the source heartbeats, so the cause is
         // unambiguous) and the AM regenerates the map at high priority;
         // the completion re-pumps the parked fetch against clean bytes.
-        if self.corrupt_mofs.contains(&(m, attempt.task.index)) {
+        // A resident copy is exempt: it was CRC-framed into RAM at map
+        // completion, before the rot landed on disk (mirroring the runtime
+        // fetcher, which consults the resident cache before the disk path).
+        if self.corrupt_mofs.contains(&(m, attempt.task.index)) && !self.resident_mofs.contains(&m) {
             {
                 let Some(att) = self.red_atts.get_mut(&attempt) else { return };
                 if att.dead {
@@ -1427,6 +1470,15 @@ impl Simulation {
             return;
         }
         self.nodes[node as usize].alive = false;
+
+        // RAM does not survive a crash: wipe the node's resident MOF
+        // copies so later fetches fall back to disk / regeneration.
+        let lost: Vec<u32> =
+            self.resident_mofs.iter().copied().filter(|m| self.mof_loc.get(m) == Some(&node)).collect();
+        for m in lost {
+            self.resident_mofs.remove(&m);
+            self.report.resident_invalidations += 1;
+        }
 
         // All flows touching this node die: flows on its pools, and fetch /
         // FCM flows sourced from it (pooled elsewhere).
@@ -2112,6 +2164,51 @@ mod tests {
         let a = run(WorkloadKind::Terasort, 5, 4, RecoveryMode::SfmAlg, vec![]);
         let b = run(WorkloadKind::Terasort, 5, 4, RecoveryMode::SfmAlg, vec![]);
         assert_eq!(a, b, "the simulation must be fully deterministic");
+    }
+
+    fn run_resident(
+        kind: WorkloadKind,
+        gb: u64,
+        reduces: u32,
+        mode: RecoveryMode,
+        faults: Vec<SimFault>,
+    ) -> SimReport {
+        let spec = SimJobSpec::new(kind, gb * GB, reduces, 7);
+        Simulation::new(spec, ExperimentEnv::paper(mode), faults).with_resident_mofs().run()
+    }
+
+    #[test]
+    fn resident_mofs_skip_disk_and_speed_up_shuffle() {
+        let disk = run(WorkloadKind::Terasort, 10, 8, RecoveryMode::Baseline, vec![]);
+        let resident = run_resident(WorkloadKind::Terasort, 10, 8, RecoveryMode::Baseline, vec![]);
+        assert!(resident.succeeded, "{resident:?}");
+        assert_eq!(disk.resident_fetch_hits, 0, "residency is opt-in");
+        assert!(resident.resident_fetch_hits > 0, "clean-run fetches must all hit RAM");
+        assert_eq!(resident.resident_invalidations, 0);
+        assert!(
+            resident.job_secs < disk.job_secs,
+            "memory-served shuffle ({:.1}s) must beat disk-served ({:.1}s)",
+            resident.job_secs,
+            disk.job_secs
+        );
+    }
+
+    #[test]
+    fn node_crash_wipes_resident_copies() {
+        let fault = vec![SimFault::CrashNodeAtReduceProgress { node: 1, reduce_index: 0, at_progress: 0.3 }];
+        let r = run_resident(WorkloadKind::Terasort, 10, 8, RecoveryMode::SfmAlg, fault);
+        assert!(r.succeeded, "{:?}", r.failures);
+        assert!(r.resident_invalidations > 0, "the crashed node held resident MOFs");
+        assert!(r.resident_fetch_hits > 0, "survivors keep serving from RAM");
+    }
+
+    #[test]
+    fn resident_mode_is_deterministic_for_iterative_kinds() {
+        let fault = vec![SimFault::CrashNodeAtReduceProgress { node: 2, reduce_index: 1, at_progress: 0.5 }];
+        let a = run_resident(WorkloadKind::Pagerank, 10, 8, RecoveryMode::SfmAlg, fault.clone());
+        let b = run_resident(WorkloadKind::Pagerank, 10, 8, RecoveryMode::SfmAlg, fault);
+        assert!(a.succeeded, "{:?}", a.failures);
+        assert_eq!(a, b, "resident mode must stay fully deterministic");
     }
 
     #[test]

@@ -21,13 +21,16 @@ impl SimJobSpec {
     }
 
     /// The paper's §V-B instance of this workload (Terasort 100 GB /
-    /// Wordcount 10 GB with 1 reducer / Secondarysort 10 GB).
+    /// Wordcount 10 GB with 1 reducer / Secondarysort 10 GB); the
+    /// iterative kinds model one 10 GB chain step at Terasort-like widths.
     pub fn paper(workload: WorkloadKind, seed: u64) -> SimJobSpec {
         let gb = alm_types::units::GB;
         match workload {
             WorkloadKind::Terasort => SimJobSpec::new(workload, 100 * gb, 20, seed),
             WorkloadKind::Wordcount => SimJobSpec::new(workload, 10 * gb, 1, seed),
             WorkloadKind::SecondarySort => SimJobSpec::new(workload, 10 * gb, 8, seed),
+            WorkloadKind::Pagerank => SimJobSpec::new(workload, 10 * gb, 20, seed),
+            WorkloadKind::KMeans => SimJobSpec::new(workload, 10 * gb, 8, seed),
         }
     }
 }

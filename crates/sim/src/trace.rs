@@ -52,6 +52,11 @@ pub struct SimReport {
     pub dfs_repair_bytes: u64,
     /// Corrupt committed-output replicas still un-repaired at end of run.
     pub dfs_corrupt_replicas: u32,
+    /// Shuffle fetches served from the resident in-memory MOF cache — the
+    /// Stage-1 disk read is skipped entirely (chain-layer memory mode).
+    pub resident_fetch_hits: u64,
+    /// Resident MOF copies wiped by node crashes (RAM does not survive).
+    pub resident_invalidations: u32,
     /// Events processed (diagnostic).
     pub events: u64,
 }

@@ -324,6 +324,126 @@ impl AlmConfig {
     }
 }
 
+/// How a job chain recovers memory-resident state lost to a node crash
+/// (the `alm-mem` in-memory iterative engine mode).
+///
+/// M3R-style in-memory chains keep MOFs and reduce state in RAM for
+/// memory-speed iteration, but a node crash then destroys state for
+/// *every* iteration whose partitions lived there — the paper's failure
+/// amplification, sharpened. The two modes are the two answers:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemMode {
+    /// Pure in-memory chains (M3R): nothing durable survives a crash, so
+    /// lost partitions are recomputed by replaying the whole upstream
+    /// lineage — every completed iteration back to the chain's seed input.
+    /// The amplification-heavy baseline.
+    LineageReplay,
+    /// The paper's answer carried into the in-memory era: each iteration's
+    /// reduce state is also ALG-logged durably (DFS-replicated), and a
+    /// crash restores from the logs + FCM migration — only the in-flight
+    /// iteration re-runs, under `RecoveryMode::SfmAlg`.
+    AlgFcm,
+}
+
+impl MemMode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MemMode::LineageReplay => "lineage-replay",
+            MemMode::AlgFcm => "alg-fcm",
+        }
+    }
+
+    /// The per-iteration recovery mode jobs of a chain run under.
+    pub fn recovery_mode(&self) -> RecoveryMode {
+        match self {
+            MemMode::LineageReplay => RecoveryMode::Baseline,
+            MemMode::AlgFcm => RecoveryMode::SfmAlg,
+        }
+    }
+
+    /// Whether iteration state is durably logged (and therefore
+    /// restorable without lineage replay).
+    pub fn durable_state(&self) -> bool {
+        matches!(self, MemMode::AlgFcm)
+    }
+}
+
+impl std::fmt::Display for MemMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Knobs of the in-memory iterative engine mode (`alm-mem`): the resident
+/// store budget and the chain's failure/termination semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Per-node capacity of the resident store, bytes. Entries beyond the
+    /// budget are evicted deterministically (LRU over unpinned entries);
+    /// eviction is semantically invisible — an evicted partition is
+    /// recomputed or restored, never silently dropped.
+    pub mem_resident_capacity_bytes: u64,
+    /// How resident state lost to a node crash is recovered.
+    pub mem_mode: MemMode,
+    /// Pin the latest iteration's state partitions against eviction (the
+    /// hot set the next iteration is guaranteed to read).
+    pub mem_pin_hot_partitions: bool,
+    /// Hard iteration cap for a chain (convergence may stop it earlier).
+    pub mem_max_chain_iterations: u32,
+    /// Convergence threshold in fixed-point micro-units: the chain stops
+    /// once the largest per-partition state delta falls below this.
+    pub mem_convergence_epsilon_micro: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            mem_resident_capacity_bytes: 8 * GB,
+            mem_mode: MemMode::AlgFcm,
+            mem_pin_hot_partitions: true,
+            mem_max_chain_iterations: 50,
+            mem_convergence_epsilon_micro: 1_000,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Test-scaled profile: a small resident budget so eviction paths are
+    /// actually exercised, and short chains.
+    pub fn scaled_for_tests() -> Self {
+        MemConfig {
+            mem_resident_capacity_bytes: 256 * KB,
+            mem_mode: MemMode::AlgFcm,
+            mem_pin_hot_partitions: true,
+            mem_max_chain_iterations: 8,
+            mem_convergence_epsilon_micro: 1_000,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mem_resident_capacity_bytes == 0 {
+            return Err("mem_resident_capacity_bytes must be nonzero".into());
+        }
+        if self.mem_max_chain_iterations == 0 {
+            return Err("mem_max_chain_iterations must be >= 1".into());
+        }
+        if self.mem_convergence_epsilon_micro == 0 && self.mem_max_chain_iterations > 1 {
+            return Err(
+                "mem_convergence_epsilon_micro must be nonzero (a zero threshold never converges)".into()
+            );
+        }
+        // Pinning promises the next iteration its inputs stay resident;
+        // an over-tight budget would turn that promise into put failures
+        // on every partition, so require headroom for at least one frame.
+        if self.mem_pin_hot_partitions && self.mem_resident_capacity_bytes < KB {
+            return Err("mem_pin_hot_partitions needs mem_resident_capacity_bytes >= 1 KB".into());
+        }
+        match self.mem_mode {
+            MemMode::LineageReplay | MemMode::AlgFcm => Ok(()),
+        }
+    }
+}
+
 /// Hardware profile of the evaluation testbed (§V-A): 21 nodes, 10 GbE,
 /// hex-core Xeons, one SATA SSD each. Used by the simulator's cost models.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -513,5 +633,62 @@ mod tests {
         assert_eq!(s.nodes, 21);
         assert_eq!(s.worker_nodes(), 20);
         assert_eq!(s.nic_bandwidth, (10 * GB) / 8); // 1.25 GB/s
+    }
+
+    #[test]
+    fn mem_mode_semantics() {
+        assert_eq!(MemMode::LineageReplay.recovery_mode(), RecoveryMode::Baseline);
+        assert_eq!(MemMode::AlgFcm.recovery_mode(), RecoveryMode::SfmAlg);
+        assert!(!MemMode::LineageReplay.durable_state());
+        assert!(MemMode::AlgFcm.durable_state());
+        assert_eq!(MemMode::LineageReplay.to_string(), "lineage-replay");
+        assert_eq!(MemMode::AlgFcm.to_string(), "alg-fcm");
+    }
+
+    #[test]
+    fn mem_config_profiles_validate() {
+        MemConfig::default().validate().expect("default MemConfig must validate");
+        let t = MemConfig::scaled_for_tests();
+        t.validate().expect("scaled MemConfig must validate");
+        // The test profile keeps the budget deliberately tight so eviction
+        // is exercised, but big enough to hold at least one pinned frame.
+        assert_eq!(t.mem_resident_capacity_bytes, 256 * KB);
+        assert_eq!(t.mem_mode, MemMode::AlgFcm);
+        assert!(t.mem_pin_hot_partitions);
+        assert_eq!(t.mem_max_chain_iterations, 8);
+        assert_eq!(t.mem_convergence_epsilon_micro, 1_000);
+    }
+
+    #[test]
+    fn mem_config_rules_fire() {
+        for breakage in [
+            |c: &mut MemConfig| c.mem_resident_capacity_bytes = 0,
+            |c: &mut MemConfig| c.mem_max_chain_iterations = 0,
+            |c: &mut MemConfig| c.mem_convergence_epsilon_micro = 0,
+            |c: &mut MemConfig| {
+                c.mem_pin_hot_partitions = true;
+                c.mem_resident_capacity_bytes = 100;
+            },
+        ] {
+            let mut c = MemConfig::default();
+            breakage(&mut c);
+            assert!(c.validate().is_err(), "degenerate mem config accepted: {c:?}");
+        }
+        // A single-iteration chain never needs a convergence threshold.
+        let c = MemConfig {
+            mem_max_chain_iterations: 1,
+            mem_convergence_epsilon_micro: 0,
+            ..MemConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn mem_config_serde_round_trip() {
+        for mode in [MemMode::LineageReplay, MemMode::AlgFcm] {
+            let c = MemConfig { mem_mode: mode, ..MemConfig::scaled_for_tests() };
+            let back: MemConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+            assert_eq!(back, c);
+        }
     }
 }

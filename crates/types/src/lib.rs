@@ -18,7 +18,7 @@ pub mod progress;
 pub mod state;
 pub mod units;
 
-pub use config::{AlmConfig, ClusterSpec, RecoveryMode, ReplicationLevel, YarnConfig};
+pub use config::{AlmConfig, ClusterSpec, MemConfig, MemMode, RecoveryMode, ReplicationLevel, YarnConfig};
 pub use failure::{
     CorruptTarget, FailureKind, FailureReport, Fault, FaultPlan, FlapSchedule, LinkDegradation,
     LinkDirection, PartitionWindow,

@@ -1,0 +1,126 @@
+//! Iterative workloads: jobs chained so that one job's reduce output is the
+//! next job's map input.
+//!
+//! The chain layer (`alm-mem`) drives these through either engine. The
+//! contract that makes in-memory chaining safe is that each *instance* is a
+//! pure function of its construction-time state vector: `gen_split` and
+//! `map` may not consult anything else, so a re-executed map attempt (after
+//! a crash) regenerates byte-identical output.
+//!
+//! State is a flat `Vec<u64>` of fixed-point micro-units (1.0 == 1_000_000)
+//! so folding, logging, and cross-engine comparison are all byte-exact.
+
+use std::sync::Arc;
+
+use crate::model::WorkloadModel;
+use crate::record::Record;
+use crate::Workload;
+
+/// Fixed-point scale: one unit in micro-units.
+pub const RANK_ONE_MICRO: u64 = 1_000_000;
+
+/// Big-endian encoding helpers — BE so byte order equals numeric order.
+pub fn be_u32(v: u32) -> [u8; 4] {
+    v.to_be_bytes()
+}
+
+/// See [`be_u32`].
+pub fn be_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// splitmix64 finalizer: a cheap, stateless, well-mixed hash used to derive
+/// static structure (graph edges, point coordinates) from a seed without
+/// carrying materialized data in the workload struct.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Encode a state vector as big-endian u64s — the durable (ALG-loggable)
+/// representation the chain layer checkpoints and restores.
+pub fn encode_state(state: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(state.len() * 8);
+    for v in state {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_state`]; trailing partial words are dropped.
+pub fn decode_state(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+/// Largest absolute per-slot difference between two state vectors, in
+/// micro-units — the convergence criterion for chain termination.
+pub fn state_delta_micro(a: &[u64], b: &[u64]) -> u64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x.abs_diff(*y)).max().unwrap_or(0)
+}
+
+/// A workload that can be iterated: each call to [`instantiate`] yields a
+/// plain [`Workload`] for one chain step, and [`fold`] turns that step's
+/// reduce output back into the next state vector.
+///
+/// [`instantiate`]: IterativeWorkload::instantiate
+/// [`fold`]: IterativeWorkload::fold
+pub trait IterativeWorkload: Send + Sync {
+    /// Stable name used in campaign scenario labels.
+    fn iter_name(&self) -> &'static str;
+
+    /// Number of u64 slots in the state vector.
+    fn state_len(&self) -> usize;
+
+    /// Iteration-0 state.
+    fn initial_state(&self) -> Vec<u64>;
+
+    /// Build the single-job workload for one iteration over `state`.
+    fn instantiate(&self, state: &[u64]) -> Arc<dyn Workload>;
+
+    /// Fold one iteration's reduce output into the next state vector.
+    /// Slots no output record touches keep their previous value.
+    fn fold(&self, prev: &[u64], outputs: &[Record]) -> Vec<u64>;
+
+    /// Natural map-split count for this workload's input.
+    fn num_maps(&self) -> u32;
+
+    /// Cost model of a single iteration (for the simulator).
+    fn iter_model(&self) -> WorkloadModel;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_codec_round_trips() {
+        let state = vec![0u64, 1, RANK_ONE_MICRO, u64::MAX];
+        assert_eq!(decode_state(&encode_state(&state)), state);
+    }
+
+    #[test]
+    fn decode_drops_trailing_partial_word() {
+        let mut bytes = encode_state(&[7, 8]);
+        bytes.push(0xff);
+        assert_eq!(decode_state(&bytes), vec![7, 8]);
+    }
+
+    #[test]
+    fn delta_is_max_abs_difference() {
+        assert_eq!(state_delta_micro(&[10, 5, 100], &[12, 5, 90]), 10);
+        assert_eq!(state_delta_micro(&[], &[]), 0);
+    }
+
+    #[test]
+    fn mix64_is_stable_and_spread() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), mix64(1));
+        // Known splitmix64 property: distinct small inputs land far apart.
+        assert_ne!(mix64(1) % 1000, mix64(2) % 1000);
+    }
+}

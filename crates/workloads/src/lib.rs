@@ -14,7 +14,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod iterative;
+pub mod kmeans;
 pub mod model;
+pub mod pagerank;
 pub mod record;
 pub mod reference;
 pub mod secondarysort;
@@ -22,7 +25,12 @@ pub mod spec;
 pub mod terasort;
 pub mod wordcount;
 
+pub use iterative::{
+    be_u32, be_u64, decode_state, encode_state, mix64, state_delta_micro, IterativeWorkload, RANK_ONE_MICRO,
+};
+pub use kmeans::KMeans;
 pub use model::WorkloadModel;
+pub use pagerank::Pagerank;
 pub use record::Record;
 pub use secondarysort::SecondarySort;
 pub use spec::{JobSpec, WorkloadKind};

@@ -3,25 +3,36 @@
 use serde::{Deserialize, Serialize};
 
 use crate::model::WorkloadModel;
-use crate::{SecondarySort, Terasort, Wordcount, Workload};
+use crate::{KMeans, Pagerank, SecondarySort, Terasort, Wordcount, Workload};
 
-/// The three evaluation workloads, as a value (for configs/CLI).
+/// The evaluation workloads, as a value (for configs/CLI): the paper's
+/// three single-job workloads plus the two iterative shapes the in-memory
+/// chain layer (`alm-mem`) drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WorkloadKind {
     Terasort,
     Wordcount,
     SecondarySort,
+    Pagerank,
+    KMeans,
 }
 
 impl WorkloadKind {
+    /// The paper's three single-job workloads (§V-A). Iterative kinds are
+    /// deliberately excluded: single-job experiment sweeps iterate this.
     pub const ALL: [WorkloadKind; 3] =
         [WorkloadKind::Terasort, WorkloadKind::Wordcount, WorkloadKind::SecondarySort];
+
+    /// The iterative workloads driven by job chains.
+    pub const ITERATIVE: [WorkloadKind; 2] = [WorkloadKind::Pagerank, WorkloadKind::KMeans];
 
     pub fn name(&self) -> &'static str {
         match self {
             WorkloadKind::Terasort => "terasort",
             WorkloadKind::Wordcount => "wordcount",
             WorkloadKind::SecondarySort => "secondarysort",
+            WorkloadKind::Pagerank => "pagerank",
+            WorkloadKind::KMeans => "kmeans",
         }
     }
 
@@ -30,6 +41,8 @@ impl WorkloadKind {
             "terasort" => Some(WorkloadKind::Terasort),
             "wordcount" => Some(WorkloadKind::Wordcount),
             "secondarysort" | "secondary-sort" => Some(WorkloadKind::SecondarySort),
+            "pagerank" => Some(WorkloadKind::Pagerank),
+            "kmeans" | "k-means" => Some(WorkloadKind::KMeans),
             _ => None,
         }
     }
@@ -40,6 +53,8 @@ impl WorkloadKind {
             WorkloadKind::Terasort => Box::new(Terasort::small()),
             WorkloadKind::Wordcount => Box::new(Wordcount::small()),
             WorkloadKind::SecondarySort => Box::new(SecondarySort::small()),
+            WorkloadKind::Pagerank => Box::new(Pagerank::small()),
+            WorkloadKind::KMeans => Box::new(KMeans::small()),
         }
     }
 
@@ -49,16 +64,22 @@ impl WorkloadKind {
             WorkloadKind::Terasort => Terasort::small().model(),
             WorkloadKind::Wordcount => Wordcount::small().model(),
             WorkloadKind::SecondarySort => SecondarySort::small().model(),
+            WorkloadKind::Pagerank => Pagerank::small().model(),
+            WorkloadKind::KMeans => KMeans::small().model(),
         }
     }
 
     /// The input sizes the paper uses for this workload in §V-B
-    /// (Terasort 100 GB, Wordcount 10 GB, Secondarysort 10 GB).
+    /// (Terasort 100 GB, Wordcount 10 GB, Secondarysort 10 GB); the
+    /// iterative kinds use 10 GB per iteration, matching the paper's
+    /// smaller-job scale.
     pub fn paper_input_gb(&self) -> u64 {
         match self {
             WorkloadKind::Terasort => 100,
             WorkloadKind::Wordcount => 10,
             WorkloadKind::SecondarySort => 10,
+            WorkloadKind::Pagerank => 10,
+            WorkloadKind::KMeans => 10,
         }
     }
 }
@@ -138,9 +159,19 @@ mod tests {
 
     #[test]
     fn instantiation_matches_kind() {
-        for k in WorkloadKind::ALL {
+        for k in WorkloadKind::ALL.into_iter().chain(WorkloadKind::ITERATIVE) {
             assert_eq!(k.instantiate_small().name(), k.name());
             assert_eq!(k.model().name, k.name());
         }
+    }
+
+    #[test]
+    fn iterative_kinds_parse_and_stay_out_of_all() {
+        for k in WorkloadKind::ITERATIVE {
+            assert_eq!(WorkloadKind::parse(k.name()), Some(k));
+            assert!(!WorkloadKind::ALL.contains(&k), "ALL stays the paper's three");
+            assert_eq!(k.paper_input_gb(), 10);
+        }
+        assert_eq!(WorkloadKind::parse("k-means"), Some(WorkloadKind::KMeans));
     }
 }

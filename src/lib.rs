@@ -57,6 +57,7 @@
 //! | [`metrics`] | `alm-metrics` | series, timelines, experiment reports |
 //! | [`chaos`] | `alm-chaos` | declarative fault campaigns + differential cross-engine validation |
 //! | [`sched`] | `alm-sched` | multi-tenant warehouse scheduler (FIFO / capacity / fair) over the DES |
+//! | [`mem`] | `alm-mem` | in-memory iterative mode: resident MOF cache + partition-stable job chains |
 
 #![forbid(unsafe_code)]
 
@@ -64,6 +65,7 @@ pub use alm_chaos as chaos;
 pub use alm_core as core;
 pub use alm_des as des;
 pub use alm_dfs as dfs;
+pub use alm_mem as mem;
 pub use alm_metrics as metrics;
 pub use alm_runtime as runtime;
 pub use alm_sched as sched;
@@ -75,11 +77,15 @@ pub use alm_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use alm_chaos::{
-        CampaignReport, ChaosFault, ChaosScenario, FaultSpace, RuntimeCampaign, SimCampaign,
+        CampaignReport, ChainCampaign, ChainDifferentialReport, ChaosFault, ChaosScenario, FaultSpace,
+        RuntimeCampaign, SimCampaign,
     };
     pub use alm_core::{
         collective_merge, recover_state, schedule_recovery, AnalyticsLogger, ExecMode, LogPaths, LogRecord,
         PartialOutput, Participant, PolicyCtx, RecoveredState, SchedAction, StageLog,
+    };
+    pub use alm_mem::{
+        run_chain, ChainReport, CrashPlan, IterativeSpec, ResidentStore, RuntimeChainEngine, SimChainEngine,
     };
     pub use alm_runtime::am::run_job;
     pub use alm_runtime::{FaultPlan, JobDef, JobReport, MiniCluster};
@@ -89,8 +95,10 @@ pub mod prelude {
     };
     pub use alm_sim::{ExperimentEnv, SimFault, SimJobSpec, Simulation};
     pub use alm_types::{
-        AlmConfig, AttemptId, ClusterSpec, FailureKind, JobId, NodeId, RecoveryMode, ReplicationLevel,
-        TaskId, YarnConfig,
+        AlmConfig, AttemptId, ClusterSpec, FailureKind, JobId, MemConfig, MemMode, NodeId, RecoveryMode,
+        ReplicationLevel, TaskId, YarnConfig,
     };
-    pub use alm_workloads::{JobSpec, Record, SecondarySort, Terasort, Wordcount, Workload, WorkloadKind};
+    pub use alm_workloads::{
+        JobSpec, KMeans, Pagerank, Record, SecondarySort, Terasort, Wordcount, Workload, WorkloadKind,
+    };
 }
