@@ -208,7 +208,7 @@ pub fn analyze_runtime(
         dfs_repair_bytes: dfs.repair_bytes,
         dfs_corrupt_replicas: dfs.corrupt_replicas,
         chain_iteration: 0,
-        resident_hits: 0,
+        resident_hits: report.resident_fetch_hits,
     }
 }
 

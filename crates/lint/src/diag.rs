@@ -33,9 +33,85 @@ pub fn render(diags: &[Diagnostic]) -> String {
     t.render_text()
 }
 
+/// Render diagnostics as a machine-readable JSON array with a fixed key
+/// order (`file`, `line`, `code`, `rule`, `message`), sorted like the
+/// table renderer so the artifact is byte-stable across runs. Hand-rolled:
+/// the lint crate stays dependency-free by design.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    let mut out = String::from("[");
+    for (i, d) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"code\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(d.code),
+            json_str(d.rule),
+            json_str(&d.message)
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_is_sorted_escaped_and_key_stable() {
+        let diags = vec![
+            Diagnostic {
+                code: "D2",
+                rule: "wall-clock",
+                file: "b.rs".into(),
+                line: 9,
+                message: "say \"hi\"".into(),
+            },
+            Diagnostic {
+                code: "D1",
+                rule: "unordered-iter",
+                file: "a.rs".into(),
+                line: 3,
+                message: "n".into(),
+            },
+        ];
+        let s = render_json(&diags);
+        assert!(s.find("a.rs").unwrap() < s.find("b.rs").unwrap(), "sorted by site");
+        assert!(s.contains("\\\"hi\\\""), "quotes escaped: {s}");
+        let obj = s.lines().nth(1).unwrap();
+        let order: Vec<usize> = ["\"file\"", "\"line\"", "\"code\"", "\"rule\"", "\"message\""]
+            .iter()
+            .map(|k| obj.find(k).unwrap())
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "stable key order: {obj}");
+        assert_eq!(render_json(&[]), "[]\n");
+    }
 
     #[test]
     fn render_sorts_by_site() {

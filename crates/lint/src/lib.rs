@@ -6,8 +6,11 @@
 //! deterministic state (D1), virtual time staying virtual (D2), every RNG
 //! draw being a named seeded stream (D3), both engines speaking the whole
 //! fault vocabulary (V1), the config surface being validated and pinned
-//! (C1), and lock acquisition staying acyclic (L1). Each is enforced here
-//! as a line/token-level scan over stripped source — no `syn`, because the
+//! (C1), lock acquisition staying acyclic through the transitive call
+//! graph (L1), engine-report counters keeping cross-engine parity (P1),
+//! canonical_json emissions staying golden-gate safe (G1), and named RNG
+//! streams actually being distinct (R1). Each is enforced here as a
+//! line/token-level scan over stripped source — no `syn`, because the
 //! workspace bans new external dependencies.
 //!
 //! Escape hatch: `// alm-lint: allow(<rule-id>) — <reason>`. The reason is
@@ -25,33 +28,49 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use diag::{render, Diagnostic};
+pub use diag::{render, render_json, Diagnostic};
 use rules::Rule;
 use source::SourceFile;
 
-/// The loaded file set all rules run against.
+/// The loaded file set all rules run against. `aux` holds non-source
+/// inputs rules may need to diff against (today: the committed golden
+/// campaign baselines, which the walker deliberately excludes from the
+/// `.rs` scan), keyed by workspace-relative path.
 pub struct Workspace {
     pub root: PathBuf,
     pub files: Vec<SourceFile>,
+    pub aux: std::collections::BTreeMap<String, String>,
 }
 
 impl Workspace {
-    /// Load every in-scope `.rs` file under `root` via the shared walker.
+    /// Load every in-scope `.rs` file under `root` via the shared walker,
+    /// plus the golden baselines as auxiliary texts.
     pub fn load(root: &Path) -> io::Result<Workspace> {
         let mut files = Vec::new();
         for rel in walker::rust_sources(root)? {
             let text = fs::read_to_string(root.join(&rel))?;
             files.push(SourceFile::parse(rel, &text));
         }
-        Ok(Workspace { root: root.to_path_buf(), files })
+        let mut aux = std::collections::BTreeMap::new();
+        for rel in walker::golden_baselines(root) {
+            aux.insert(rel.clone(), fs::read_to_string(root.join(&rel))?);
+        }
+        Ok(Workspace { root: root.to_path_buf(), files, aux })
     }
 
     /// Build a workspace from in-memory `(rel_path, text)` pairs — the
     /// fixture-test entry point.
     pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        Self::from_sources_with_aux(sources, &[])
+    }
+
+    /// Fixture entry point that also supplies auxiliary (non-source) texts
+    /// such as a golden baseline JSON.
+    pub fn from_sources_with_aux(sources: &[(&str, &str)], aux: &[(&str, &str)]) -> Workspace {
         Workspace {
             root: PathBuf::new(),
             files: sources.iter().map(|(rel, text)| SourceFile::parse(*rel, text)).collect(),
+            aux: aux.iter().map(|(rel, text)| (rel.to_string(), text.to_string())).collect(),
         }
     }
 }

@@ -1,17 +1,20 @@
-//! CLI driver: `alm-lint [--check] [--root <dir>] [--rule <id>]…`
+//! CLI driver: `alm-lint [--check] [--json] [--root <dir>] [--rule <id>]…`
 //!
 //! `--check` is the CI mode: exit 1 when any diagnostic is produced.
 //! Without it the tool reports and exits 0, for local exploration.
+//! `--json` swaps the human table for a machine-readable report on stdout
+//! (stable key order, byte-stable across runs) — the CI artifact format.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use alm_lint::{render, Linter, Workspace};
+use alm_lint::{render, render_json, Linter, Workspace};
 
 fn main() -> ExitCode {
     let mut check = false;
+    let mut json = false;
     let mut list = false;
     let mut root: Option<PathBuf> = None;
     let mut only: Vec<String> = Vec::new();
@@ -19,6 +22,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--json" => json = true,
             "--list-rules" => list = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
@@ -61,8 +65,22 @@ fn main() -> ExitCode {
     };
 
     let diags = linter.run(&ws);
+    if json {
+        // The JSON report goes to stdout (the artifact); the summary goes
+        // to stderr so redirection captures pure JSON.
+        print!("{}", render_json(&diags));
+        eprintln!("alm-lint: {} diagnostic(s) across {} files", diags.len(), ws.files.len());
+        return if check && !diags.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
     if diags.is_empty() {
-        println!("alm-lint: {} files clean ({} rules)", ws.files.len(), linter.rules().len());
+        // A0 annotation hygiene runs alongside the coded rule instances.
+        let codes: std::collections::BTreeSet<&str> = linter.rules().iter().map(|r| r.code()).collect();
+        println!(
+            "alm-lint: {} files clean ({} invariants, {} rule instances)",
+            ws.files.len(),
+            codes.len() + 1,
+            linter.rules().len()
+        );
         return ExitCode::SUCCESS;
     }
     println!("{}", render(&diags));
@@ -96,9 +114,10 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("alm-lint: {err}");
     }
     eprintln!(
-        "usage: alm-lint [--check] [--root <dir>] [--rule <id-or-code>]... [--list-rules]\n\
+        "usage: alm-lint [--check] [--json] [--root <dir>] [--rule <id-or-code>]... [--list-rules]\n\
          \n\
          --check        exit nonzero when any diagnostic is produced (CI mode)\n\
+         --json         machine-readable report on stdout (stable key order)\n\
          --root <dir>   workspace root (default: nearest [workspace] Cargo.toml)\n\
          --rule <id>    run only the named rule(s); accepts ids or codes (D1, L1, ...)\n\
          --list-rules   print the rule table and exit"

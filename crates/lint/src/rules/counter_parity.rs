@@ -1,0 +1,212 @@
+//! P1 `counter-parity`: cross-engine observability parity.
+//!
+//! The repo's core claim is that the threaded runtime and the DES simulator
+//! reproduce the same recovery semantics — which is only checkable for
+//! behavior both engines *report*. A counter that exists in `JobReport` but
+//! not `SimReport` (or vice versa) is observability one engine silently
+//! lacks; a counter neither consumed by the differential validator is a
+//! number nobody would notice drifting. So: every integer counter field of
+//! either report struct must (a) have a same-named — or explicitly aliased —
+//! counterpart field in the other engine's report, and (b) be read somewhere
+//! in the validator. Intentional asymmetries (unit mismatches, counters
+//! whose counterpart is a structured list) carry an allow annotation with
+//! the reason on the declaration line.
+
+use crate::diag::Diagnostic;
+use crate::source::{has_token, SourceFile};
+use crate::Workspace;
+
+use super::Rule;
+
+pub struct CounterParity {
+    /// (file, struct) pair for the runtime-side report.
+    pub left_file: String,
+    pub left_struct: String,
+    /// (file, struct) pair for the sim-side report.
+    pub right_file: String,
+    pub right_struct: String,
+    /// Files in which every counter must be read (the differential
+    /// validator). A counter named in any one of them counts as consumed.
+    pub consumers: Vec<String>,
+    /// Cross-engine field-name aliases, `(left_name, right_name)` — for
+    /// counters whose names legitimately differ (e.g. unit suffixes).
+    pub aliases: Vec<(String, String)>,
+}
+
+impl Default for CounterParity {
+    fn default() -> Self {
+        CounterParity {
+            left_file: "crates/runtime/src/report.rs".to_string(),
+            left_struct: "JobReport".to_string(),
+            right_file: "crates/sim/src/trace.rs".to_string(),
+            right_struct: "SimReport".to_string(),
+            consumers: vec!["crates/chaos/src/analyze.rs".to_string()],
+            // job completion time is milliseconds (u64) on the runtime and
+            // virtual seconds (f64) in the DES; same quantity, named pair.
+            aliases: vec![("job_time_ms".to_string(), "job_secs".to_string())],
+        }
+    }
+}
+
+/// A field type that makes the field a *counter* for parity purposes:
+/// exactly an unsigned integer. Structured fields (maps, vecs, options,
+/// floats, bools) are compared by other means and are out of scope.
+fn is_counter_type(ty: &str) -> bool {
+    matches!(ty, "u8" | "u16" | "u32" | "u64" | "u128" | "usize")
+}
+
+/// Fields of `struct_name` as `(name, type, 1-based decl line)` triples.
+fn typed_fields(file: &SourceFile, struct_name: &str) -> Vec<(String, String, usize)> {
+    let header = format!("struct {struct_name}");
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut in_struct = false;
+    for (idx, line) in file.code.iter().enumerate() {
+        if !in_struct {
+            if line.contains(&header) && line.contains('{') {
+                in_struct = true;
+                for c in line.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        let t = line.trim();
+        if depth == 1 {
+            let t = t.strip_prefix("pub ").unwrap_or(t);
+            if let Some(colon) = t.find(':') {
+                let name = t[..colon].trim();
+                let ty = t[colon + 1..].trim().trim_end_matches(',').trim();
+                if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    out.push((name.to_string(), ty.to_string(), idx + 1));
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+impl Rule for CounterParity {
+    fn id(&self) -> &'static str {
+        "counter-parity"
+    }
+
+    fn code(&self) -> &'static str {
+        "P1"
+    }
+
+    fn description(&self) -> &'static str {
+        "every engine-report counter has a cross-engine counterpart and a validator read"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let find = |rel: &str| ws.files.iter().find(|f| f.rel == rel);
+        // Anchor files are findings when missing, so a rename cannot
+        // silently disable the rule (same convention as V1/C1).
+        let missing_anchor = |rel: &str, what: &str, out: &mut Vec<Diagnostic>| {
+            out.push(Diagnostic {
+                code: self.code(),
+                rule: self.id(),
+                file: rel.to_string(),
+                line: 1,
+                message: format!("{what} file not found — counter parity cannot be checked"),
+            });
+        };
+        let (Some(left), Some(right)) = (find(&self.left_file), find(&self.right_file)) else {
+            if find(&self.left_file).is_none() {
+                missing_anchor(&self.left_file, "runtime report", &mut out);
+            }
+            if find(&self.right_file).is_none() {
+                missing_anchor(&self.right_file, "sim report", &mut out);
+            }
+            return out;
+        };
+        let consumer_text: String = self
+            .consumers
+            .iter()
+            .filter_map(|rel| find(rel))
+            .flat_map(|f| f.code.iter().zip(&f.is_test).filter(|(_, t)| !**t).map(|(l, _)| l.as_str()))
+            .collect::<Vec<_>>()
+            .join("\n");
+        for rel in &self.consumers {
+            if find(rel).is_none() {
+                missing_anchor(rel, "validator (consumer)", &mut out);
+            }
+        }
+
+        let lf = typed_fields(left, &self.left_struct);
+        let rf = typed_fields(right, &self.right_struct);
+        for (file, fields, own_struct, other, other_file, forward) in [
+            (left, &lf, &self.left_struct, &rf, &self.right_file, true),
+            (right, &rf, &self.right_struct, &lf, &self.left_file, false),
+        ] {
+            if fields.is_empty() {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.id(),
+                    file: file.rel.clone(),
+                    line: 1,
+                    message: format!("struct `{own_struct}` not found or has no fields"),
+                });
+                continue;
+            }
+            for (name, ty, decl_line) in fields {
+                if !is_counter_type(ty) || file.allowed(self.id(), *decl_line) {
+                    continue;
+                }
+                let counterpart = self
+                    .aliases
+                    .iter()
+                    .find_map(|(l, r)| {
+                        let (own, peer) = if forward { (l, r) } else { (r, l) };
+                        (own == name).then_some(peer.as_str())
+                    })
+                    .unwrap_or(name.as_str());
+                if !other.iter().any(|(n, _, _)| n == counterpart) {
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        rule: self.id(),
+                        file: file.rel.clone(),
+                        line: *decl_line,
+                        message: format!(
+                            "counter `{name}` of `{own_struct}` has no counterpart field \
+                             `{counterpart}` in {other_file} — one engine grew observability \
+                             the other lacks; mirror it, register an alias, or annotate the \
+                             field with a reason"
+                        ),
+                    });
+                }
+                if !has_token(&consumer_text, name) {
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        rule: self.id(),
+                        file: file.rel.clone(),
+                        line: *decl_line,
+                        message: format!(
+                            "counter `{name}` of `{own_struct}` is never read by the \
+                             differential validator ({}) — an unconsumed counter can drift \
+                             unnoticed; consume it or annotate the field with a reason",
+                            self.consumers.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

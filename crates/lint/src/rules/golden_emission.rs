@@ -1,0 +1,201 @@
+//! G1 `golden-emission`: canonical_json fields stay golden-gate safe.
+//!
+//! The campaign gate diffs `canonical_json` output byte-for-byte against a
+//! committed golden baseline. The workspace convention — re-verified by
+//! hand in every PR so far — is that a *new* serialized field must be
+//! emitted behind a non-zero / `Some`-only guard, so campaigns that never
+//! exercise the new behavior keep producing byte-identical reports. This
+//! rule makes the convention a theorem: every key emitted *unconditionally*
+//! inside `canonical_json` must already exist in the committed baseline;
+//! anything else must sit inside an `if` guard (or carry an allow
+//! annotation explaining why a re-bless is intended).
+//!
+//! Key literals live inside strings, which the stripped view blanks — but
+//! stripping preserves columns, so the rule walks the raw text at positions
+//! the stripped text proves are real code.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::source::has_token;
+use crate::Workspace;
+
+use super::Rule;
+
+pub struct GoldenEmission {
+    /// File containing the canonical serializer.
+    pub emit_file: String,
+    /// The serializer function whose body is scanned.
+    pub emit_fn: String,
+    /// Workspace-relative path of the committed golden baseline (loaded as
+    /// auxiliary text — the walker excludes it from source scanning).
+    pub baseline: String,
+}
+
+impl Default for GoldenEmission {
+    fn default() -> Self {
+        GoldenEmission {
+            emit_file: "crates/chaos/src/campaign.rs".to_string(),
+            emit_fn: "canonical_json".to_string(),
+            baseline: "crates/bench/golden/campaign_gate.json".to_string(),
+        }
+    }
+}
+
+/// Keys present in the baseline JSON: `"<ident>"` immediately followed by
+/// a colon. Golden values are scenario/mode strings never followed by `:`,
+/// so this stays unambiguous without a JSON parser.
+fn baseline_keys(text: &str) -> BTreeSet<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut keys = BTreeSet::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if j > start && chars.get(j) == Some(&'"') {
+                let mut k = j + 1;
+                while chars.get(k).is_some_and(|c| c.is_whitespace()) {
+                    k += 1;
+                }
+                if chars.get(k) == Some(&':') {
+                    keys.insert(chars[start..j].iter().collect());
+                }
+            }
+            i = j.max(start);
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Emission sites on one line: `("key"` where the open paren survives in
+/// the stripped view (real code, not a literal) and the line constructs a
+/// `Value::…`. Returns `(key, char_offset_of_paren)` pairs.
+fn emissions_on_line(raw: &str, code: &str) -> Vec<(String, usize)> {
+    if !has_token(code, "Value") {
+        return Vec::new();
+    }
+    let rc: Vec<char> = raw.chars().collect();
+    let cc: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    for (i, w) in rc.windows(2).enumerate() {
+        if w[0] != '(' || w[1] != '"' || cc.get(i) != Some(&'(') {
+            continue;
+        }
+        let start = i + 2;
+        let mut j = start;
+        while j < rc.len() && (rc[j].is_alphanumeric() || rc[j] == '_') {
+            j += 1;
+        }
+        if j > start && rc.get(j) == Some(&'"') {
+            out.push((rc[start..j].iter().collect(), i));
+        }
+    }
+    out
+}
+
+impl Rule for GoldenEmission {
+    fn id(&self) -> &'static str {
+        "golden-emission"
+    }
+
+    fn code(&self) -> &'static str {
+        "G1"
+    }
+
+    fn description(&self) -> &'static str {
+        "unconditional canonical_json fields must exist in the golden baseline"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mk = |file: &str, line: usize, message: String| Diagnostic {
+            code: self.code(),
+            rule: self.id(),
+            file: file.to_string(),
+            line,
+            message,
+        };
+        let Some(file) = ws.files.iter().find(|f| f.rel == self.emit_file) else {
+            return vec![mk(
+                &self.emit_file,
+                1,
+                format!("serializer file declaring `{}` not found", self.emit_fn),
+            )];
+        };
+        let header = format!("fn {}(", self.emit_fn);
+        let Some(start) = file.code.iter().position(|l| l.contains(&header)) else {
+            return vec![mk(
+                &file.rel,
+                1,
+                format!("serializer fn `{}` not found in {}", self.emit_fn, file.rel),
+            )];
+        };
+        let Some(baseline) = ws.aux.get(&self.baseline) else {
+            return vec![mk(
+                &self.baseline,
+                1,
+                format!("golden baseline `{}` not found — emission safety cannot be checked", self.baseline),
+            )];
+        };
+        let known = baseline_keys(baseline);
+
+        let mut out = Vec::new();
+        // Walk the fn body brace-matched, tracking which open braces were
+        // introduced by an `if` on the same line (the non-zero / Some-only
+        // guard idiom). An emission is guarded when any enclosing brace is
+        // a guard brace, or an `if` precedes it on its own line.
+        let mut guard_stack: Vec<bool> = Vec::new();
+        let mut opened = false;
+        for (idx, code) in file.code.iter().enumerate().skip(start) {
+            let if_pos = token_pos(code, "if");
+            for (key, at) in emissions_on_line(&file.raw[idx], code) {
+                let guarded = guard_stack.iter().any(|g| *g) || if_pos.is_some_and(|p| p < at);
+                if guarded || known.contains(&key) || file.allowed(self.id(), idx + 1) {
+                    continue;
+                }
+                out.push(mk(
+                    &file.rel,
+                    idx + 1,
+                    format!(
+                        "`{}` emits `{key}` unconditionally but the golden baseline {} has \
+                         no such key — gate it non-zero-only (the established idiom) or \
+                         annotate the emission if a re-bless is intended",
+                        self.emit_fn, self.baseline
+                    ),
+                ));
+            }
+            for (p, c) in code.chars().enumerate() {
+                match c {
+                    '{' => {
+                        guard_stack.push(if_pos.is_some_and(|ip| ip < p));
+                        opened = true;
+                    }
+                    '}' => {
+                        guard_stack.pop();
+                    }
+                    _ => {}
+                }
+            }
+            if opened && guard_stack.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Char offset of the first word-boundary occurrence of `needle` in `hay`.
+fn token_pos(hay: &str, needle: &str) -> Option<usize> {
+    let chars: Vec<char> = hay.chars().collect();
+    let n: Vec<char> = needle.chars().collect();
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    (0..chars.len().saturating_sub(n.len() - 1)).find(|&i| {
+        chars[i..i + n.len()] == n[..]
+            && (i == 0 || !ident(chars[i - 1]))
+            && chars.get(i + n.len()).is_none_or(|c| !ident(*c))
+    })
+}

@@ -11,13 +11,15 @@
 //!   `A` is still live — a `let`-bound guard lives to the end of its brace
 //!   scope (or an explicit `drop(guard)`), a temporary to the end of its
 //!   statement;
-//! * calls are followed one level deep: holding `A` while calling a
-//!   function that itself locks `B` also records `A → B`.
+//! * calls are followed *transitively* through the intra-scope call graph
+//!   (bounded depth, cycle-safe): holding `A` while calling a function
+//!   that — possibly through intermediate calls — locks `B` records
+//!   `A → B`, with the call chain carried into the report.
 //!
 //! Any cycle (including the self-edge `A → A`) is a potential deadlock and
 //! is reported at each participating acquisition site.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::diag::Diagnostic;
 use crate::source::{ident_ending_at, SourceFile};
@@ -46,7 +48,15 @@ struct Edge {
     file: String,
     /// 1-based line of the inner acquisition (or call site).
     line: usize,
+    /// Call chain from the call site to the acquiring function — empty for
+    /// a direct acquisition, `[callee, …, locker]` for a call edge.
+    via: Vec<String>,
 }
+
+/// Call chains are followed at most this many frames deep. Deep enough for
+/// every real path in the workspace; bounded so a pathological token-level
+/// call graph cannot blow up the closure.
+const MAX_CALL_DEPTH: usize = 8;
 
 impl Rule for LockOrder {
     fn id(&self) -> &'static str {
@@ -69,18 +79,18 @@ impl Rule for LockOrder {
             return Vec::new();
         }
         let mut edges: Vec<Edge> = Vec::new();
-        // fn name -> locks it acquires directly (for one-level call edges).
+        // fn name -> locks it acquires directly.
         let mut fn_locks: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        // fn name -> functions it calls (the intra-scope call graph).
+        let mut fn_calls: BTreeMap<String, Vec<String>> = BTreeMap::new();
         // (held, callee, file, line) resolved after all functions are known.
         let mut pending_calls: Vec<(String, String, String, usize)> = Vec::new();
         for file in &files {
-            scan_file(file, &locks, &mut edges, &mut fn_locks, &mut pending_calls);
+            scan_file(file, &locks, &mut edges, &mut fn_locks, &mut fn_calls, &mut pending_calls);
         }
         for (held, callee, file, line) in pending_calls {
-            if let Some(inner) = fn_locks.get(&callee) {
-                for taken in inner {
-                    edges.push(Edge { held: held.clone(), taken: taken.clone(), file: file.clone(), line });
-                }
+            for (taken, via) in transitive_locks(&callee, &fn_locks, &fn_calls) {
+                edges.push(Edge { held: held.clone(), taken, file: file.clone(), line, via });
             }
         }
         // Annotated edges are vetted: drop them before cycle detection.
@@ -91,18 +101,25 @@ impl Rule for LockOrder {
         let cyclic = cyclic_edges(&edges);
         let mut out: Vec<Diagnostic> = cyclic
             .into_iter()
-            .map(|(e, cycle)| Diagnostic {
-                code: self.code(),
-                rule: self.id(),
-                file: e.file.clone(),
-                line: e.line,
-                message: format!(
-                    "acquiring `{}` while holding `{}` closes the lock cycle {} — \
-                     parking_lot locks are non-reentrant, so this can deadlock",
-                    e.taken,
-                    e.held,
-                    cycle.join(" -> ")
-                ),
+            .map(|(e, cycle)| {
+                let via = if e.via.len() > 1 {
+                    format!(" (reached via {})", e.via.join(" -> "))
+                } else {
+                    String::new()
+                };
+                Diagnostic {
+                    code: self.code(),
+                    rule: self.id(),
+                    file: e.file.clone(),
+                    line: e.line,
+                    message: format!(
+                        "acquiring `{}`{via} while holding `{}` closes the lock cycle {} — \
+                         parking_lot locks are non-reentrant, so this can deadlock",
+                        e.taken,
+                        e.held,
+                        cycle.join(" -> ")
+                    ),
+                }
             })
             .collect();
         out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
@@ -151,6 +168,7 @@ fn scan_file(
     locks: &[String],
     edges: &mut Vec<Edge>,
     fn_locks: &mut BTreeMap<String, Vec<String>>,
+    fn_calls: &mut BTreeMap<String, Vec<String>>,
     pending_calls: &mut Vec<(String, String, String, usize)>,
 ) {
     let mut current_fn: Option<String> = None;
@@ -187,6 +205,7 @@ fn scan_file(
                                     taken: recv.to_string(),
                                     file: file.rel.clone(),
                                     line: idx + 1,
+                                    via: Vec::new(),
                                 });
                             }
                             fn_locks.entry(fname.clone()).or_default().push(recv.to_string());
@@ -206,21 +225,38 @@ fn scan_file(
                     from = at + pat.len();
                 }
             }
-            // `drop(guard)` releases a named guard early.
-            if let Some(pos) = line.find("drop(") {
-                let inner = &line[pos + 5..];
+            // `drop(guard)` releases exactly the named guard — and only a
+            // real `drop` token counts: `undrop(g)` or `pre_drop(g)` is an
+            // ordinary call that moves nothing.
+            let mut from = 0;
+            while let Some(pos) = line[from..].find("drop(") {
+                let at = from + pos;
+                from = at + 5;
+                let boundary = at == 0
+                    || !line[..at]
+                        .chars()
+                        .next_back()
+                        .map(|c| c.is_alphanumeric() || c == '_')
+                        .unwrap_or(false);
+                if !boundary {
+                    continue;
+                }
+                let inner = &line[at + 5..];
                 if let Some(close) = inner.find(')') {
                     let name = inner[..close].trim();
                     guards.retain(|g| g.var.as_deref() != Some(name));
                 }
             }
-            // Calls made while holding a guard: resolve one level deep
-            // later. Only consider simple `name(`/`.name(` call tokens.
-            if !guards.is_empty() {
-                for callee in call_tokens(line) {
-                    for g in &guards {
-                        pending_calls.push((g.lock.clone(), callee.clone(), file.rel.clone(), idx + 1));
-                    }
+            // Record the call graph for this fn; calls made while holding
+            // a guard are resolved transitively once every fn is known.
+            // Only simple `name(`/`.name(` call tokens are considered.
+            for callee in call_tokens(line) {
+                let known = fn_calls.entry(fname.clone()).or_default();
+                if !known.contains(&callee) {
+                    known.push(callee.clone());
+                }
+                for g in &guards {
+                    pending_calls.push((g.lock.clone(), callee.clone(), file.rel.clone(), idx + 1));
                 }
             }
             let d = brace_delta(line);
@@ -296,6 +332,38 @@ fn call_tokens(line: &str) -> Vec<String> {
         }
     }
     out.dedup();
+    out
+}
+
+/// Locks reachable from `callee` through the call graph within
+/// [`MAX_CALL_DEPTH`] frames, each with the (shortest, BFS-order) call
+/// chain that reaches it. Cycle-safe: every function is visited once.
+fn transitive_locks(
+    callee: &str,
+    fn_locks: &BTreeMap<String, Vec<String>>,
+    fn_calls: &BTreeMap<String, Vec<String>>,
+) -> Vec<(String, Vec<String>)> {
+    let mut out: Vec<(String, Vec<String>)> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::from([callee.to_string()]);
+    let mut queue: VecDeque<(String, Vec<String>, usize)> =
+        VecDeque::from([(callee.to_string(), vec![callee.to_string()], 0)]);
+    while let Some((f, chain, d)) = queue.pop_front() {
+        for l in fn_locks.get(&f).into_iter().flatten() {
+            if !out.iter().any(|(taken, _)| taken == l) {
+                out.push((l.clone(), chain.clone()));
+            }
+        }
+        if d + 1 >= MAX_CALL_DEPTH {
+            continue;
+        }
+        for next in fn_calls.get(&f).into_iter().flatten() {
+            if seen.insert(next.clone()) {
+                let mut c = chain.clone();
+                c.push(next.clone());
+                queue.push_back((next.clone(), c, d + 1));
+            }
+        }
+    }
     out
 }
 

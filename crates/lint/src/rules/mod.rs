@@ -5,16 +5,22 @@
 //! fixture tests can re-point them at a corpus instead of the real tree.
 
 mod config_coverage;
+mod counter_parity;
 mod fault_vocab;
+mod golden_emission;
 mod lock_order;
 mod randomness;
+mod rng_collision;
 mod unordered_iter;
 mod wall_clock;
 
 pub use config_coverage::ConfigCoverage;
+pub use counter_parity::CounterParity;
 pub use fault_vocab::{EnumCoverage, FaultVocab};
+pub use golden_emission::GoldenEmission;
 pub use lock_order::LockOrder;
 pub use randomness::Randomness;
+pub use rng_collision::RngCollision;
 pub use unordered_iter::UnorderedIter;
 pub use wall_clock::WallClock;
 
@@ -52,5 +58,8 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
             &["validate", "scaled_for_tests"],
         )),
         Box::new(LockOrder::default()),
+        Box::new(CounterParity::default()),
+        Box::new(GoldenEmission::default()),
+        Box::new(RngCollision),
     ]
 }

@@ -31,6 +31,27 @@ pub fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
     Ok(out)
 }
 
+/// Workspace-relative directory of the committed golden baselines. The
+/// directory is *excluded* from source scanning (the reports are generated
+/// JSON, not code) but the G1 emission-safety rule needs the baseline key
+/// set, so the walker exposes it as auxiliary (non-source) files.
+pub const GOLDEN_DIR: &str = "crates/bench/golden/";
+
+/// Collect workspace-relative paths of `.json` golden baselines, sorted.
+/// An absent golden directory is not an error — the rule that consumes
+/// these reports the missing baseline itself.
+pub fn golden_baselines(root: &Path) -> Vec<String> {
+    let dir = root.join(GOLDEN_DIR);
+    let Ok(entries) = fs::read_dir(&dir) else { return Vec::new() };
+    let mut out: Vec<String> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .map(|p| format!("{GOLDEN_DIR}{}", p.file_name().unwrap_or_default().to_string_lossy()))
+        .collect();
+    out.sort();
+    out
+}
+
 fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
     entries.sort();

@@ -27,7 +27,7 @@ fn seeded_fixture_fails_check_with_every_rule_firing() {
     let out = lint(&fixture_root(), &["--check"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(!out.status.success(), "seeded violations must fail --check:\n{stdout}");
-    for code in ["D1", "D2", "D3", "V1", "C1", "L1", "A0"] {
+    for code in ["D1", "D2", "D3", "V1", "C1", "L1", "A0", "P1", "G1", "R1"] {
         assert!(stdout.contains(code), "code {code} missing from report:\n{stdout}");
     }
     // Each seed lands where it was planted.
@@ -38,9 +38,21 @@ fn seeded_fixture_fails_check_with_every_rule_firing() {
         "crates/types/src/failure.rs",
         "crates/types/src/config.rs",
         "crates/runtime/src/am.rs",
+        "crates/sim/src/trace.rs",
+        "crates/chaos/src/campaign.rs",
+        "crates/sched/src/campaign.rs",
     ] {
         assert!(stdout.contains(site), "site {site} missing from report:\n{stdout}");
     }
+    // The cross-engine parity seed: a SimReport-only counter nobody reads.
+    assert!(stdout.contains("phantom_completions"), "seeded parity gap missing:\n{stdout}");
+    // The golden-gate seed fires on the unguarded novel key, not on the
+    // baseline keys and not on the guarded one.
+    assert!(stdout.contains("stall_ratio"), "seeded emission gap missing:\n{stdout}");
+    assert!(!stdout.contains("degraded_drops"), "guarded emission must not fire:\n{stdout}");
+    // The RNG seeds: a label-shape collision and a loop-invariant label.
+    assert!(stdout.contains("warehouse-jitter"), "seeded stream collision missing:\n{stdout}");
+    assert!(stdout.contains("loop variable `t`"), "seeded loop-label gap missing:\n{stdout}");
     // The gray-direction coverage fires precisely on the variant the
     // seeded sampler omits, not on the ones it names.
     assert!(stdout.contains("LinkDirection::BToA"), "seeded direction gap missing:\n{stdout}");
@@ -85,12 +97,44 @@ fn real_workspace_passes_check() {
 }
 
 #[test]
-fn list_rules_names_all_six() {
+fn list_rules_names_all_nine() {
     let out =
         Command::new(env!("CARGO_BIN_EXE_alm-lint")).arg("--list-rules").output().expect("run alm-lint");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success());
-    for id in ["unordered-iter", "wall-clock", "rng-stream", "fault-vocab", "config-coverage", "lock-order"] {
+    for id in [
+        "unordered-iter",
+        "wall-clock",
+        "rng-stream",
+        "fault-vocab",
+        "config-coverage",
+        "lock-order",
+        "counter-parity",
+        "golden-emission",
+        "rng-collision",
+    ] {
         assert!(stdout.contains(id), "rule {id} missing:\n{stdout}");
     }
+}
+
+#[test]
+fn json_mode_emits_stable_machine_readable_diagnostics() {
+    let out = lint(&fixture_root(), &["--json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "json without --check exits zero:\n{stdout}");
+    // stdout is pure JSON (the summary moves to stderr so pipes stay clean).
+    assert!(stdout.trim_start().starts_with('['), "stdout must be a JSON array:\n{stdout}");
+    assert!(stderr.contains("diagnostic(s)"), "summary goes to stderr:\n{stderr}");
+    // Fixed key order per object, so diffs of CI artifacts are meaningful.
+    let first = stdout.find("{\"file\":").expect("at least one diagnostic object");
+    let obj = &stdout[first..];
+    let pos = |k: &str| obj.find(k).unwrap_or_else(|| panic!("key {k} missing:\n{obj}"));
+    assert!(pos("\"file\":") < pos("\"line\":"));
+    assert!(pos("\"line\":") < pos("\"code\":"));
+    assert!(pos("\"code\":") < pos("\"rule\":"));
+    assert!(pos("\"rule\":") < pos("\"message\":"));
+    // --check still gates in json mode.
+    let gated = lint(&fixture_root(), &["--check", "--json"]);
+    assert!(!gated.status.success(), "seeded fixture must fail --check --json");
 }

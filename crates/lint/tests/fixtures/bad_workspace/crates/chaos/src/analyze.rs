@@ -1,6 +1,12 @@
 //! Fixture: chaos analyzer. Classifies `NodeCrash` but never names
 //! `FailureKind::TaskOom` — which makes the V1 seed in failure.rs fire.
+//! Reads the parity-clean report counters (`map_attempts`, `job_time_ms`)
+//! so only the seeded `phantom_completions` gap fires P1.
 
 pub fn node_losses(kinds: &[FailureKind]) -> usize {
     kinds.iter().filter(|k| matches!(k, FailureKind::NodeCrash)).count()
+}
+
+pub fn compare(runtime: &JobReport, sim: &SimReport) -> bool {
+    runtime.map_attempts == sim.map_attempts && runtime.job_time_ms > 0
 }

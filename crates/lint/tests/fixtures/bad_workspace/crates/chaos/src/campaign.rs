@@ -1,0 +1,28 @@
+//! Fixture: chaos campaign serializer. `stall_ratio` is the seeded G1
+//! violation — emitted unconditionally but absent from the committed
+//! golden baseline, so a real campaign gate would stop matching byte-for-
+//! byte. `degraded_drops` shows the sanctioned idiom: novel but guarded.
+
+pub struct CampaignReport {
+    pub scenario: String,
+    pub succeeded: bool,
+    pub map_attempts: u32,
+    pub stall_ratio: u32,
+    pub degraded_drops: u32,
+}
+
+impl CampaignReport {
+    pub fn canonical_json(&self) -> String {
+        use serde_json::Value;
+        let mut fields = vec![
+            ("scenario", Value::Str(self.scenario.clone())),
+            ("succeeded", Value::Bool(self.succeeded)),
+            ("map_attempts", Value::U64(self.map_attempts as u64)),
+            ("stall_ratio", Value::U64(self.stall_ratio as u64)),
+        ];
+        if self.degraded_drops > 0 {
+            fields.push(("degraded_drops", Value::U64(self.degraded_drops as u64)));
+        }
+        serde_json::to_string(&Value::Object(fields.into_iter().collect())).unwrap()
+    }
+}

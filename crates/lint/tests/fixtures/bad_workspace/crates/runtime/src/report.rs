@@ -1,0 +1,10 @@
+//! Fixture: runtime job report. Parity-clean on its own — `map_attempts`
+//! mirrors the sim report and `job_time_ms` rides the registered
+//! `job_secs` alias; the seeded P1 gap lives on the sim side
+//! (`phantom_completions` in trace.rs).
+
+pub struct JobReport {
+    pub succeeded: bool,
+    pub job_time_ms: u64,
+    pub map_attempts: u32,
+}

@@ -1,0 +1,25 @@
+//! Fixture: warehouse campaign RNG derivations. Two seeded R1 violations:
+//! `arrival_jitter` and `retry_jitter` derive streams whose labels differ
+//! only by dead text (the format argument name), so the (seed, label)
+//! shapes collide; and `shuffle_arrivals` draws inside a `for` loop with a
+//! label that omits the loop variable, deriving one stream for every
+//! tenant.
+
+pub fn arrival_jitter(seed: u64, i: u64) -> u64 {
+    let mut r = alm_des::rng::stream(seed, &format!("warehouse-jitter/{}", i));
+    r.next_u64()
+}
+
+pub fn retry_jitter(seed: u64, j: u64) -> u64 {
+    let mut r = alm_des::rng::stream(seed, &format!("warehouse-jitter/{}", j));
+    r.next_u64()
+}
+
+pub fn shuffle_arrivals(seed: u64, tenants: &[u64]) -> u64 {
+    let mut acc = 0;
+    for t in tenants {
+        let mut r = alm_des::rng::stream(seed, "warehouse-arrivals");
+        acc += r.next_u64() ^ t;
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+//! Fixture: sim report. `phantom_completions` is the seeded P1 violation:
+//! a SimReport-only counter with no `JobReport` counterpart and no read in
+//! the validator — observability the runtime engine silently lacks.
+
+pub struct SimReport {
+    pub succeeded: bool,
+    pub job_secs: f64,
+    pub map_attempts: u32,
+    pub phantom_completions: u32,
+}

@@ -709,6 +709,12 @@ impl JobRunner {
                     // and its data are healthy, only the path is lossy.
                     self.report.degraded_drops += 1;
                 }
+                TaskEvent::FetchResident { reducer: _, map_index: _, source: _ } => {
+                    // A fetch served from the resident in-memory cache:
+                    // observational only — counted so the differential
+                    // validator can compare resident hits across engines.
+                    self.report.resident_fetch_hits += 1;
+                }
                 TaskEvent::LogRecovered { attempt, report } => {
                     self.report.log_recoveries.push(LogRecoveryEvent {
                         task: attempt.task,

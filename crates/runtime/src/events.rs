@@ -28,6 +28,11 @@ pub enum TaskEvent {
     /// off and transparently re-fetches; this never counts toward the
     /// fetch-failure limit and never marks the source dead.
     FetchDegraded { reducer: AttemptId, map_index: u32, source: NodeId },
+    /// A reducer's fetch of map `map_index` was served from the chain
+    /// layer's resident in-memory MOF cache on `source` instead of disk.
+    /// Purely observational: the AM counts it so `JobReport` keeps
+    /// resident-hit parity with the simulator's `SimReport`.
+    FetchResident { reducer: AttemptId, map_index: u32, source: NodeId },
     /// A reduce attempt recovered from analytics logs; the report carries
     /// the truncation forensics (how much, if anything, was discarded).
     LogRecovered { attempt: AttemptId, report: RecoveryReport },

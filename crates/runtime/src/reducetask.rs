@@ -435,7 +435,14 @@ fn shuffle_phase(
                 m,
                 ctx.partition(),
             ) {
-                FetchOutcome::Data { node, data } => {
+                FetchOutcome::Data { node, data, resident } => {
+                    if resident {
+                        let _ = ctx.events.send(TaskEvent::FetchResident {
+                            reducer: ctx.attempt,
+                            map_index: m,
+                            source: node,
+                        });
+                    }
                     if let Some((factor, loss)) = ctx.links.degradation(ctx.node.id, node) {
                         // Gray link: the transfer may be dropped (seeded
                         // deterministic draw) — park and re-fetch without

@@ -82,7 +82,14 @@ pub enum FetchOutcome {
     /// The partition's bytes, CRC-verified, with the node that served
     /// them — the caller consults the [`LinkTable`] degradation state for
     /// this `fetcher → node` direction to model gray (slow/lossy) links.
-    Data { node: NodeId, data: Bytes },
+    Data {
+        node: NodeId,
+        data: Bytes,
+        /// Served from the chain layer's resident in-memory cache rather
+        /// than a disk read — the reducer reports it so `JobReport` counts
+        /// resident hits with the same semantics as the simulator.
+        resident: bool,
+    },
     /// Not available yet; wait without penalty.
     NotReady,
     /// Registered but unreachable: the host node is dead/wiped.
@@ -118,7 +125,7 @@ pub fn try_fetch(
     if let Some(cache) = resident {
         if let Some((holder, data)) = cache.lookup(job, map_index, partition) {
             if nodes[holder.0 as usize].is_alive() && !links.is_severed(fetcher, holder) {
-                return FetchOutcome::Data { node: holder, data };
+                return FetchOutcome::Data { node: holder, data, resident: true };
             }
         }
     }
@@ -144,7 +151,7 @@ pub fn try_fetch(
             if let Some(cache) = resident {
                 cache.admit(node_id, job, map_index, partition, &data);
             }
-            FetchOutcome::Data { node: node_id, data }
+            FetchOutcome::Data { node: node_id, data, resident: false }
         }
         Err(ShuffleError::ChecksumMismatch(_)) => {
             if registry.is_regenerating(map_index) {
@@ -298,12 +305,14 @@ mod tests {
         let cache = MapResident::default();
         let job = JobId(0);
 
-        // First fetch reads disk and admits the bytes into the cache.
+        // First fetch reads disk (resident: false) and admits the bytes
+        // into the cache.
         let first = try_fetch(&c.nodes, &c.links, &reg, Some(&cache), NodeId(0), job, 0, 0);
-        assert!(matches!(first, FetchOutcome::Data { node, .. } if node == NodeId(1)));
+        assert!(matches!(first, FetchOutcome::Data { node, resident: false, .. } if node == NodeId(1)));
         assert_eq!(cache.len(), 1, "fetched partition must be admitted");
 
-        // Rot the on-disk frame: the resident copy shields the fetch.
+        // Rot the on-disk frame: the resident copy shields the fetch, and
+        // the outcome is marked resident so the AM can count the hit.
         let fs = &c.node(NodeId(1)).fs;
         let (off, _) = mof.frame_range(0).unwrap();
         let mut blob = fs.read(&mof.path).unwrap().to_vec();
@@ -311,7 +320,7 @@ mod tests {
         fs.write(&mof.path, Bytes::from(blob)).unwrap();
         assert!(matches!(
             try_fetch(&c.nodes, &c.links, &reg, Some(&cache), NodeId(0), job, 0, 0),
-            FetchOutcome::Data { .. }
+            FetchOutcome::Data { resident: true, .. }
         ));
 
         // A severed fetcher → holder link skips the resident copy (and the

@@ -30,6 +30,7 @@ pub struct JobReport {
     pub failures: Vec<FailureEvent>,
     /// Total map / reduce attempts launched (first attempts included).
     pub map_attempts: u32,
+    // alm-lint: allow(counter-parity) — reduce recovery is validated through fcm_attempts and the per-failure list, not raw attempt totals
     pub reduce_attempts: u32,
     /// Attempts launched in FCM mode.
     pub fcm_attempts: u32,
@@ -38,6 +39,7 @@ pub struct JobReport {
     /// Reduce-phase progress samples per reduce index: `(ms, progress)`.
     pub reduce_timeline: BTreeMap<u32, Vec<(u64, f64)>>,
     /// Analytics-log records written during the job (ALG activity).
+    // alm-lint: allow(counter-parity) — the sim's ALG unit is snapshots taken (alg_snapshots); records vs snapshots are incommensurable, each engine asserts its own
     pub alg_records: u64,
     /// Checksum-mismatch fetches reported by reducers. Each one triggered
     /// a map regeneration + transparent re-fetch — never a fetch-failure
@@ -47,6 +49,9 @@ pub struct JobReport {
     /// retried — like `corruption_refetches`, never charged to the fetch
     /// retry budget.
     pub degraded_drops: u32,
+    /// Fetches served from the chain layer's resident in-memory MOF cache
+    /// instead of disk (zero unless `alm-mem` installed a cache).
+    pub resident_fetch_hits: u64,
     /// Every analytics-log recovery the AM observed, with forensics.
     pub log_recoveries: Vec<LogRecoveryEvent>,
 }
